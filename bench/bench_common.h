@@ -1,0 +1,85 @@
+#ifndef TAMP_BENCH_BENCH_COMMON_H_
+#define TAMP_BENCH_BENCH_COMMON_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "data/workload.h"
+#include "meta/trainer.h"
+
+namespace tamp::bench {
+
+/// Scaled-down experiment sizes (the paper's testbed trains for thousands
+/// of seconds on a GPU; this harness runs the full sweep on one CPU core).
+/// The reproduction target is the *relative* orderings, not absolute
+/// numbers; see EXPERIMENTS.md.
+struct BenchScale {
+  int num_workers = 24;
+  int num_tasks = 700;
+  int num_train_days = 3;
+  int table_fine_tune_steps = 20;  // Prediction-table experiments: light,
+                                   // so meta-init quality dominates.
+  int sim_fine_tune_steps = 60;    // Assignment experiments.
+  int meta_iterations = 25;
+};
+
+/// The calibrated base workload for one of the two dataset pairs.
+data::WorkloadConfig BaseWorkloadConfig(data::WorkloadKind kind,
+                                        const BenchScale& scale);
+
+/// The calibrated base pipeline (model size, meta hyper-parameters,
+/// simulator settings).
+core::PipelineConfig BasePipelineConfig(const BenchScale& scale);
+
+// ---------------------------------------------------------------------
+// Prediction-side experiments (Tables IV-VII).
+// ---------------------------------------------------------------------
+
+/// One row of a prediction table.
+struct PredRow {
+  double rmse = 0.0;  // km
+  double mae = 0.0;   // km
+  double mr = 0.0;    // Matching rate at the configured radius a.
+  double tt = 0.0;    // Meta-training wall-clock seconds.
+};
+
+/// Trains the given meta-learning algorithm on the workload (MSE loss, as
+/// the paper's prediction tables prescribe) and evaluates on held-out data.
+/// `factors`/`use_game` configure the GTMC ablation axes; they are ignored
+/// by MAML/CTML.
+PredRow RunPredictionExperiment(const data::WorkloadConfig& workload_config,
+                                meta::MetaAlgorithm algorithm,
+                                const std::vector<meta::Factor>& factors,
+                                bool use_game, const BenchScale& scale);
+
+/// Table IV/VI: the clustering-algorithm x factor-subset ablation for one
+/// workload kind. Prints the table and its CSV.
+void RunClusterAblation(data::WorkloadKind kind, const std::string& title);
+
+/// Table V/VII: the seq_in / seq_out sweep over the four algorithms.
+void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title);
+
+// ---------------------------------------------------------------------
+// Assignment-side experiments (Figs. 6-11).
+// ---------------------------------------------------------------------
+
+/// Which x-axis the sweep varies.
+enum class SweepVar {
+  kDetour,     // Worker detour budget d (km). Fig. 6 / Fig. 9.
+  kNumTasks,   // Number of spatial tasks.     Fig. 7 / Fig. 10.
+  kValidTime,  // Valid-time lower bound (time units; upper = lo + 1).
+               //                              Fig. 8 / Fig. 11.
+};
+
+/// Runs the full assignment comparison (UB, LB, KM-loss, KM, PPI-loss,
+/// PPI, GGPSO) over the sweep values, printing the four metric panels
+/// (completion ratio, rejection ratio, worker cost, running time) the
+/// paper's figures plot.
+void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
+                        const std::vector<double>& values,
+                        const std::string& title);
+
+}  // namespace tamp::bench
+
+#endif  // TAMP_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,12 @@
+// Reproduces Fig. 10: effect of the number of spatial tasks,
+// Gowalla/Foursquare-like.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunAssignmentSweep(
+      tamp::data::WorkloadKind::kGowallaFoursquare,
+      tamp::bench::SweepVar::kNumTasks,
+      {300.0, 500.0, 700.0, 900.0, 1100.0},
+      "Fig. 10: effect of the number of spatial tasks (Gowalla-like)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Fig. 11: effect of the tasks' valid time,
+// Gowalla/Foursquare-like.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunAssignmentSweep(
+      tamp::data::WorkloadKind::kGowallaFoursquare,
+      tamp::bench::SweepVar::kValidTime, {1.0, 2.0, 3.0, 4.0, 5.0},
+      "Fig. 11: effect of task valid time (Gowalla-like)");
+  return 0;
+}

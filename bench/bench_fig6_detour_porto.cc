@@ -1,0 +1,11 @@
+// Reproduces Fig. 6: effect of the worker detour budget d on completion
+// ratio, rejection ratio, worker cost, and running time, Porto/Didi-like.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunAssignmentSweep(
+      tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kDetour,
+      {2.0, 4.0, 6.0, 8.0, 10.0},
+      "Fig. 6: effect of worker detour d (Porto-like)");
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Reproduces Fig. 7: effect of the number of spatial tasks (the paper's
+// 1K..5K scaled to this harness's worker count), Porto/Didi-like.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunAssignmentSweep(
+      tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kNumTasks,
+      {300.0, 500.0, 700.0, 900.0, 1100.0},
+      "Fig. 7: effect of the number of spatial tasks (Porto-like)");
+  return 0;
+}

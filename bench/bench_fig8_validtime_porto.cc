@@ -1,0 +1,11 @@
+// Reproduces Fig. 8 (Appendix C-A): effect of the tasks' valid time
+// ([1,2] .. [5,6] time units of 10 minutes), Porto/Didi-like.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunAssignmentSweep(
+      tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kValidTime,
+      {1.0, 2.0, 3.0, 4.0, 5.0},
+      "Fig. 8: effect of task valid time (Porto-like)");
+  return 0;
+}

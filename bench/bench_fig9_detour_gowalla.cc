@@ -1,0 +1,11 @@
+// Reproduces Fig. 9: effect of the worker detour budget d,
+// Gowalla/Foursquare-like.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunAssignmentSweep(
+      tamp::data::WorkloadKind::kGowallaFoursquare,
+      tamp::bench::SweepVar::kDetour, {2.0, 4.0, 6.0, 8.0, 10.0},
+      "Fig. 9: effect of worker detour d (Gowalla-like)");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Micro-benchmarks of the clustering stack: k-medoids initialization and
+// the best-response game refinement (Algorithm 1's two phases).
+#include <benchmark/benchmark.h>
+
+#include "cluster/game_clustering.h"
+#include "cluster/kmedoids.h"
+#include "common/rng.h"
+
+namespace {
+
+/// Random symmetric similarity with planted structure: two groups.
+tamp::similarity::PairwiseSimilarity PlantedSimilarity(int n) {
+  return tamp::similarity::PairwiseSimilarity(n, [n](int i, int j) {
+    bool same = (i < n / 2) == (j < n / 2);
+    // Deterministic pseudo-noise.
+    double noise = 0.05 * (((i * 31 + j * 17) % 13) / 13.0);
+    return (same ? 0.75 : 0.15) + noise;
+  });
+}
+
+void BM_GameTheoreticCluster(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto sim = PlantedSimilarity(n);
+  sim.Materialize();
+  std::vector<int> items(n);
+  for (int i = 0; i < n; ++i) items[i] = i;
+  tamp::cluster::GameClusteringConfig config;
+  config.k = 4;
+  for (auto _ : state) {
+    tamp::Rng rng(99);
+    auto result = tamp::cluster::GameTheoreticCluster(sim, items, config, rng);
+    benchmark::DoNotOptimize(result.clusters.size());
+  }
+}
+BENCHMARK(BM_GameTheoreticCluster)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KMedoidsOnly(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto sim = PlantedSimilarity(n);
+  sim.Materialize();
+  std::vector<int> items(n);
+  for (int i = 0; i < n; ++i) items[i] = i;
+  tamp::cluster::GameClusteringConfig config;
+  config.k = 4;
+  for (auto _ : state) {
+    tamp::Rng rng(99);
+    auto result = tamp::cluster::KMedoidsCluster(sim, items, config, rng);
+    benchmark::DoNotOptimize(result.clusters.size());
+  }
+}
+BENCHMARK(BM_KMedoidsOnly)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_KMedoidsRaw(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto dist = [n](int i, int j) {
+    bool same = (i < n / 2) == (j < n / 2);
+    return same ? 1.0 + 0.01 * ((i + j) % 7) : 5.0;
+  };
+  for (auto _ : state) {
+    tamp::Rng rng(5);
+    auto result = tamp::cluster::KMedoids(n, 4, dist, rng);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_KMedoidsRaw)->Arg(32)->Arg(128)->Arg(512);
+
+}  // namespace

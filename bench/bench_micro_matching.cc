@@ -1,0 +1,60 @@
+// Micro-benchmarks of the Kuhn-Munkres matcher: the inner loop every
+// assignment algorithm (and every PPI stage) calls.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "matching/hungarian.h"
+
+namespace {
+
+std::vector<tamp::matching::Edge> RandomEdges(int n, double density,
+                                              uint64_t seed) {
+  tamp::Rng rng(seed);
+  std::vector<tamp::matching::Edge> edges;
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.Bernoulli(density)) {
+        edges.push_back({l, r, rng.Uniform(0.1, 10.0)});
+      }
+    }
+  }
+  return edges;
+}
+
+void BM_MaxWeightMatching(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto edges = RandomEdges(n, 0.2, 42);
+  for (auto _ : state) {
+    auto result = tamp::matching::MaxWeightMatching(n, n, edges);
+    benchmark::DoNotOptimize(result.total_weight);
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_MaxWeightMatching)->RangeMultiplier(2)->Range(16, 256)
+    ->Complexity(benchmark::oNCubed);
+
+void BM_GreedyMatching(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  auto edges = RandomEdges(n, 0.2, 42);
+  for (auto _ : state) {
+    auto result = tamp::matching::GreedyMatching(n, n, edges);
+    benchmark::DoNotOptimize(result.total_weight);
+  }
+}
+BENCHMARK(BM_GreedyMatching)->RangeMultiplier(2)->Range(16, 256);
+
+void BM_MinCostAssignmentDense(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  tamp::Rng rng(7);
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.Uniform(0.0, 100.0);
+  }
+  for (auto _ : state) {
+    auto result = tamp::matching::MinCostAssignment(cost);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_MinCostAssignmentDense)->RangeMultiplier(2)->Range(16, 128);
+
+}  // namespace

@@ -1,0 +1,67 @@
+// Micro-benchmarks of the LSTM encoder-decoder: forward inference (what
+// every online batch pays per worker) and the training step (what meta-
+// training pays per sample).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "nn/encoder_decoder.h"
+
+namespace {
+
+tamp::nn::Sequence MakeInput(int seq_in, int dim) {
+  tamp::nn::Sequence input;
+  for (int t = 0; t < seq_in; ++t) {
+    std::vector<double> step(dim, 0.1 * (t + 1));
+    input.push_back(std::move(step));
+  }
+  return input;
+}
+
+void BM_EncoderDecoderPredict(benchmark::State& state) {
+  tamp::nn::Seq2SeqConfig config;
+  config.input_dim = 3;
+  config.hidden_dim = static_cast<int>(state.range(0));
+  tamp::Rng rng(3);
+  tamp::nn::EncoderDecoder model(config);
+  auto params = model.InitParams(rng);
+  auto input = MakeInput(5, 3);
+  for (auto _ : state) {
+    auto pred = model.Predict(params, input);
+    benchmark::DoNotOptimize(pred[0][0]);
+  }
+}
+BENCHMARK(BM_EncoderDecoderPredict)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_EncoderDecoderTrainStep(benchmark::State& state) {
+  tamp::nn::Seq2SeqConfig config;
+  config.input_dim = 3;
+  config.hidden_dim = static_cast<int>(state.range(0));
+  tamp::Rng rng(5);
+  tamp::nn::EncoderDecoder model(config);
+  auto params = model.InitParams(rng);
+  auto input = MakeInput(5, 3);
+  tamp::nn::Sequence target = {{0.5, 0.5}};
+  std::vector<double> grad(params.size(), 0.0);
+  for (auto _ : state) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double loss = model.LossAndGradient(params, input, target, {}, grad);
+    benchmark::DoNotOptimize(loss);
+  }
+}
+BENCHMARK(BM_EncoderDecoderTrainStep)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PredictBySeqIn(benchmark::State& state) {
+  tamp::nn::Seq2SeqConfig config;
+  config.input_dim = 3;
+  tamp::Rng rng(7);
+  tamp::nn::EncoderDecoder model(config);
+  auto params = model.InitParams(rng);
+  auto input = MakeInput(static_cast<int>(state.range(0)), 3);
+  for (auto _ : state) {
+    auto pred = model.Predict(params, input);
+    benchmark::DoNotOptimize(pred[0][0]);
+  }
+}
+BENCHMARK(BM_PredictBySeqIn)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
+
+}  // namespace

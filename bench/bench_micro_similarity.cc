@@ -1,0 +1,76 @@
+// Micro-benchmarks of the three learning-task similarity factors that
+// drive GTMC clustering (Eqs. 1-3), including the sliced-vs-exact
+// Wasserstein trade-off.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "similarity/kernel.h"
+#include "similarity/learning_path.h"
+#include "similarity/wasserstein.h"
+
+namespace {
+
+std::vector<tamp::geo::Point> RandomCloud(int n, uint64_t seed) {
+  tamp::Rng rng(seed);
+  std::vector<tamp::geo::Point> cloud;
+  for (int i = 0; i < n; ++i) {
+    cloud.push_back({rng.Uniform(0, 20), rng.Uniform(0, 10)});
+  }
+  return cloud;
+}
+
+void BM_SlicedWasserstein(benchmark::State& state) {
+  auto a = RandomCloud(static_cast<int>(state.range(0)), 1);
+  auto b = RandomCloud(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    double w = tamp::similarity::SlicedWasserstein2D(a, b, 8);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_SlicedWasserstein)->Arg(32)->Arg(128)->Arg(512);
+
+void BM_ExactWasserstein(benchmark::State& state) {
+  auto a = RandomCloud(static_cast<int>(state.range(0)), 1);
+  auto b = RandomCloud(static_cast<int>(state.range(0)), 2);
+  for (auto _ : state) {
+    double w = tamp::similarity::ExactWasserstein2D(a, b);
+    benchmark::DoNotOptimize(w);
+  }
+}
+BENCHMARK(BM_ExactWasserstein)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SpatialKernelSimilarity(benchmark::State& state) {
+  tamp::Rng rng(3);
+  tamp::geo::PoiSequence a, b;
+  for (int i = 0; i < state.range(0); ++i) {
+    a.emplace_back(rng.Uniform(0, 20), rng.Uniform(0, 10),
+                   static_cast<int>(rng.UniformInt(0, 5)));
+    b.emplace_back(rng.Uniform(0, 20), rng.Uniform(0, 10),
+                   static_cast<int>(rng.UniformInt(0, 5)));
+  }
+  tamp::similarity::SpatialKernelParams params;
+  for (auto _ : state) {
+    double s = tamp::similarity::SpatialSimilarity(a, b, params);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SpatialKernelSimilarity)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_LearningPathSimilarity(benchmark::State& state) {
+  tamp::Rng rng(5);
+  tamp::similarity::GradientPath a, b;
+  for (int step = 0; step < 3; ++step) {
+    std::vector<double> ga(state.range(0)), gb(state.range(0));
+    for (auto& v : ga) v = rng.Normal();
+    for (auto& v : gb) v = rng.Normal();
+    a.push_back(std::move(ga));
+    b.push_back(std::move(gb));
+  }
+  for (auto _ : state) {
+    double s = tamp::similarity::LearningPathSimilarity(a, b);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_LearningPathSimilarity)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace

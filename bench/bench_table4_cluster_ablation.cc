@@ -1,0 +1,12 @@
+// Reproduces Table IV: effect of the learning-task clustering algorithm
+// (GTMC vs plain multi-level k-means/medoids) and of the clustering factor
+// subset {Sim_d, Sim_s, Sim_l} on mobility prediction quality, on the
+// Porto/Didi-like workload.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunClusterAblation(
+      tamp::data::WorkloadKind::kPortoDidi,
+      "Table IV: clustering algorithm & factor ablation (Porto-like)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Table V: effect of seq_in and seq_out on MAML, CTML,
+// GTTAML-GT, and GTTAML, on the Porto/Didi-like workload.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunSeqLenSweep(
+      tamp::data::WorkloadKind::kPortoDidi,
+      "Table V: effect of seq_in / seq_out (Porto-like)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Table VI: the clustering algorithm & factor ablation on the
+// Gowalla/Foursquare-like workload.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunClusterAblation(
+      tamp::data::WorkloadKind::kGowallaFoursquare,
+      "Table VI: clustering algorithm & factor ablation (Gowalla-like)");
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Table VII: effect of seq_in and seq_out on the four
+// meta-learning algorithms, on the Gowalla/Foursquare-like workload.
+#include "bench_common.h"
+
+int main() {
+  tamp::bench::RunSeqLenSweep(
+      tamp::data::WorkloadKind::kGowallaFoursquare,
+      "Table VII: effect of seq_in / seq_out (Gowalla-like)");
+  return 0;
+}

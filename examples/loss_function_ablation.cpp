@@ -1,0 +1,95 @@
+// The task-assignment-oriented loss (Eqs. 6-7) made concrete:
+//  1. Show the weighted function f_w across the map: high where historical
+//     tasks cluster, delta elsewhere.
+//  2. Train the same model under plain MSE and under the weighted loss and
+//     compare prediction error *near tasks* vs *away from tasks*.
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/pipeline.h"
+#include "core/ta_loss.h"
+#include "data/workload.h"
+
+int main() {
+  using namespace tamp;
+
+  data::WorkloadConfig workload_config;
+  workload_config.kind = data::WorkloadKind::kPortoDidi;
+  workload_config.num_workers = 14;
+  workload_config.num_train_days = 3;
+  workload_config.num_tasks = 200;
+  workload_config.num_historical_tasks = 2000;
+  workload_config.seed = 55;
+  data::Workload workload = data::GenerateWorkload(workload_config);
+
+  // --- Part 1: the weight field. ---
+  core::TaLossParams params;
+  core::TaskOrientedWeighter weighter(
+      workload.grid, workload.historical_task_locations, params);
+  std::cout << "f_w along the map's horizontal midline (kappa=" << params.kappa
+            << ", delta=" << params.delta << ", d^q=" << params.dq_km
+            << " km):\n  ";
+  double y = workload.grid.height_km() / 2.0;
+  for (double x = 1.0; x < workload.grid.width_km(); x += 2.0) {
+    std::cout << Fmt(weighter.Weight({x, y}), 1) << " ";
+  }
+  std::cout << "\n(values >> " << params.delta
+            << " mark task hotspots the loss emphasizes)\n\n";
+
+  // --- Part 2: trained-model comparison. ---
+  auto train = [&](bool use_ta_loss) {
+    core::PipelineConfig config;
+    config.meta_algorithm = meta::MetaAlgorithm::kGttaml;
+    config.use_ta_loss = use_ta_loss;
+    config.trainer.meta.iterations = 15;
+    config.trainer.fine_tune_steps = 40;
+    core::TampPipeline pipeline(config);
+    return pipeline.TrainOffline(workload);
+  };
+  std::cout << "Training with the task-assignment-oriented loss...\n";
+  core::OfflineResult ta = train(true);
+  std::cout << "Training with plain MSE...\n";
+  core::OfflineResult mse = train(false);
+
+  // Error split by whether the true location is task-dense (f_w above the
+  // midpoint weight) or sparse.
+  nn::EncoderDecoder model(ta.models.model_config);
+  auto split_rmse = [&](const core::OfflineResult& result) {
+    double dense_se = 0.0, sparse_se = 0.0;
+    int dense_n = 0, sparse_n = 0;
+    for (size_t w = 0; w < workload.learning_tasks.size(); ++w) {
+      for (const auto& sample : workload.learning_tasks[w].eval) {
+        nn::Sequence pred =
+            model.Predict(result.models.worker_params[w], sample.input);
+        for (size_t t = 0; t < pred.size(); ++t) {
+          geo::Point pred_km =
+              workload.grid.Denormalize({pred[t][0], pred[t][1]});
+          double d = geo::Distance(pred_km, sample.target_km[t]);
+          if (weighter.Weight(sample.target_km[t]) > 1.0) {
+            dense_se += d * d;
+            ++dense_n;
+          } else {
+            sparse_se += d * d;
+            ++sparse_n;
+          }
+        }
+      }
+    }
+    return std::pair<double, double>{
+        dense_n > 0 ? std::sqrt(dense_se / dense_n) : 0.0,
+        sparse_n > 0 ? std::sqrt(sparse_se / sparse_n) : 0.0};
+  };
+  auto [ta_dense, ta_sparse] = split_rmse(ta);
+  auto [mse_dense, mse_sparse] = split_rmse(mse);
+
+  TablePrinter table({"loss", "RMSE near tasks (km)", "RMSE elsewhere (km)",
+                      "overall MR"});
+  table.AddRow({"task-assignment-oriented (Eq. 6-7)", Fmt(ta_dense, 3),
+                Fmt(ta_sparse, 3), Fmt(ta.eval.aggregate.matching_rate, 3)});
+  table.AddRow({"plain MSE", Fmt(mse_dense, 3), Fmt(mse_sparse, 3),
+                Fmt(mse.eval.aggregate.matching_rate, 3)});
+  table.Print(std::cout);
+  std::cout << "\nThe weighted loss shifts accuracy toward task-dense areas "
+               "— exactly where assignment decisions happen.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ride-hailing scenario: a full simulated day on the Porto-like workload,
+// comparing every assignment strategy on the same trained models — the
+// comparison behind the intro's motivating application (taxi drivers
+// performing check-in-style tasks along their shifts).
+#include <iostream>
+
+#include "common/table_printer.h"
+#include "core/pipeline.h"
+#include "data/workload.h"
+
+int main() {
+  using namespace tamp;
+
+  data::WorkloadConfig workload_config;
+  workload_config.kind = data::WorkloadKind::kPortoDidi;
+  workload_config.num_workers = 20;
+  workload_config.num_train_days = 3;
+  workload_config.num_tasks = 500;
+  workload_config.detour_budget_km = 4.0;
+  workload_config.seed = 99;
+  data::Workload workload = data::GenerateWorkload(workload_config);
+
+  core::PipelineConfig config;
+  config.meta_algorithm = meta::MetaAlgorithm::kGttaml;
+  config.use_ta_loss = true;
+  config.trainer.meta.iterations = 20;
+  config.trainer.fine_tune_steps = 40;
+  core::TampPipeline pipeline(config);
+
+  std::cout << "Training per-worker mobility models (GTTAML + "
+               "task-assignment-oriented loss)...\n";
+  core::OfflineResult offline = pipeline.TrainOffline(workload);
+  std::cout << "  " << offline.models.num_leaves << " clusters, aggregate MR "
+            << Fmt(offline.eval.aggregate.matching_rate, 3) << "\n";
+
+  // Show the per-worker matching-rate spread: PPI prioritizes assignments
+  // to the predictable end of this distribution.
+  double min_mr = 1.0, max_mr = 0.0;
+  for (const auto& pm : offline.eval.per_worker) {
+    min_mr = std::min(min_mr, pm.matching_rate);
+    max_mr = std::max(max_mr, pm.matching_rate);
+  }
+  std::cout << "  per-worker matching rate spread: ["
+            << Fmt(min_mr, 3) << ", " << Fmt(max_mr, 3) << "]\n\n";
+
+  TablePrinter table({"method", "completed", "completion", "rejection",
+                      "avg detour (km)", "assign time (s)"});
+  for (core::AssignMethod method :
+       {core::AssignMethod::kUpperBound, core::AssignMethod::kLowerBound,
+        core::AssignMethod::kKm, core::AssignMethod::kPpi,
+        core::AssignMethod::kGgpso}) {
+    core::SimMetrics metrics = pipeline.RunOnline(workload, offline, method);
+    table.AddRow({core::AssignMethodName(method),
+                  Fmt(static_cast<int64_t>(metrics.completed)),
+                  Fmt(metrics.CompletionRatio(), 3),
+                  Fmt(metrics.RejectionRatio(), 3),
+                  Fmt(metrics.AvgCostKm(), 2),
+                  Fmt(metrics.assign_seconds, 3)});
+  }
+  std::cout << "One simulated day, " << workload.task_stream.size()
+            << " tasks, " << workload.workers.size() << " part-time drivers:\n";
+  table.Print(std::cout);
+  std::cout << "\nUB sees real trajectories (oracle); LB only current "
+               "locations; KM/PPI use the predicted routines; PPI "
+               "additionally weighs prediction confidence (Theorem 2).\n";
+  return 0;
+}

@@ -1,0 +1,28 @@
+#ifndef TAMP_ASSIGN_BOUNDS_H_
+#define TAMP_ASSIGN_BOUNDS_H_
+
+#include "assign/types.h"
+#include "geo/trajectory.h"
+
+namespace tamp::assign {
+
+/// Upper Bound (UB) oracle: checks constraints against the workers' *real*
+/// future trajectories (which the platform never actually knows), weights
+/// edges by the reciprocal of the real detour, and solves one KM matching.
+/// Its rejection rate is 0 by construction. `real_routines` is aligned
+/// with `workers` and holds each worker's actual future movement.
+AssignmentPlan UpperBoundAssign(const std::vector<SpatialTask>& tasks,
+                                const std::vector<CandidateWorker>& workers,
+                                const std::vector<geo::Trajectory>& real_routines,
+                                double now_min, double weight_floor_km = 1e-3);
+
+/// Lower Bound (LB): ignores mobility entirely and matches on the workers'
+/// current locations only — a pair is feasible when the out-and-back trip
+/// fits the detour budget and the deadline.
+AssignmentPlan LowerBoundAssign(const std::vector<SpatialTask>& tasks,
+                                const std::vector<CandidateWorker>& workers,
+                                double now_min, double weight_floor_km = 1e-3);
+
+}  // namespace tamp::assign
+
+#endif  // TAMP_ASSIGN_BOUNDS_H_

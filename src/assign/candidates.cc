@@ -1,0 +1,43 @@
+#include "assign/candidates.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace tamp::assign {
+
+CandidateInfo EvaluateCandidate(const SpatialTask& task,
+                                const CandidateWorker& worker,
+                                double match_radius_km, double now_min) {
+  CandidateInfo info;
+  info.min_b = std::numeric_limits<double>::infinity();
+  info.min_dis = std::numeric_limits<double>::infinity();
+
+  // A task must be reached strictly before its deadline (Def. 1); an
+  // expired task admits no candidates at all. A worker who already
+  // declined the task is never proposed again.
+  if (task.deadline_min <= now_min) return info;
+  if (task.DeclinedBy(worker.id)) return info;
+
+  // Lemma 2: the worker can cover at most d_t km before the deadline.
+  double d_t = worker.speed_kmpm * (task.deadline_min - now_min);
+  // Theorem 2 bound: a + b <= min(d/2, d_t).
+  double bound = std::min(worker.detour_budget_km / 2.0, d_t);
+
+  for (const geo::TimedPoint& p : worker.predicted) {
+    double dis = geo::Distance(p.loc, task.location);
+    info.min_dis = std::min(info.min_dis, dis);
+    if (dis + match_radius_km <= bound) {
+      info.b_distances.push_back(dis);
+      info.min_b = std::min(info.min_b, dis);
+    }
+  }
+  // The reported current location is part of the platform's knowledge of
+  // the (expected) routine; it feeds the plain distance test of stage 3,
+  // but not B: B carries prediction-confidence semantics (Theorem 2).
+  info.min_dis = std::min(
+      info.min_dis, geo::Distance(worker.current_location, task.location));
+  info.stage3_feasible = info.min_dis <= bound;
+  return info;
+}
+
+}  // namespace tamp::assign

@@ -1,0 +1,35 @@
+#ifndef TAMP_ASSIGN_CANDIDATES_H_
+#define TAMP_ASSIGN_CANDIDATES_H_
+
+#include <vector>
+
+#include "assign/types.h"
+
+namespace tamp::assign {
+
+/// The Theorem-2 view of one (task, worker) pair: which predicted points
+/// certify an expected completion probability of MR, and the fallback
+/// stage-3 feasibility.
+struct CandidateInfo {
+  /// B (Alg. 4 lines 4-7): distances dis(l-hat_i, tau.l) of the predicted
+  /// points passing the Theorem-2 test dis + a <= min(d/2, d_t).
+  std::vector<double> b_distances;
+  /// min B, or +inf when B is empty.
+  double min_b = 0.0;
+  /// Minimum distance from any predicted point to the task (dis^min of
+  /// stage 3), or +inf when the worker has no predicted points.
+  double min_dis = 0.0;
+  /// Stage-3 feasibility: dis^min <= min(d/2, d_t).
+  bool stage3_feasible = false;
+};
+
+/// Evaluates the Theorem-2 candidate test for one pair at time `now_min`.
+/// d_t = speed * (tau.t - now) is the reachable radius before the deadline
+/// (Lemma 2); d/2 bounds the detour (Lemma 1); `match_radius_km` is a.
+CandidateInfo EvaluateCandidate(const SpatialTask& task,
+                                const CandidateWorker& worker,
+                                double match_radius_km, double now_min);
+
+}  // namespace tamp::assign
+
+#endif  // TAMP_ASSIGN_CANDIDATES_H_

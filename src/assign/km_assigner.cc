@@ -1,0 +1,36 @@
+#include "assign/km_assigner.h"
+
+#include "assign/candidates.h"
+#include "matching/hungarian.h"
+
+namespace tamp::assign {
+
+AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
+                        const std::vector<CandidateWorker>& workers,
+                        double now_min, double match_radius_km,
+                        double weight_floor_km) {
+  AssignmentPlan plan;
+  if (tasks.empty() || workers.empty()) return plan;
+
+  std::vector<matching::Edge> edges;
+  std::vector<std::vector<double>> min_dis(
+      tasks.size(), std::vector<double>(workers.size(), 0.0));
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (size_t w = 0; w < workers.size(); ++w) {
+      CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
+                                             match_radius_km, now_min);
+      if (!info.stage3_feasible) continue;
+      min_dis[t][w] = info.min_dis;
+      edges.push_back({static_cast<int>(t), static_cast<int>(w),
+                       1.0 / (info.min_dis + weight_floor_km)});
+    }
+  }
+  matching::MatchResult result = matching::MaxWeightMatching(
+      static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
+  for (auto [t, w] : result.pairs) {
+    plan.pairs.push_back({t, w, min_dis[t][w]});
+  }
+  return plan;
+}
+
+}  // namespace tamp::assign

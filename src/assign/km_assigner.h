@@ -1,0 +1,19 @@
+#ifndef TAMP_ASSIGN_KM_ASSIGNER_H_
+#define TAMP_ASSIGN_KM_ASSIGNER_H_
+
+#include "assign/types.h"
+
+namespace tamp::assign {
+
+/// The KM baseline (Section IV-A): builds the bipartite graph exactly as
+/// PPI's third stage does — a pair is feasible when the closest predicted
+/// point satisfies dis^min <= min(d/2, d_t) — and solves one maximum-weight
+/// matching with 1/dis^min weights. Ignores matching rates entirely.
+AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
+                        const std::vector<CandidateWorker>& workers,
+                        double now_min, double match_radius_km,
+                        double weight_floor_km = 1e-3);
+
+}  // namespace tamp::assign
+
+#endif  // TAMP_ASSIGN_KM_ASSIGNER_H_

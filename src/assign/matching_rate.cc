@@ -1,0 +1,19 @@
+#include "assign/matching_rate.h"
+
+#include "common/check.h"
+
+namespace tamp::assign {
+
+double MatchingRate(const std::vector<geo::Point>& real,
+                    const std::vector<geo::Point>& predicted,
+                    double radius_km) {
+  TAMP_CHECK(real.size() == predicted.size());
+  if (real.empty()) return 0.0;
+  int matched = 0;
+  for (size_t i = 0; i < real.size(); ++i) {
+    if (geo::Distance(real[i], predicted[i]) <= radius_km) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(real.size());
+}
+
+}  // namespace tamp::assign

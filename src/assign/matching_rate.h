@@ -1,0 +1,20 @@
+#ifndef TAMP_ASSIGN_MATCHING_RATE_H_
+#define TAMP_ASSIGN_MATCHING_RATE_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tamp::assign {
+
+/// Matching rate MR(r, r-hat) (Def. 7): the fraction of positions whose
+/// prediction lies within `radius_km` (the threshold a) of the real
+/// location. The sequences are index-aligned; sizes must match. Returns 0
+/// for empty input.
+double MatchingRate(const std::vector<geo::Point>& real,
+                    const std::vector<geo::Point>& predicted,
+                    double radius_km);
+
+}  // namespace tamp::assign
+
+#endif  // TAMP_ASSIGN_MATCHING_RATE_H_

@@ -1,0 +1,130 @@
+#include "assign/ppi.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "assign/candidates.h"
+#include "common/check.h"
+#include "matching/hungarian.h"
+
+namespace tamp::assign {
+namespace {
+
+/// A stage-1/2 candidate edge: the (task, worker) pair with its Theorem-2
+/// evidence.
+struct PpiCandidate {
+  int task = -1;
+  int worker = -1;
+  double min_b = 0.0;
+  double score = 0.0;  // |B| * MR.
+};
+
+/// Runs KM on the given candidate edges and appends the matched pairs to
+/// `plan`, marking tasks/workers as assigned. Weights are 1/(min_b+floor).
+void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
+                    int num_workers, double weight_floor,
+                    std::vector<char>& task_done,
+                    std::vector<char>& worker_done, AssignmentPlan& plan) {
+  if (edges.empty()) return;
+  std::vector<matching::Edge> km_edges;
+  km_edges.reserve(edges.size());
+  for (const PpiCandidate& c : edges) {
+    km_edges.push_back(
+        {c.task, c.worker, 1.0 / (c.min_b + weight_floor)});
+  }
+  matching::MatchResult result =
+      matching::MaxWeightMatching(num_tasks, num_workers, km_edges);
+  for (auto [task, worker] : result.pairs) {
+    TAMP_CHECK(!task_done[task] && !worker_done[worker]);
+    task_done[task] = 1;
+    worker_done[worker] = 1;
+    double min_b = 0.0;
+    for (const PpiCandidate& c : edges) {
+      if (c.task == task && c.worker == worker) {
+        min_b = c.min_b;
+        break;
+      }
+    }
+    plan.pairs.push_back({task, worker, min_b});
+  }
+}
+
+}  // namespace
+
+AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
+                         const std::vector<CandidateWorker>& workers,
+                         double now_min, const PpiConfig& config) {
+  const int num_tasks = static_cast<int>(tasks.size());
+  const int num_workers = static_cast<int>(workers.size());
+  AssignmentPlan plan;
+  if (num_tasks == 0 || num_workers == 0) return plan;
+
+  std::vector<char> task_done(num_tasks, 0), worker_done(num_workers, 0);
+
+  // ---- Stage 1 (Alg. 4 lines 1-12): certain pairs (|B| * MR >= 1). ----
+  std::vector<PpiCandidate> certain;
+  std::vector<PpiCandidate> pending;  // The B-set of lines 10-11.
+  for (int t = 0; t < num_tasks; ++t) {
+    for (int w = 0; w < num_workers; ++w) {
+      CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
+                                             config.match_radius_km, now_min);
+      if (info.b_distances.empty()) continue;
+      PpiCandidate c;
+      c.task = t;
+      c.worker = w;
+      c.min_b = info.min_b;
+      c.score = static_cast<double>(info.b_distances.size()) *
+                workers[w].matching_rate;
+      if (c.score >= 1.0) {
+        certain.push_back(c);
+      } else {
+        pending.push_back(c);
+      }
+    }
+  }
+  MatchAndCommit(certain, num_tasks, num_workers, config.weight_floor_km,
+                 task_done, worker_done, plan);
+
+  // ---- Stage 2 (lines 13-27): drain pending pairs in descending |B|*MR,
+  // epsilon at a time. ----
+  std::stable_sort(pending.begin(), pending.end(),
+                   [](const PpiCandidate& a, const PpiCandidate& b) {
+                     return a.score > b.score;
+                   });
+  std::vector<PpiCandidate> batch;
+  auto flush_batch = [&]() {
+    if (batch.empty()) return;
+    // Skip entries invalidated by earlier commits (lines 22-23's removal).
+    std::vector<PpiCandidate> live;
+    for (const PpiCandidate& c : batch) {
+      if (!task_done[c.task] && !worker_done[c.worker]) live.push_back(c);
+    }
+    MatchAndCommit(live, num_tasks, num_workers, config.weight_floor_km,
+                   task_done, worker_done, plan);
+    batch.clear();
+  };
+  for (const PpiCandidate& c : pending) {
+    if (task_done[c.task] || worker_done[c.worker]) continue;
+    batch.push_back(c);
+    if (static_cast<int>(batch.size()) == config.epsilon) flush_batch();
+  }
+  flush_batch();  // Lines 25-27: the final partial batch.
+
+  // ---- Stage 3 (lines 28-34): leftovers matched on dis^min only. ----
+  std::vector<PpiCandidate> fallback;
+  for (int t = 0; t < num_tasks; ++t) {
+    if (task_done[t]) continue;
+    for (int w = 0; w < num_workers; ++w) {
+      if (worker_done[w]) continue;
+      CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
+                                             config.match_radius_km, now_min);
+      if (!info.stage3_feasible) continue;
+      fallback.push_back({t, w, info.min_dis, 0.0});
+    }
+  }
+  MatchAndCommit(fallback, num_tasks, num_workers, config.weight_floor_km,
+                 task_done, worker_done, plan);
+  return plan;
+}
+
+}  // namespace tamp::assign

@@ -1,0 +1,204 @@
+#include "cluster/game_clustering.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "cluster/kmedoids.h"
+#include "common/check.h"
+
+namespace tamp::cluster {
+namespace {
+
+/// Incremental view of the clustering game state: per-cluster member lists
+/// and pairwise-similarity sums, so Q(G) and join/leave utilities are O(|G|)
+/// per evaluation instead of O(|G|^2).
+class GameState {
+ public:
+  GameState(const similarity::PairwiseSimilarity& sim,
+            const std::vector<int>& items,
+            const std::vector<int>& initial_assignment, int k, double gamma)
+      : sim_(sim), items_(items), gamma_(gamma), members_(k), pair_sum_(k, 0.0),
+        assignment_(initial_assignment) {
+    TAMP_CHECK(items.size() == initial_assignment.size());
+    for (size_t p = 0; p < items.size(); ++p) {
+      int c = initial_assignment[p];
+      TAMP_CHECK(c >= 0 && c < k);
+      for (int other : members_[c]) {
+        pair_sum_[c] += sim_(items_[p], items_[other]);
+      }
+      members_[c].push_back(static_cast<int>(p));
+    }
+  }
+
+  int num_clusters() const { return static_cast<int>(members_.size()); }
+  int cluster_of(int player) const { return assignment_[player]; }
+  const std::vector<int>& members(int c) const { return members_[c]; }
+
+  /// Q of cluster c from its cached pairwise sum (Eq. 4).
+  double Quality(int c) const {
+    size_t size = members_[c].size();
+    if (size == 0) return 0.0;
+    if (size == 1) return gamma_;
+    return 2.0 * pair_sum_[c] /
+           (static_cast<double>(size) * static_cast<double>(size - 1));
+  }
+
+  /// Sum of similarities from `player` to every member of c (excluding the
+  /// player itself if it is a member).
+  double LinkSum(int player, int c) const {
+    double sum = 0.0;
+    for (int other : members_[c]) {
+      if (other == player) continue;
+      sum += sim_(items_[player], items_[other]);
+    }
+    return sum;
+  }
+
+  /// Utility of player's current situation: Q(G) - Q(G \ {player}) (Eq. 5).
+  double StayUtility(int player) const {
+    int c = assignment_[player];
+    size_t size = members_[c].size();
+    TAMP_CHECK(size >= 1);
+    if (size == 1) return gamma_;  // Q({p}) - Q(empty) = gamma.
+    double link = LinkSum(player, c);
+    double q_with = Quality(c);
+    double sum_without = pair_sum_[c] - link;
+    size_t size_without = size - 1;
+    double q_without =
+        size_without == 1
+            ? gamma_
+            : 2.0 * sum_without / (static_cast<double>(size_without) *
+                                   static_cast<double>(size_without - 1));
+    return q_with - q_without;
+  }
+
+  /// Utility of moving to cluster c: Q(G_c + player) - Q(G_c).
+  double JoinUtility(int player, int c) const {
+    size_t size = members_[c].size();
+    if (size == 0) return gamma_;
+    double link = LinkSum(player, c);
+    double new_size = static_cast<double>(size + 1);
+    double q_new = 2.0 * (pair_sum_[c] + link) / (new_size * (new_size - 1.0));
+    return q_new - Quality(c);
+  }
+
+  void Move(int player, int to) {
+    int from = assignment_[player];
+    TAMP_CHECK(from != to);
+    pair_sum_[from] -= LinkSum(player, from);
+    auto& from_members = members_[from];
+    from_members.erase(
+        std::find(from_members.begin(), from_members.end(), player));
+    pair_sum_[to] += LinkSum(player, to);
+    members_[to].push_back(player);
+    assignment_[player] = to;
+  }
+
+  /// The potential function F = sum_G Q(G) of Theorem 1's proof.
+  double Potential() const {
+    double total = 0.0;
+    for (int c = 0; c < num_clusters(); ++c) total += Quality(c);
+    return total;
+  }
+
+ private:
+  const similarity::PairwiseSimilarity& sim_;
+  const std::vector<int>& items_;
+  double gamma_;
+  std::vector<std::vector<int>> members_;
+  std::vector<double> pair_sum_;
+  std::vector<int> assignment_;
+};
+
+std::vector<int> InitialAssignment(const similarity::PairwiseSimilarity& sim,
+                                   const std::vector<int>& items, int k,
+                                   Rng& rng) {
+  // Algorithm 1 line 5: k-medoids with 1/Sim as the distance.
+  auto dist = [&](int a, int b) {
+    double s = sim(items[a], items[b]);
+    return 1.0 / std::max(s, 1e-9);
+  };
+  KMedoidsResult init =
+      KMedoids(static_cast<int>(items.size()), k, dist, rng);
+  return init.assignments;
+}
+
+GameClusteringResult Collect(const GameState& state,
+                             const std::vector<int>& items) {
+  GameClusteringResult result;
+  for (int c = 0; c < state.num_clusters(); ++c) {
+    if (state.members(c).empty()) continue;  // Alg. 1 line 12.
+    std::vector<int> cluster;
+    cluster.reserve(state.members(c).size());
+    for (int p : state.members(c)) cluster.push_back(items[p]);
+    std::sort(cluster.begin(), cluster.end());
+    result.clusters.push_back(std::move(cluster));
+  }
+  return result;
+}
+
+}  // namespace
+
+GameClusteringResult GameTheoreticCluster(
+    const similarity::PairwiseSimilarity& sim, const std::vector<int>& items,
+    const GameClusteringConfig& config, Rng& rng) {
+  TAMP_CHECK(!items.empty());
+  TAMP_CHECK(config.k > 0);
+  TAMP_CHECK(config.gamma > 0.0 && config.gamma < 1.0);
+  int k = std::min<int>(config.k, static_cast<int>(items.size()));
+
+  GameState state(sim, items, InitialAssignment(sim, items, k, rng), k,
+                  config.gamma);
+  GameClusteringResult partial;
+  partial.potential_history.push_back(state.Potential());
+
+  // Best-response sweeps (Alg. 1 lines 6-11): each player moves to the
+  // cluster maximizing its utility; Nash when a full sweep makes no move.
+  bool converged = false;
+  int rounds = 0;
+  while (rounds < config.max_rounds && !converged) {
+    ++rounds;
+    bool moved = false;
+    for (size_t p = 0; p < items.size(); ++p) {
+      int player = static_cast<int>(p);
+      double best_utility = state.StayUtility(player);
+      int best_cluster = state.cluster_of(player);
+      for (int c = 0; c < k; ++c) {
+        if (c == state.cluster_of(player)) continue;
+        double u = state.JoinUtility(player, c);
+        if (u > best_utility + config.improvement_epsilon) {
+          best_utility = u;
+          best_cluster = c;
+        }
+      }
+      if (best_cluster != state.cluster_of(player)) {
+        state.Move(player, best_cluster);
+        moved = true;
+      }
+    }
+    partial.potential_history.push_back(state.Potential());
+    converged = !moved;
+  }
+
+  GameClusteringResult result = Collect(state, items);
+  result.potential_history = std::move(partial.potential_history);
+  result.rounds = rounds;
+  result.converged = converged;
+  return result;
+}
+
+GameClusteringResult KMedoidsCluster(
+    const similarity::PairwiseSimilarity& sim, const std::vector<int>& items,
+    const GameClusteringConfig& config, Rng& rng) {
+  TAMP_CHECK(!items.empty());
+  int k = std::min<int>(config.k, static_cast<int>(items.size()));
+  GameState state(sim, items, InitialAssignment(sim, items, k, rng), k,
+                  config.gamma);
+  GameClusteringResult result = Collect(state, items);
+  result.potential_history.push_back(state.Potential());
+  result.rounds = 0;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace tamp::cluster

@@ -1,0 +1,54 @@
+#ifndef TAMP_CLUSTER_GAME_CLUSTERING_H_
+#define TAMP_CLUSTER_GAME_CLUSTERING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "similarity/cluster_quality.h"
+
+namespace tamp::cluster {
+
+/// Configuration of one level of the GTMC clustering game (Algorithm 1
+/// lines 5-12).
+struct GameClusteringConfig {
+  /// Number of initial clusters produced by k-medoids.
+  int k = 4;
+  /// Singleton cluster quality gamma in (0,1) (Eq. 4); the paper sets 0.2.
+  double gamma = 0.2;
+  /// Safety cap on best-response sweeps. Convergence is guaranteed by the
+  /// exact-potential property (Theorem 1); the cap only guards against
+  /// floating-point tie cycling.
+  int max_rounds = 100;
+  /// A player only moves when the utility improves by more than this.
+  double improvement_epsilon = 1e-12;
+};
+
+/// Result of the best-response clustering game.
+struct GameClusteringResult {
+  /// Non-empty clusters, each a list of item ids (as passed in `items`).
+  std::vector<std::vector<int>> clusters;
+  /// Potential F = sum_G Q(G) after initialization and after every sweep.
+  /// Strictly non-decreasing (asserting Theorem 1's potential argument).
+  std::vector<double> potential_history;
+  int rounds = 0;
+  /// True when a Nash equilibrium was reached (no player can improve).
+  bool converged = false;
+};
+
+/// One level of Game Theory-based Multi-level Learning Task Clustering:
+/// initializes clusters with k-medoids on 1/similarity, then runs
+/// best-response dynamics on the exact potential game of Eq. 5 until Nash
+/// equilibrium. `items` are indices into `sim`.
+GameClusteringResult GameTheoreticCluster(
+    const similarity::PairwiseSimilarity& sim, const std::vector<int>& items,
+    const GameClusteringConfig& config, Rng& rng);
+
+/// The same interface with plain k-means-style (k-medoids) clustering and
+/// no game refinement: the GTTAML-GT ablation variant.
+GameClusteringResult KMedoidsCluster(
+    const similarity::PairwiseSimilarity& sim, const std::vector<int>& items,
+    const GameClusteringConfig& config, Rng& rng);
+
+}  // namespace tamp::cluster
+
+#endif  // TAMP_CLUSTER_GAME_CLUSTERING_H_

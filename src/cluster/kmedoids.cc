@@ -1,0 +1,73 @@
+#include "cluster/kmedoids.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/check.h"
+
+namespace tamp::cluster {
+
+KMedoidsResult KMedoids(int n, int k,
+                        const std::function<double(int, int)>& dist, Rng& rng,
+                        int max_iterations) {
+  TAMP_CHECK(n > 0);
+  TAMP_CHECK(k > 0);
+  k = std::min(k, n);
+
+  KMedoidsResult result;
+  std::vector<size_t> seed =
+      rng.SampleWithoutReplacement(static_cast<size_t>(n),
+                                   static_cast<size_t>(k));
+  result.medoids.assign(seed.begin(), seed.end());
+  result.assignments.assign(n, 0);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    // Assignment step.
+    bool changed = iter == 0;
+    result.total_cost = 0.0;
+    for (int i = 0; i < n; ++i) {
+      int best_c = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = i == result.medoids[c] ? 0.0 : dist(i, result.medoids[c]);
+        if (d < best_d) {
+          best_d = d;
+          best_c = c;
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+      result.total_cost += best_d;
+    }
+    result.iterations = iter + 1;
+    if (!changed) break;
+
+    // Update step: each cluster's medoid becomes the member minimizing the
+    // total intra-cluster distance.
+    for (int c = 0; c < k; ++c) {
+      std::vector<int> members;
+      for (int i = 0; i < n; ++i) {
+        if (result.assignments[i] == c) members.push_back(i);
+      }
+      if (members.empty()) continue;
+      int best_medoid = members[0];
+      double best_sum = std::numeric_limits<double>::infinity();
+      for (int candidate : members) {
+        double sum = 0.0;
+        for (int other : members) {
+          if (other != candidate) sum += dist(candidate, other);
+        }
+        if (sum < best_sum) {
+          best_sum = sum;
+          best_medoid = candidate;
+        }
+      }
+      result.medoids[c] = best_medoid;
+    }
+  }
+  return result;
+}
+
+}  // namespace tamp::cluster

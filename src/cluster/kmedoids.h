@@ -1,0 +1,29 @@
+#ifndef TAMP_CLUSTER_KMEDOIDS_H_
+#define TAMP_CLUSTER_KMEDOIDS_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tamp::cluster {
+
+/// Result of k-medoids clustering over an index set.
+struct KMedoidsResult {
+  std::vector<int> assignments;  // Cluster id per item.
+  std::vector<int> medoids;      // Item index of each cluster's medoid.
+  int iterations = 0;
+  double total_cost = 0.0;       // Sum of item-to-medoid distances.
+};
+
+/// Simple-and-fast k-medoids (Park & Jun [26], the initializer of
+/// Algorithm 1 line 5) over `n` items described only by a pairwise distance
+/// function. In GTMC the distance is 1/Sim_f as prescribed by the paper.
+/// `dist(i, j)` must be symmetric and non-negative; k is clamped to n.
+KMedoidsResult KMedoids(int n, int k,
+                        const std::function<double(int, int)>& dist, Rng& rng,
+                        int max_iterations = 50);
+
+}  // namespace tamp::cluster
+
+#endif  // TAMP_CLUSTER_KMEDOIDS_H_

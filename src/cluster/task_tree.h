@@ -1,0 +1,68 @@
+#ifndef TAMP_CLUSTER_TASK_TREE_H_
+#define TAMP_CLUSTER_TASK_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/game_clustering.h"
+#include "common/rng.h"
+#include "similarity/cluster_quality.h"
+
+namespace tamp::cluster {
+
+/// A node of the learning task tree (Def. 6): a cluster of learning-task
+/// ids, its children from the next clustering level, and the initialization
+/// parameters theta of the mobility prediction model trained for this
+/// cluster by TAML. Only leaves carry training data (Fig. 3); interior
+/// nodes aggregate their children's parameters.
+struct TaskTreeNode {
+  std::vector<int> tasks;  // Learning-task ids in this cluster (G).
+  std::vector<std::unique_ptr<TaskTreeNode>> children;  // CH.
+  TaskTreeNode* parent = nullptr;                       // fr.
+  std::vector<double> theta;                            // Model init params.
+  int depth = 0;            // Root is 0.
+  int factor_index = -1;    // Similarity factor that produced this split.
+
+  bool is_leaf() const { return children.empty(); }
+};
+
+/// Configuration of the multi-level GTMC build (Algorithm 1's outer loop).
+struct TaskTreeConfig {
+  /// Per-level clustering game settings (k, gamma, ...).
+  GameClusteringConfig game;
+  /// Quality thresholds Theta_j: a node produced at level j is clustered
+  /// further only while Q < thresholds[j] (Alg. 1 line 17). Size must be at
+  /// least the number of similarity factors minus one; missing entries
+  /// default to 1.0 (always refine while factors remain).
+  std::vector<double> thresholds;
+  /// When false, the k-medoids-only variant replaces the game at every
+  /// level (the GTTAML-GT ablation).
+  bool use_game = true;
+};
+
+/// Builds the learning task tree by multi-level clustering: level j splits
+/// each pending node with similarity factor `factors[j]` (the paper's
+/// ordered list F^s = [Sim_d, Sim_s, Sim_l]). All factors must be defined
+/// over the same n learning tasks; the root covers tasks 0..n-1.
+std::unique_ptr<TaskTreeNode> BuildLearningTaskTree(
+    const std::vector<const similarity::PairwiseSimilarity*>& factors,
+    const TaskTreeConfig& config, Rng& rng);
+
+/// Number of nodes (including the root).
+int CountNodes(const TaskTreeNode& root);
+
+/// Number of leaves.
+int CountLeaves(const TaskTreeNode& root);
+
+/// All leaves in depth-first order.
+std::vector<const TaskTreeNode*> CollectLeaves(const TaskTreeNode& root);
+std::vector<TaskTreeNode*> CollectLeaves(TaskTreeNode& root);
+
+/// Verifies structural invariants: children partition their parent's task
+/// set, parent pointers are consistent, depths increase by one. Returns
+/// false (and stops) on the first violation.
+bool ValidateTree(const TaskTreeNode& root);
+
+}  // namespace tamp::cluster
+
+#endif  // TAMP_CLUSTER_TASK_TREE_H_

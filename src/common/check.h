@@ -1,0 +1,28 @@
+#ifndef TAMP_COMMON_CHECK_H_
+#define TAMP_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant checks. These abort on failure: they guard programmer
+/// errors (broken invariants), not recoverable conditions, which are reported
+/// via Status (see status.h).
+#define TAMP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TAMP_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define TAMP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "TAMP_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // TAMP_COMMON_CHECK_H_

@@ -1,0 +1,81 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tamp {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+double StdDev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  double m = Mean(values);
+  double acc = 0.0;
+  for (double v : values) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values.size() - 1));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  TAMP_CHECK(!values.empty());
+  TAMP_CHECK(p >= 0.0 && p <= 100.0);
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values[0];
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double Rmse(const std::vector<double>& predicted,
+            const std::vector<double>& actual) {
+  TAMP_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    double d = predicted[i] - actual[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double Mae(const std::vector<double>& predicted,
+           const std::vector<double>& actual) {
+  TAMP_CHECK(predicted.size() == actual.size());
+  if (predicted.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::fabs(predicted[i] - actual[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+}  // namespace tamp

@@ -1,0 +1,51 @@
+#ifndef TAMP_COMMON_STATISTICS_H_
+#define TAMP_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace tamp {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Arithmetic mean; 0 for an empty input.
+double Mean(const std::vector<double>& values);
+
+/// Sample standard deviation (n-1); 0 for fewer than two samples.
+double StdDev(const std::vector<double>& values);
+
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Root mean squared error between two equal-length vectors.
+double Rmse(const std::vector<double>& predicted,
+            const std::vector<double>& actual);
+
+/// Mean absolute error between two equal-length vectors.
+double Mae(const std::vector<double>& predicted,
+           const std::vector<double>& actual);
+
+}  // namespace tamp
+
+#endif  // TAMP_COMMON_STATISTICS_H_

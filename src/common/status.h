@@ -1,0 +1,105 @@
+#ifndef TAMP_COMMON_STATUS_H_
+#define TAMP_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tamp {
+
+/// Error categories used throughout the library.
+///
+/// Follows the RocksDB/Arrow convention of returning rich status objects
+/// instead of throwing exceptions from library code. Exceptions are reserved
+/// for programmer errors (see TAMP_CHECK in check.h).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// A lightweight success/error result carrying a code and a message.
+///
+/// Usage:
+///   Status s = DoThing();
+///   if (!s.ok()) return s;
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be > 0".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Mirrors absl::StatusOr.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value: the common happy-path return.
+  StatusOr(T value) : rep_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from a non-OK status.
+  StatusOr(Status status) : rep_(std::move(status)) {}  // NOLINT
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (ok()) return kOkStatus;
+    return std::get<Status>(rep_);
+  }
+
+  const T& value() const& { return std::get<T>(rep_); }
+  T& value() & { return std::get<T>(rep_); }
+  T&& value() && { return std::get<T>(std::move(rep_)); }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace tamp
+
+/// Propagates a non-OK status to the caller.
+#define TAMP_RETURN_IF_ERROR(expr)             \
+  do {                                         \
+    ::tamp::Status _tamp_status = (expr);      \
+    if (!_tamp_status.ok()) return _tamp_status; \
+  } while (false)
+
+#endif  // TAMP_COMMON_STATUS_H_

@@ -1,0 +1,32 @@
+#ifndef TAMP_COMMON_STOPWATCH_H_
+#define TAMP_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace tamp {
+
+/// Wall-clock stopwatch used to report the running-time metrics (TT and
+/// task-assignment running time) in the experiment harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace tamp
+
+#endif  // TAMP_COMMON_STOPWATCH_H_

@@ -1,0 +1,84 @@
+#include "common/table_printer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace tamp {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  TAMP_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  TAMP_CHECK(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TablePrinter::Print(std::ostream& os) const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  print_row(header_);
+  os << "|";
+  for (size_t c = 0; c < header_.size(); ++c) {
+    for (size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+void TablePrinter::PrintCsv(std::ostream& os) const {
+  auto write_cell = [&](const std::string& cell) {
+    if (cell.find(',') != std::string::npos ||
+        cell.find('"') != std::string::npos) {
+      os << '"';
+      for (char ch : cell) {
+        if (ch == '"') os << '"';
+        os << ch;
+      }
+      os << '"';
+    } else {
+      os << cell;
+    }
+  };
+  auto write_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) os << ',';
+      write_cell(row[c]);
+    }
+    os << "\n";
+  };
+  write_row(header_);
+  for (const auto& row : rows_) write_row(row);
+}
+
+std::string Fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string Fmt(int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  return buf;
+}
+
+}  // namespace tamp

@@ -1,0 +1,45 @@
+#ifndef TAMP_COMMON_TABLE_PRINTER_H_
+#define TAMP_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tamp {
+
+/// Renders experiment results as fixed-width text tables (the form the
+/// paper's tables take) and as CSV blocks for downstream plotting.
+///
+/// Usage:
+///   TablePrinter t({"algo", "RMSE", "MR"});
+///   t.AddRow({"GTTAML", Fmt(0.8937, 4), Fmt(0.4446, 4)});
+///   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; its size must match the header's.
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes an aligned text table with a header separator.
+  void Print(std::ostream& os) const;
+
+  /// Writes the same data as CSV (comma-separated, quoted when needed).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision, e.g. Fmt(0.89371, 4) -> "0.8937".
+std::string Fmt(double value, int precision);
+
+/// Formats an integer value.
+std::string Fmt(int64_t value);
+
+}  // namespace tamp
+
+#endif  // TAMP_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,26 @@
+#ifndef TAMP_CORE_ROLLOUT_H_
+#define TAMP_CORE_ROLLOUT_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/trajectory.h"
+#include "nn/encoder_decoder.h"
+
+namespace tamp::core {
+
+/// Continuously forecasts a worker's routine (Def. 3's "continuously
+/// forecast w's subsequent mobility routine"): encodes the `recent`
+/// observed locations (km) and autoregressively rolls the decoder out for
+/// `horizon_steps` future positions, re-encoding its own predictions, so
+/// the predicted routine can span more steps than the model's native
+/// seq_out. Returned points carry timestamps now + i * step_period_min.
+std::vector<geo::TimedPoint> RolloutPredict(
+    const nn::EncoderDecoder& model, const std::vector<double>& params,
+    const std::vector<geo::Point>& recent_km, const geo::GridSpec& grid,
+    int horizon_steps, double now_min, double step_period_min);
+
+}  // namespace tamp::core
+
+#endif  // TAMP_CORE_ROLLOUT_H_

@@ -1,0 +1,218 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "assign/bounds.h"
+#include "assign/km_assigner.h"
+#include "common/check.h"
+#include "common/stopwatch.h"
+#include "core/rollout.h"
+#include "geo/trajectory.h"
+
+namespace tamp::core {
+
+const char* AssignMethodName(AssignMethod method) {
+  switch (method) {
+    case AssignMethod::kUpperBound:
+      return "UB";
+    case AssignMethod::kLowerBound:
+      return "LB";
+    case AssignMethod::kKm:
+      return "KM";
+    case AssignMethod::kPpi:
+      return "PPI";
+    case AssignMethod::kGgpso:
+      return "GGPSO";
+  }
+  return "?";
+}
+
+BatchSimulator::BatchSimulator(const data::Workload& workload,
+                               const nn::EncoderDecoder& model,
+                               const SimulatorConfig& config)
+    : workload_(workload), model_(model), config_(config) {}
+
+SimMetrics BatchSimulator::Run(
+    AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
+  const auto& workers = workload_.workers;
+  TAMP_CHECK(predictors.size() == workers.size());
+  SimMetrics metrics;
+  metrics.total_tasks = static_cast<int>(workload_.task_stream.size());
+  if (workers.empty() || workload_.task_stream.empty()) return metrics;
+
+  // Horizon bounds from the task stream.
+  double horizon_start = workload_.task_stream.front().release_time_min;
+  double horizon_end = 0.0;
+  for (const auto& task : workload_.task_stream) {
+    horizon_end = std::max(horizon_end, task.deadline_min);
+  }
+
+  std::vector<double> busy_until(workers.size(), 0.0);
+  std::deque<assign::SpatialTask> pool;  // Pending (released, unexpired).
+  size_t next_release = 0;
+
+  // The observation window length matches the training seq_in: infer it
+  // from the first learning task if available.
+  int observe_steps = 5;
+  if (!workload_.learning_tasks.empty() &&
+      !workload_.learning_tasks.front().support.empty()) {
+    observe_steps = static_cast<int>(
+        workload_.learning_tasks.front().support.front().input.size());
+  } else if (!workload_.learning_tasks.empty() &&
+             !workload_.learning_tasks.front().eval.empty()) {
+    observe_steps = static_cast<int>(
+        workload_.learning_tasks.front().eval.front().input.size());
+  }
+
+  for (double now = horizon_start; now <= horizon_end;
+       now += config_.batch_window_min) {
+    // Admit newly released tasks; drop expired ones.
+    while (next_release < workload_.task_stream.size() &&
+           workload_.task_stream[next_release].release_time_min <= now) {
+      pool.push_back(workload_.task_stream[next_release]);
+      ++next_release;
+    }
+    while (!pool.empty()) {
+      // Pool stays release-ordered; deadlines are not, so scan-erase.
+      bool erased = false;
+      for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (it->deadline_min <= now) {
+          pool.erase(it);
+          erased = true;
+          break;
+        }
+      }
+      if (!erased) break;
+    }
+    if (pool.empty()) continue;
+
+    // Available workers still on shift.
+    std::vector<int> available;
+    for (size_t w = 0; w < workers.size(); ++w) {
+      if (busy_until[w] > now) continue;
+      if (workers[w].test.empty()) continue;
+      if (now < workers[w].test.start_time() ||
+          now > workers[w].test.end_time()) {
+        continue;
+      }
+      // Part-time workers only take tasks inside their online window.
+      if (now < workers[w].online_start_min ||
+          now > workers[w].online_end_min) {
+        continue;
+      }
+      available.push_back(static_cast<int>(w));
+    }
+    if (available.empty()) continue;
+
+    // Build the batch views.
+    std::vector<assign::SpatialTask> batch_tasks(pool.begin(), pool.end());
+    std::vector<assign::CandidateWorker> batch_workers;
+    std::vector<geo::Trajectory> real_futures;
+    double horizon_min =
+        config_.prediction_horizon_steps * config_.sample_period_min;
+    for (int w : available) {
+      const data::WorkerRecord& record = workers[w];
+      assign::CandidateWorker cw;
+      cw.id = record.id;
+      cw.current_location = record.test.PositionAt(now);
+      cw.detour_budget_km = record.detour_budget_km;
+      cw.speed_kmpm = record.speed_kmpm;
+      cw.matching_rate = predictors[w].matching_rate;
+      if (method == AssignMethod::kKm || method == AssignMethod::kPpi ||
+          method == AssignMethod::kGgpso) {
+        TAMP_CHECK(predictors[w].params != nullptr);
+        // Recent observed positions (platform-visible location reports).
+        std::vector<geo::Point> recent;
+        for (int s = observe_steps - 1; s >= 0; --s) {
+          recent.push_back(
+              record.test.PositionAt(now - s * config_.sample_period_min));
+        }
+        cw.predicted = RolloutPredict(
+            model_, *predictors[w].params, recent, workload_.grid,
+            config_.prediction_horizon_steps, now, config_.sample_period_min);
+      }
+      batch_workers.push_back(std::move(cw));
+      // The oracle's and the acceptance test's view of reality.
+      real_futures.push_back(record.test.Slice(now, now + horizon_min));
+    }
+
+    // Run the assignment algorithm (timed: this is the reported runtime).
+    Stopwatch watch;
+    assign::AssignmentPlan plan;
+    switch (method) {
+      case AssignMethod::kUpperBound:
+        plan = assign::UpperBoundAssign(batch_tasks, batch_workers,
+                                        real_futures, now);
+        break;
+      case AssignMethod::kLowerBound:
+        plan = assign::LowerBoundAssign(batch_tasks, batch_workers, now);
+        break;
+      case AssignMethod::kKm:
+        plan = assign::KmAssign(batch_tasks, batch_workers, now,
+                                config_.match_radius_km);
+        break;
+      case AssignMethod::kPpi: {
+        assign::PpiConfig ppi = config_.ppi;
+        ppi.match_radius_km = config_.match_radius_km;
+        plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi);
+        break;
+      }
+      case AssignMethod::kGgpso: {
+        assign::GgpsoConfig ggpso = config_.ggpso;
+        ggpso.match_radius_km = config_.match_radius_km;
+        plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso);
+        break;
+      }
+    }
+    metrics.assign_seconds += watch.ElapsedSeconds();
+
+    // Worker decisions against reality (step 3 of the framework): accept
+    // iff the real detour fits w.d and the deadline is met.
+    std::vector<int> accepted_task_ids;
+    for (const assign::AssignmentPair& pair : plan.pairs) {
+      ++metrics.assignments;
+      const assign::SpatialTask& task = batch_tasks[pair.task_index];
+      int w = available[pair.worker_index];
+      const data::WorkerRecord& record = workers[w];
+      auto visit = geo::PlanTaskVisit(real_futures[pair.worker_index],
+                                      task.location, record.speed_kmpm,
+                                      task.deadline_min);
+      bool accepts = visit.has_value() &&
+                     visit->detour_km <= record.detour_budget_km;
+      if (!accepts) {
+        // Rejected: the task stays pooled and carries over to the next
+        // batch (Section IV-B). With remember_declines the platform also
+        // avoids re-proposing this exact pair.
+        if (config_.remember_declines) {
+          for (auto& pooled : pool) {
+            if (pooled.id == task.id) {
+              pooled.declined_worker_ids.push_back(record.id);
+              break;
+            }
+          }
+        }
+        continue;
+      }
+      ++metrics.accepted;
+      ++metrics.completed;
+      metrics.total_cost_km += visit->detour_km;
+      busy_until[w] = config_.busy_until_arrival
+                          ? visit->arrival_time_min + config_.service_time_min
+                          : now + config_.service_time_min;
+      accepted_task_ids.push_back(task.id);
+    }
+    // Remove accepted tasks from the pool.
+    for (int id : accepted_task_ids) {
+      for (auto it = pool.begin(); it != pool.end(); ++it) {
+        if (it->id == id) {
+          pool.erase(it);
+          break;
+        }
+      }
+    }
+  }
+  return metrics;
+}
+
+}  // namespace tamp::core

@@ -1,0 +1,83 @@
+#ifndef TAMP_CORE_TA_LOSS_H_
+#define TAMP_CORE_TA_LOSS_H_
+
+#include <functional>
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/spatial_index.h"
+
+namespace tamp::core {
+
+/// Hyper-parameters of the task-assignment-oriented loss weight (Eq. 7).
+struct TaLossParams {
+  /// kappa in (0,1): strength of the historical-task-density term.
+  double kappa = 0.5;
+  /// delta > 0: base weight so sparse regions still contribute.
+  double delta = 0.5;
+  /// d^q: radius (km) of the disk whose historical-task count drives the
+  /// weight at a trajectory point.
+  double dq_km = 1.0;
+  /// Stability cap on f_w. When the historical tasks concentrate on a few
+  /// tight hotspots (the Foursquare-like workload), the raw Eq. 7 ratio
+  /// count/rho^t spikes by orders of magnitude and destabilizes training;
+  /// capping preserves the ordering of weights while bounding the
+  /// effective learning-rate amplification. Set to +inf to disable.
+  double max_weight = 4.0;
+  /// Future-work extension: Section III-C deliberately ignores the
+  /// temporal relationship between trajectories and tasks. When > 0,
+  /// WeightAt(point, time) counts only historical tasks whose time-of-day
+  /// lies within this window (minutes, hour-bucket granularity) of the
+  /// queried time — demand at 9am no longer inflates weights at 9pm.
+  double temporal_window_min = 0.0;
+};
+
+/// The weighted function f_w of Eq. 7:
+///   f_w(l) = kappa * |{tau : dis(tau, l) < d^q}| / rho^t + delta,
+/// where rho^t is the expected number of historical tasks in a disk of
+/// radius d^q (the unit-space normalizer). Trajectory points in task-dense
+/// areas get larger loss weights, steering the prediction model toward
+/// accuracy exactly where assignments happen (Challenge II).
+class TaskOrientedWeighter {
+ public:
+  TaskOrientedWeighter(const geo::GridSpec& grid,
+                       const std::vector<geo::Point>& historical_tasks,
+                       const TaLossParams& params);
+
+  /// Time-aware construction (requires params.temporal_window_min > 0 for
+  /// WeightAt to differ from Weight): historical tasks carry the
+  /// time-of-day they were posted at.
+  TaskOrientedWeighter(const geo::GridSpec& grid,
+                       const std::vector<geo::TimedPoint>& historical_tasks,
+                       const TaLossParams& params);
+
+  /// f_w at a map location (km coordinates).
+  double Weight(const geo::Point& location_km) const;
+
+  /// Temporally-scoped f_w (the future-work extension): counts only
+  /// historical tasks within params.temporal_window_min of `time_min`'s
+  /// time-of-day. Falls back to Weight() when the window is disabled or
+  /// the weighter was built without timestamps.
+  double WeightAt(const geo::Point& location_km, double time_min) const;
+
+  /// The rho^t normalizer in use.
+  double rho() const { return rho_; }
+
+  /// Adapter for MetaTrainConfig::weight_fn. The returned callable holds a
+  /// pointer to this weighter, which must outlive it.
+  std::function<double(const geo::Point&)> AsFunction() const;
+
+ private:
+  geo::SpatialCountIndex index_;
+  TaLossParams params_;
+  double rho_;
+  /// Hour-of-day buckets for the temporal extension (empty when the
+  /// weighter was built without timestamps).
+  std::vector<geo::SpatialCountIndex> hour_indexes_;
+  double map_area_km2_ = 0.0;
+};
+
+}  // namespace tamp::core
+
+#endif  // TAMP_CORE_TA_LOSS_H_

@@ -1,0 +1,224 @@
+#include "data/mobility.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tamp::data {
+namespace {
+
+geo::Point JitterAround(const geo::Point& center, double radius_km,
+                        const geo::GridSpec& grid, Rng& rng) {
+  geo::Point p{center.x + rng.Normal(0.0, radius_km),
+               center.y + rng.Normal(0.0, radius_km)};
+  return grid.Clamp(p);
+}
+
+/// A scheduled stop on the day's route.
+struct Waypoint {
+  geo::Point loc;
+  double arrive_min = 0.0;
+  double depart_min = 0.0;
+};
+
+/// Appends a visit to `loc`: arrival follows from the previous departure
+/// plus the travel time at `speed_kmpm`; the stop then dwells for
+/// `dwell_min` (at least a momentary stop).
+void Visit(std::vector<Waypoint>& schedule, const geo::Point& loc,
+           double dwell_min, double speed_kmpm) {
+  TAMP_CHECK(!schedule.empty());
+  const Waypoint& prev = schedule.back();
+  double arrive =
+      prev.depart_min + geo::Distance(prev.loc, loc) / speed_kmpm;
+  schedule.push_back({loc, arrive, arrive + std::max(dwell_min, 0.0)});
+}
+
+/// Builds the day's waypoint schedule from the profile's anchors. Travel
+/// legs take distance/speed minutes, so the generated motion moves at the
+/// same speed the assignment side assumes.
+std::vector<Waypoint> BuildSchedule(const MobilityProfile& profile,
+                                    const DayParams& params,
+                                    const geo::GridSpec& grid, Rng& rng) {
+  const double start = params.day_start_min;
+  const double end = params.day_end_min;
+  const double span = end - start;
+  const double speed = params.speed_kmpm;
+  TAMP_CHECK(speed > 0.0);
+  std::vector<Waypoint> schedule;
+
+  // Day-specific copy of the anchors, with occasional improvisation.
+  std::vector<geo::Point> anchors = profile.anchors;
+  for (auto& a : anchors) {
+    if (rng.Bernoulli(profile.improvisation_prob)) {
+      a = JitterAround(a, 1.5, grid, rng);
+    }
+  }
+  auto jitter = [&]() { return rng.Normal(0.0, profile.time_jitter_min); };
+
+  switch (profile.archetype) {
+    case Archetype::kCommuter: {
+      // anchors: [home, work, lunch]. Morning at home, day at work with a
+      // lunch break, evening back home.
+      TAMP_CHECK(anchors.size() >= 3);
+      double leave_home = start + 0.05 * span + jitter();
+      schedule.push_back({anchors[0], start, std::max(start, leave_home)});
+      double lunch_out = start + 0.40 * span + jitter();
+      Visit(schedule, anchors[1], 0.0, speed);
+      schedule.back().depart_min =
+          std::max(schedule.back().depart_min, lunch_out);
+      Visit(schedule, anchors[2], 45.0 + jitter(), speed);
+      double leave_work = start + 0.85 * span + jitter();
+      Visit(schedule, anchors[1], 0.0, speed);
+      schedule.back().depart_min =
+          std::max(schedule.back().depart_min, leave_work);
+      Visit(schedule, anchors[0], 0.0, speed);
+      break;
+    }
+    case Archetype::kHubAndSpoke: {
+      // anchors: [hub, spoke...]. Repeated hub -> spoke -> hub trips.
+      TAMP_CHECK(anchors.size() >= 3);
+      schedule.push_back({anchors[0], start, start + 20.0 + jitter()});
+      size_t spoke = 1;
+      while (schedule.back().depart_min < end - 60.0) {
+        const geo::Point& target = anchors[1 + (spoke % (anchors.size() - 1))];
+        Visit(schedule, target, 20.0 + std::fabs(jitter()), speed);
+        Visit(schedule, anchors[0], 15.0 + std::fabs(jitter()), speed);
+        ++spoke;
+      }
+      break;
+    }
+    case Archetype::kRoamer: {
+      // anchors: [base]. A slow tour of random nearby spots.
+      TAMP_CHECK(!anchors.empty());
+      geo::Point base = anchors[0];
+      schedule.push_back({base, start, start + 30.0 + std::fabs(jitter())});
+      while (schedule.back().depart_min < end - 45.0) {
+        Visit(schedule, JitterAround(base, 2.0, grid, rng),
+              30.0 + std::fabs(jitter()), speed);
+      }
+      break;
+    }
+    case Archetype::kVenueHopper: {
+      // anchors: [venue...]. A handful of long check-ins per day.
+      TAMP_CHECK(anchors.size() >= 2);
+      int visits = 3 + static_cast<int>(rng.UniformInt(0, 2));
+      double dwell = span / (visits + 1);
+      const geo::Point& first =
+          anchors[static_cast<size_t>(rng.UniformInt(
+              0, static_cast<int64_t>(anchors.size()) - 1))];
+      schedule.push_back(
+          {first, start, start + dwell * rng.Uniform(0.7, 1.1)});
+      for (int v = 1; v < visits; ++v) {
+        if (schedule.back().depart_min >= end) break;
+        const geo::Point& venue =
+            anchors[static_cast<size_t>(rng.UniformInt(
+                0, static_cast<int64_t>(anchors.size()) - 1))];
+        Visit(schedule, venue, dwell * rng.Uniform(0.7, 1.1), speed);
+      }
+      break;
+    }
+  }
+  // The day ends at the final stop.
+  schedule.back().depart_min = std::max(schedule.back().depart_min, end);
+  return schedule;
+}
+
+/// Position along the schedule at absolute minute `t` (piecewise: dwell at
+/// a waypoint, linear travel between consecutive waypoints).
+geo::Point ScheduledPosition(const std::vector<Waypoint>& schedule, double t) {
+  if (t <= schedule.front().arrive_min) return schedule.front().loc;
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    const Waypoint& wp = schedule[i];
+    if (t <= wp.depart_min) {
+      if (t >= wp.arrive_min) return wp.loc;  // Dwelling.
+      // Travelling from the previous waypoint.
+      TAMP_CHECK(i > 0);
+      const Waypoint& prev = schedule[i - 1];
+      double span = wp.arrive_min - prev.depart_min;
+      if (span <= 0.0) return wp.loc;
+      double frac = std::clamp((t - prev.depart_min) / span, 0.0, 1.0);
+      return prev.loc + (wp.loc - prev.loc) * frac;
+    }
+    if (i + 1 < schedule.size() && t < schedule[i + 1].arrive_min) {
+      const Waypoint& next = schedule[i + 1];
+      double span = next.arrive_min - wp.depart_min;
+      if (span <= 0.0) return next.loc;
+      double frac = std::clamp((t - wp.depart_min) / span, 0.0, 1.0);
+      return wp.loc + (next.loc - wp.loc) * frac;
+    }
+  }
+  return schedule.back().loc;
+}
+
+}  // namespace
+
+MobilityProfile MakeProfile(Archetype archetype, int zone,
+                            const geo::Point& zone_center,
+                            double zone_radius_km, const geo::GridSpec& grid,
+                            Rng& rng) {
+  MobilityProfile profile;
+  profile.archetype = archetype;
+  profile.zone = zone;
+  switch (archetype) {
+    case Archetype::kCommuter:
+      // Home in the zone; work pulled toward the city centre; lunch near
+      // work. Commutes are the most regular pattern: small timing jitter.
+      profile.time_jitter_min = 8.0;
+      {
+        geo::Point home = JitterAround(zone_center, zone_radius_km, grid, rng);
+        geo::Point center{grid.width_km() / 2.0, grid.height_km() / 2.0};
+        geo::Point work = JitterAround(
+            {0.5 * (center.x + zone_center.x), 0.5 * (center.y + zone_center.y)},
+            zone_radius_km * 0.6, grid, rng);
+        geo::Point lunch = JitterAround(work, 0.6, grid, rng);
+        profile.anchors = {home, work, lunch};
+      }
+      break;
+    case Archetype::kHubAndSpoke: {
+      geo::Point hub = JitterAround(zone_center, zone_radius_km * 0.5, grid, rng);
+      profile.anchors = {hub};
+      int spokes = 3 + static_cast<int>(rng.UniformInt(0, 2));
+      for (int s = 0; s < spokes; ++s) {
+        profile.anchors.push_back(
+            JitterAround(hub, zone_radius_km * 2.0, grid, rng));
+      }
+      break;
+    }
+    case Archetype::kRoamer:
+      profile.anchors = {JitterAround(zone_center, zone_radius_km, grid, rng)};
+      profile.noise_km = 0.25;
+      break;
+    case Archetype::kVenueHopper: {
+      int venues = 4 + static_cast<int>(rng.UniformInt(0, 3));
+      for (int v = 0; v < venues; ++v) {
+        profile.anchors.push_back(
+            JitterAround(zone_center, zone_radius_km * 1.5, grid, rng));
+      }
+      profile.time_jitter_min = 25.0;
+      break;
+    }
+  }
+  return profile;
+}
+
+geo::Trajectory GenerateDay(const MobilityProfile& profile,
+                            const DayParams& params, int day_index,
+                            const geo::GridSpec& grid, Rng& rng) {
+  TAMP_CHECK(params.day_end_min > params.day_start_min);
+  TAMP_CHECK(params.sample_period_min > 0.0);
+  std::vector<Waypoint> schedule = BuildSchedule(profile, params, grid, rng);
+
+  geo::Trajectory day;
+  double day_offset = 1440.0 * day_index;
+  for (double t = params.day_start_min; t <= params.day_end_min + 1e-9;
+       t += params.sample_period_min) {
+    geo::Point p = ScheduledPosition(schedule, t);
+    p.x += rng.Normal(0.0, profile.noise_km);
+    p.y += rng.Normal(0.0, profile.noise_km);
+    day.Append({grid.Clamp(p), day_offset + t});
+  }
+  return day;
+}
+
+}  // namespace tamp::data

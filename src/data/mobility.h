@@ -1,0 +1,69 @@
+#ifndef TAMP_DATA_MOBILITY_H_
+#define TAMP_DATA_MOBILITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+#include "geo/trajectory.h"
+
+namespace tamp::data {
+
+/// Mobility archetypes the synthetic workers are drawn from. The archetype
+/// plus the worker's zone induce the heterogeneous, clusterable mobility
+/// patterns the paper's GTMC is designed to separate (Challenge I).
+enum class Archetype {
+  kCommuter,     // Home -> work -> (lunch) -> work -> home, highly regular.
+  kHubAndSpoke,  // Taxi-like: a hub with radial trips (Porto drivers).
+  kRoamer,       // Smooth wandering around a preferred neighbourhood.
+  kVenueHopper,  // Check-in style: hops between venues with long dwells
+                 // (the Gowalla-like workload's dominant pattern).
+};
+
+/// A per-worker mobility profile: the anchors and rhythm from which each
+/// day's routine is generated. Day-to-day variation comes from timing
+/// jitter, positional noise, and occasional anchor substitution — the
+/// "opportunistic behaviour" of Challenge I.
+struct MobilityProfile {
+  Archetype archetype = Archetype::kCommuter;
+  int zone = 0;
+  /// Ordered anchor locations (home, work, leisure / hub / venues...).
+  std::vector<geo::Point> anchors;
+  /// Positional noise (km) applied to every sampled location.
+  double noise_km = 0.15;
+  /// Timing jitter (minutes) applied to each day's schedule.
+  double time_jitter_min = 15.0;
+  /// Probability of substituting one anchor with a random nearby spot on a
+  /// given day.
+  double improvisation_prob = 0.1;
+};
+
+/// Parameters of day-trajectory generation.
+struct DayParams {
+  double day_start_min = 8 * 60.0;
+  double day_end_min = 20 * 60.0;
+  double sample_period_min = 10.0;
+  /// Travel speed between waypoints (km/min); must match the speed the
+  /// assignment side assumes so detour arrival times are consistent with
+  /// the generated motion.
+  double speed_kmpm = 0.5;
+};
+
+/// Builds a profile for a worker of the given archetype anchored in
+/// `zone_center` (zone radius `zone_radius_km`), inside `grid`'s area.
+MobilityProfile MakeProfile(Archetype archetype, int zone,
+                            const geo::Point& zone_center,
+                            double zone_radius_km, const geo::GridSpec& grid,
+                            Rng& rng);
+
+/// Generates one day of movement for the profile: locations sampled every
+/// `params.sample_period_min` minutes, timestamps offset by
+/// `day_index * 1440` so multiple days concatenate into one timeline.
+geo::Trajectory GenerateDay(const MobilityProfile& profile,
+                            const DayParams& params, int day_index,
+                            const geo::GridSpec& grid, Rng& rng);
+
+}  // namespace tamp::data
+
+#endif  // TAMP_DATA_MOBILITY_H_

@@ -1,0 +1,89 @@
+#include "data/tasks.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tamp::data {
+namespace {
+
+geo::Point SampleHotspotLocation(const std::vector<TaskHotspot>& hotspots,
+                                 const geo::GridSpec& grid, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(hotspots.size());
+  for (const auto& h : hotspots) weights.push_back(h.weight);
+  const TaskHotspot& h = hotspots[rng.SampleIndex(weights)];
+  geo::Point p{h.center.x + rng.Normal(0.0, h.spread_km),
+               h.center.y + rng.Normal(0.0, h.spread_km)};
+  return grid.Clamp(p);
+}
+
+/// Relative arrival intensity at minute `t`: flat background plus two
+/// Gaussian rush peaks at ~25% and ~75% of the horizon.
+double Intensity(double t, double start, double end, double amplitude) {
+  double span = end - start;
+  double peak1 = start + 0.25 * span;
+  double peak2 = start + 0.75 * span;
+  double sigma = span / 10.0;
+  auto bump = [&](double peak) {
+    double z = (t - peak) / sigma;
+    return std::exp(-0.5 * z * z);
+  };
+  return 1.0 + amplitude * (bump(peak1) + bump(peak2));
+}
+
+}  // namespace
+
+std::vector<assign::SpatialTask> GenerateTaskStream(
+    const TaskStreamConfig& config, const std::vector<TaskHotspot>& hotspots,
+    const geo::GridSpec& grid, Rng& rng) {
+  TAMP_CHECK(!hotspots.empty());
+  TAMP_CHECK(config.num_tasks >= 0);
+  TAMP_CHECK(config.horizon_end_min > config.horizon_start_min);
+  TAMP_CHECK(config.valid_hi_units >= config.valid_lo_units);
+
+  // Sample arrival times by rejection against the rush-hour intensity
+  // (exactly num_tasks arrivals, shaped like a non-homogeneous Poisson
+  // process conditioned on its count).
+  double max_intensity = 1.0 + 2.0 * config.rush_amplitude;
+  std::vector<double> arrivals;
+  arrivals.reserve(config.num_tasks);
+  while (static_cast<int>(arrivals.size()) < config.num_tasks) {
+    double t = rng.Uniform(config.horizon_start_min, config.horizon_end_min);
+    double accept = Intensity(t, config.horizon_start_min,
+                              config.horizon_end_min, config.rush_amplitude) /
+                    max_intensity;
+    if (rng.Bernoulli(accept)) arrivals.push_back(t);
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+
+  std::vector<assign::SpatialTask> tasks;
+  tasks.reserve(config.num_tasks);
+  for (int i = 0; i < config.num_tasks; ++i) {
+    assign::SpatialTask task;
+    task.id = i;
+    task.release_time_min = arrivals[i];
+    task.location = SampleHotspotLocation(hotspots, grid, rng);
+    double validity_units =
+        rng.Uniform(config.valid_lo_units, config.valid_hi_units);
+    task.deadline_min =
+        task.release_time_min + validity_units * config.time_unit_min;
+    tasks.push_back(task);
+  }
+  return tasks;
+}
+
+std::vector<geo::Point> SampleTaskLocations(
+    int count, const std::vector<TaskHotspot>& hotspots,
+    const geo::GridSpec& grid, Rng& rng) {
+  TAMP_CHECK(!hotspots.empty());
+  std::vector<geo::Point> out;
+  out.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    out.push_back(SampleHotspotLocation(hotspots, grid, rng));
+  }
+  return out;
+}
+
+}  // namespace tamp::data

@@ -1,0 +1,54 @@
+#ifndef TAMP_DATA_TASKS_H_
+#define TAMP_DATA_TASKS_H_
+
+#include <vector>
+
+#include "assign/types.h"
+#include "common/rng.h"
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace tamp::data {
+
+/// A spatial demand hotspot: tasks appear around it with Gaussian spread.
+/// Mirrors the Didi order dataset's concentration on pickup hotspots
+/// (workload 1) / the Foursquare venue set (workload 2).
+struct TaskHotspot {
+  geo::Point center;
+  double spread_km = 0.8;
+  double weight = 1.0;  // Relative share of demand.
+};
+
+/// Parameters of the synthetic task stream.
+struct TaskStreamConfig {
+  int num_tasks = 1000;
+  double horizon_start_min = 8 * 60.0;
+  double horizon_end_min = 20 * 60.0;
+  /// Validity period bounds in time units (Table III's "valid time of
+  /// tasks"); one unit is `time_unit_min` minutes.
+  double valid_lo_units = 3.0;
+  double valid_hi_units = 4.0;
+  double time_unit_min = 10.0;
+  /// Rush-hour factor: arrival intensity is 1 + rush_amplitude at the
+  /// morning/evening peaks, mirroring ride-hailing demand.
+  double rush_amplitude = 1.0;
+};
+
+/// Generates `config.num_tasks` tasks: arrival times from a rush-hour-
+/// shaped (thinned) process over the horizon, locations from the weighted
+/// hotspot mixture, deadlines = arrival + Uniform[valid_lo, valid_hi] time
+/// units. Tasks are returned sorted by release time with ids 0..n-1.
+std::vector<assign::SpatialTask> GenerateTaskStream(
+    const TaskStreamConfig& config, const std::vector<TaskHotspot>& hotspots,
+    const geo::GridSpec& grid, Rng& rng);
+
+/// Samples `count` task *locations* only (no times) from the hotspot
+/// mixture: the historical-task point cloud the task-assignment-oriented
+/// loss (Eq. 7) is weighted by.
+std::vector<geo::Point> SampleTaskLocations(
+    int count, const std::vector<TaskHotspot>& hotspots,
+    const geo::GridSpec& grid, Rng& rng);
+
+}  // namespace tamp::data
+
+#endif  // TAMP_DATA_TASKS_H_

@@ -1,0 +1,259 @@
+#include "data/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tamp::data {
+namespace {
+
+/// Evenly spread zone centres, pulled slightly inward from the borders.
+std::vector<geo::Point> MakeZoneCenters(int num_zones,
+                                        const geo::GridSpec& grid, Rng& rng) {
+  std::vector<geo::Point> centers;
+  centers.reserve(num_zones);
+  int cols = static_cast<int>(std::ceil(std::sqrt(num_zones)));
+  int rows = (num_zones + cols - 1) / cols;
+  for (int z = 0; z < num_zones; ++z) {
+    int r = z / cols, c = z % cols;
+    double x = (c + 0.5) / cols * grid.width_km();
+    double y = (r + 0.5) / rows * grid.height_km();
+    centers.push_back(grid.Clamp({x + rng.Normal(0.0, 0.5),
+                                  y + rng.Normal(0.0, 0.5)}));
+  }
+  return centers;
+}
+
+Archetype PickArchetype(WorkloadKind kind, Rng& rng) {
+  if (kind == WorkloadKind::kGowallaFoursquare) {
+    // Check-in data is dominated by venue hopping with some roaming.
+    return rng.Bernoulli(0.75) ? Archetype::kVenueHopper : Archetype::kRoamer;
+  }
+  double r = rng.Uniform01();
+  if (r < 0.4) return Archetype::kCommuter;
+  if (r < 0.75) return Archetype::kHubAndSpoke;
+  return Archetype::kRoamer;
+}
+
+/// POIs representing the worker's historical task activity: points near
+/// the profile anchors, typed by the zone-dependent venue category.
+geo::PoiSequence MakeWorkerPois(const MobilityProfile& profile,
+                                const geo::GridSpec& grid, Rng& rng) {
+  geo::PoiSequence pois;
+  int per_anchor = 3;
+  for (const geo::Point& anchor : profile.anchors) {
+    for (int i = 0; i < per_anchor; ++i) {
+      geo::Point p = grid.Clamp({anchor.x + rng.Normal(0.0, 0.4),
+                                 anchor.y + rng.Normal(0.0, 0.4)});
+      // Type mixes the zone with a per-POI category so that same-zone
+      // workers share most (not all) types.
+      int type = profile.zone * 4 + static_cast<int>(rng.UniformInt(0, 3));
+      pois.emplace_back(p, type);
+    }
+  }
+  return pois;
+}
+
+/// The shared venue layer of the Gowalla/Foursquare-like workload: both
+/// worker check-ins and task placement draw from these points, which is
+/// what makes the two distributions similar (Appendix C's observation).
+std::vector<std::vector<geo::Point>> MakeVenues(
+    const std::vector<geo::Point>& zones, double zone_radius_km,
+    const geo::GridSpec& grid, Rng& rng) {
+  std::vector<std::vector<geo::Point>> venues(zones.size());
+  for (size_t z = 0; z < zones.size(); ++z) {
+    int count = 6 + static_cast<int>(rng.UniformInt(0, 3));
+    for (int v = 0; v < count; ++v) {
+      venues[z].push_back(
+          grid.Clamp({zones[z].x + rng.Normal(0.0, zone_radius_km),
+                      zones[z].y + rng.Normal(0.0, zone_radius_km)}));
+    }
+  }
+  return venues;
+}
+
+std::vector<TaskHotspot> MakeHotspots(
+    WorkloadKind kind, const std::vector<geo::Point>& zones,
+    const std::vector<std::vector<geo::Point>>& venues,
+    const geo::GridSpec& grid, Rng& rng) {
+  std::vector<TaskHotspot> hotspots;
+  if (kind == WorkloadKind::kGowallaFoursquare) {
+    // Tasks appear at the same venues the workers check in at, with a
+    // tight spread -> worker/task distributions align.
+    for (const auto& zone_venues : venues) {
+      for (const geo::Point& v : zone_venues) {
+        hotspots.push_back({v, 0.4, 1.0});
+      }
+    }
+  } else {
+    // Ride-hailing demand: a dominant downtown hotspot plus secondary
+    // ones offset from the residential zones.
+    geo::Point downtown{grid.width_km() / 2.0, grid.height_km() / 2.0};
+    hotspots.push_back({downtown, 1.5, 2.0});
+    for (size_t z = 0; z < zones.size(); ++z) {
+      geo::Point offset = grid.Clamp({zones[z].x + rng.Normal(0.0, 1.5),
+                                      zones[z].y + rng.Normal(0.0, 1.5)});
+      hotspots.push_back({offset, 1.0, 0.8});
+    }
+  }
+  return hotspots;
+}
+
+}  // namespace
+
+std::vector<meta::TrainingSample> ExtractSamples(const geo::Trajectory& traj,
+                                                 int seq_in, int seq_out,
+                                                 const geo::GridSpec& grid) {
+  TAMP_CHECK(seq_in >= 1 && seq_out >= 1);
+  std::vector<meta::TrainingSample> samples;
+  const auto& pts = traj.points();
+  int window = seq_in + seq_out;
+  if (static_cast<int>(pts.size()) < window) return samples;
+  for (size_t start = 0; start + window <= pts.size(); ++start) {
+    // Never span a day boundary: all points of the window must belong to
+    // the same 1440-minute day.
+    int day_first = static_cast<int>(pts[start].time_min / 1440.0);
+    int day_last =
+        static_cast<int>(pts[start + window - 1].time_min / 1440.0);
+    if (day_first != day_last) continue;
+    meta::TrainingSample sample;
+    sample.input.reserve(seq_in);
+    for (int i = 0; i < seq_in; ++i) {
+      geo::Point n = grid.Normalize(pts[start + i].loc);
+      double tod = std::fmod(pts[start + i].time_min, 1440.0) / 1440.0;
+      sample.input.push_back({n.x, n.y, tod});
+    }
+    sample.target.reserve(seq_out);
+    for (int i = 0; i < seq_out; ++i) {
+      const geo::Point& km = pts[start + seq_in + i].loc;
+      geo::Point n = grid.Normalize(km);
+      sample.target.push_back({n.x, n.y});
+      sample.target_km.push_back(km);
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+Workload GenerateWorkload(const WorkloadConfig& config) {
+  TAMP_CHECK(config.num_workers > 0);
+  TAMP_CHECK(config.num_train_days >= 1 && config.num_test_days >= 1);
+  Rng rng(config.seed);
+
+  Workload workload;
+  // Porto metro is ~40 km wide (the paper grids it 100x50); the Gowalla
+  // check-in region is broader and square-ish. Worker coverage must be
+  // scarce relative to detour budgets for assignment quality to matter.
+  workload.grid = config.kind == WorkloadKind::kGowallaFoursquare
+                      ? geo::GridSpec(36.0, 36.0, 60, 60)
+                      : geo::GridSpec(28.0, 14.0, 50, 100);
+  const geo::GridSpec& grid = workload.grid;
+
+  std::vector<geo::Point> zones =
+      MakeZoneCenters(config.num_zones, grid, rng);
+  double zone_radius =
+      0.12 * std::min(grid.width_km(), grid.height_km());
+  std::vector<std::vector<geo::Point>> venues =
+      MakeVenues(zones, zone_radius, grid, rng);
+  workload.hotspots = MakeHotspots(config.kind, zones, venues, grid, rng);
+
+  // ---- Workers and their ground-truth movement. ----
+  DayParams day_params = config.day;
+  day_params.speed_kmpm = config.speed_kmpm;
+  int num_newcomers = static_cast<int>(
+      std::floor(config.newcomer_fraction * config.num_workers));
+  for (int w = 0; w < config.num_workers; ++w) {
+    WorkerRecord record;
+    record.id = w;
+    record.detour_budget_km = config.detour_budget_km;
+    record.speed_kmpm = config.speed_kmpm;
+    record.is_newcomer = w < num_newcomers;
+    int zone = static_cast<int>(rng.UniformInt(0, config.num_zones - 1));
+    record.profile = MakeProfile(PickArchetype(config.kind, rng), zone,
+                                 zones[zone], zone_radius, grid, rng);
+    if (config.kind == WorkloadKind::kGowallaFoursquare) {
+      // Check-in style movement: the anchors are actual venues of the
+      // worker's zone, shared with the task hotspot layer.
+      const auto& zone_venues = venues[zone];
+      size_t picks = std::min<size_t>(zone_venues.size(),
+                                      record.profile.anchors.size());
+      auto chosen = rng.SampleWithoutReplacement(zone_venues.size(), picks);
+      record.profile.anchors.clear();
+      for (size_t v : chosen) record.profile.anchors.push_back(zone_venues[v]);
+      if (record.profile.anchors.size() < 2) {
+        record.profile.anchors.push_back(zone_venues.front());
+      }
+    }
+    int train_days = record.is_newcomer ? 1 : config.num_train_days;
+    // Newcomers join late: their single train day is the last one, so the
+    // timeline stays aligned across workers.
+    int first_day = config.num_train_days - train_days;
+    for (int d = first_day; d < config.num_train_days; ++d) {
+      geo::Trajectory day =
+          GenerateDay(record.profile, day_params, d, grid, rng);
+      for (const auto& p : day.points()) record.train.Append(p);
+    }
+    for (int d = 0; d < config.num_test_days; ++d) {
+      geo::Trajectory day = GenerateDay(record.profile, day_params,
+                                        config.num_train_days + d, grid, rng);
+      for (const auto& p : day.points()) record.test.Append(p);
+    }
+    // Part-time availability: a contiguous online window within the test
+    // horizon whose length is online_fraction of the horizon.
+    {
+      double horizon_start = record.test.start_time();
+      double horizon_end = record.test.end_time();
+      double span = horizon_end - horizon_start;
+      double online_span =
+          std::clamp(config.online_fraction, 0.0, 1.0) * span;
+      double latest_start = horizon_end - online_span;
+      record.online_start_min =
+          rng.Uniform(horizon_start, std::max(horizon_start, latest_start));
+      record.online_end_min = record.online_start_min + online_span;
+    }
+    workload.workers.push_back(std::move(record));
+  }
+
+  // ---- Learning tasks (Def. 3): samples, features, splits. ----
+  for (WorkerRecord& record : workload.workers) {
+    meta::LearningTask task;
+    task.worker_id = record.id;
+    std::vector<meta::TrainingSample> train_samples =
+        ExtractSamples(record.train, config.seq_in, config.seq_out, grid);
+    // Interleaved support/query split keeps both sets covering the whole
+    // day rather than support = morning, query = evening.
+    for (size_t i = 0; i < train_samples.size(); ++i) {
+      double phase = static_cast<double>(i % 10) / 10.0;
+      if (phase < config.support_fraction) {
+        task.support.push_back(std::move(train_samples[i]));
+      } else {
+        task.query.push_back(std::move(train_samples[i]));
+      }
+    }
+    task.eval = ExtractSamples(record.test, config.seq_in, config.seq_out, grid);
+    task.pois = MakeWorkerPois(record.profile, grid, rng);
+    task.location_cloud = record.train.Locations();
+    workload.learning_tasks.push_back(std::move(task));
+  }
+
+  // ---- Task streams. ----
+  TaskStreamConfig stream;
+  stream.num_tasks = config.num_tasks;
+  double test_day_offset = 1440.0 * config.num_train_days;
+  stream.horizon_start_min = test_day_offset + config.day.day_start_min;
+  stream.horizon_end_min =
+      test_day_offset + 1440.0 * (config.num_test_days - 1) +
+      config.day.day_end_min;
+  stream.valid_lo_units = config.task_valid_lo_units;
+  stream.valid_hi_units = config.task_valid_hi_units;
+  stream.time_unit_min = config.time_unit_min;
+  workload.task_stream =
+      GenerateTaskStream(stream, workload.hotspots, grid, rng);
+  workload.historical_task_locations = SampleTaskLocations(
+      config.num_historical_tasks, workload.hotspots, grid, rng);
+
+  return workload;
+}
+
+}  // namespace tamp::data

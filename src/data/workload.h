@@ -1,0 +1,111 @@
+#ifndef TAMP_DATA_WORKLOAD_H_
+#define TAMP_DATA_WORKLOAD_H_
+
+#include <vector>
+
+#include "assign/types.h"
+#include "common/rng.h"
+#include "data/mobility.h"
+#include "data/tasks.h"
+#include "geo/grid.h"
+#include "geo/trajectory.h"
+#include "meta/learning_task.h"
+
+namespace tamp::data {
+
+/// Which real-world dataset pair the synthetic workload mimics (Table II).
+enum class WorkloadKind {
+  /// Workload 1: Porto taxi trajectories (workers) + Didi orders (tasks).
+  /// Dense city, heterogeneous archetypes, task hotspots distinct from
+  /// worker home zones.
+  kPortoDidi,
+  /// Workload 2: Gowalla check-ins (workers) + Foursquare venues (tasks).
+  /// Venue-hopping mobility; tasks placed on the *same* venue clusters as
+  /// worker movement, so worker and task distributions are much more
+  /// similar (the property Appendix C attributes the smaller worker-cost
+  /// gaps to).
+  kGowallaFoursquare,
+};
+
+/// Everything needed to generate one experiment's data.
+struct WorkloadConfig {
+  WorkloadKind kind = WorkloadKind::kPortoDidi;
+  int num_workers = 60;
+  int num_zones = 4;
+  int num_train_days = 6;
+  int num_test_days = 1;
+  DayParams day;
+  /// Sliding-window sample shape (Def. 3 / Table III).
+  int seq_in = 5;
+  int seq_out = 1;
+  /// Fraction of train samples used as support (rest become query).
+  double support_fraction = 0.6;
+  /// Fraction of workers that are "newcomers" with a single train day.
+  double newcomer_fraction = 0.0;
+  /// Task stream over the test horizon.
+  int num_tasks = 1000;
+  double task_valid_lo_units = 3.0;
+  double task_valid_hi_units = 4.0;
+  double time_unit_min = 10.0;
+  /// Historical task locations (for the Eq. 7 loss weights).
+  int num_historical_tasks = 3000;
+  /// Worker motion/constraint parameters.
+  double detour_budget_km = 4.0;
+  double speed_kmpm = 0.5;  // 30 km/h.
+  /// Fraction of the day a part-time worker is online and assignable
+  /// (Section II: workers "come to the platform dynamically"). The online
+  /// window's start is drawn uniformly; 1.0 means always online.
+  double online_fraction = 0.4;
+  uint64_t seed = 7;
+};
+
+/// One synthetic worker: identity, ground-truth movement, and constraints.
+struct WorkerRecord {
+  int id = -1;
+  MobilityProfile profile;
+  geo::Trajectory train;  // num_train_days of movement (absolute minutes).
+  geo::Trajectory test;   // The assignment-horizon day(s).
+  double detour_budget_km = 4.0;
+  double speed_kmpm = 0.5;
+  /// When the worker is online/assignable during the test horizon
+  /// (absolute minutes). The worker moves along the routine all day but
+  /// only takes tasks inside this window.
+  double online_start_min = 0.0;
+  double online_end_min = 0.0;
+  bool is_newcomer = false;
+};
+
+/// A fully generated workload.
+struct Workload {
+  geo::GridSpec grid{20.0, 10.0, 50, 100};
+  std::vector<WorkerRecord> workers;
+  /// One learning task per worker, index-aligned with `workers`.
+  std::vector<meta::LearningTask> learning_tasks;
+  /// The test-horizon task stream, sorted by release time.
+  std::vector<assign::SpatialTask> task_stream;
+  /// Historical (train-period) task locations for the Eq. 7 weights.
+  std::vector<geo::Point> historical_task_locations;
+  /// The demand hotspots the streams were drawn from.
+  std::vector<TaskHotspot> hotspots;
+};
+
+/// Generates the full workload deterministically from config.seed.
+Workload GenerateWorkload(const WorkloadConfig& config);
+
+/// Dimensionality of the model input produced by ExtractSamples:
+/// (x, y, time-of-day), all normalized into [0, 1]. Mobility routines are
+/// strongly time-keyed (a commuter at 9am and 5pm heads opposite ways), so
+/// the time feature is part of every workload sample.
+inline constexpr int kSampleInputDim = 3;
+
+/// Extracts sliding-window (seq_in -> seq_out) samples from a trajectory,
+/// normalizing coordinates with `grid` and appending the normalized
+/// time-of-day feature to each input step (kSampleInputDim total).
+/// Samples never span day boundaries. Targets stay 2-D locations.
+std::vector<meta::TrainingSample> ExtractSamples(const geo::Trajectory& traj,
+                                                 int seq_in, int seq_out,
+                                                 const geo::GridSpec& grid);
+
+}  // namespace tamp::data
+
+#endif  // TAMP_DATA_WORKLOAD_H_

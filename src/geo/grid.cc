@@ -1,0 +1,53 @@
+#include "geo/grid.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace tamp::geo {
+
+GridSpec::GridSpec(double width_km, double height_km, int rows, int cols)
+    : width_km_(width_km), height_km_(height_km), rows_(rows), cols_(cols) {
+  TAMP_CHECK(width_km > 0.0 && height_km > 0.0);
+  TAMP_CHECK(rows > 0 && cols > 0);
+}
+
+GridCell GridSpec::CellOf(const Point& p) const {
+  Point c = Clamp(p);
+  int row = static_cast<int>(c.y / height_km_ * rows_);
+  int col = static_cast<int>(c.x / width_km_ * cols_);
+  row = std::min(row, rows_ - 1);
+  col = std::min(col, cols_ - 1);
+  return {row, col};
+}
+
+Point GridSpec::CellCenter(const GridCell& cell) const {
+  int row = std::clamp(cell.row, 0, rows_ - 1);
+  int col = std::clamp(cell.col, 0, cols_ - 1);
+  double cell_w = width_km_ / cols_;
+  double cell_h = height_km_ / rows_;
+  return {(col + 0.5) * cell_w, (row + 0.5) * cell_h};
+}
+
+int GridSpec::FlatIndex(const GridCell& cell) const {
+  int row = std::clamp(cell.row, 0, rows_ - 1);
+  int col = std::clamp(cell.col, 0, cols_ - 1);
+  return row * cols_ + col;
+}
+
+Point GridSpec::Clamp(const Point& p) const {
+  return {std::clamp(p.x, 0.0, width_km_), std::clamp(p.y, 0.0, height_km_)};
+}
+
+Point GridSpec::Normalize(const Point& p) const {
+  Point c = Clamp(p);
+  return {c.x / width_km_, c.y / height_km_};
+}
+
+Point GridSpec::Denormalize(const Point& p) const {
+  double nx = std::clamp(p.x, 0.0, 1.0);
+  double ny = std::clamp(p.y, 0.0, 1.0);
+  return {nx * width_km_, ny * height_km_};
+}
+
+}  // namespace tamp::geo

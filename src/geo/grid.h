@@ -1,0 +1,63 @@
+#ifndef TAMP_GEO_GRID_H_
+#define TAMP_GEO_GRID_H_
+
+#include <cstdint>
+
+#include "geo/point.h"
+
+namespace tamp::geo {
+
+/// Discrete cell index in a GridSpec. Mirrors the paper's
+/// (latitude_i, longitude_i) 2-tuples from the 100x50 gridding of Porto.
+struct GridCell {
+  int row = 0;
+  int col = 0;
+
+  bool operator==(const GridCell& o) const {
+    return row == o.row && col == o.col;
+  }
+};
+
+/// Uniform grid over the rectangular city area. Maps continuous locations
+/// to cells and back (cell centres); also converts to/from the normalized
+/// [0,1]^2 coordinates the prediction model operates on.
+class GridSpec {
+ public:
+  /// A grid of `rows` x `cols` cells covering [0, width_km] x [0, height_km].
+  /// All extents must be positive.
+  GridSpec(double width_km, double height_km, int rows, int cols);
+
+  double width_km() const { return width_km_; }
+  double height_km() const { return height_km_; }
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int num_cells() const { return rows_ * cols_; }
+
+  /// Cell containing `p`; locations outside the area clamp to the border.
+  GridCell CellOf(const Point& p) const;
+
+  /// Centre of the given cell (indices are clamped into range).
+  Point CellCenter(const GridCell& cell) const;
+
+  /// Flat index in [0, num_cells()) for hashing/bucketing.
+  int FlatIndex(const GridCell& cell) const;
+
+  /// Clamps a continuous point into the city rectangle.
+  Point Clamp(const Point& p) const;
+
+  /// Maps a location to normalized [0,1]^2 model coordinates.
+  Point Normalize(const Point& p) const;
+
+  /// Inverse of Normalize (clamps normalized coords into [0,1] first).
+  Point Denormalize(const Point& p) const;
+
+ private:
+  double width_km_;
+  double height_km_;
+  int rows_;
+  int cols_;
+};
+
+}  // namespace tamp::geo
+
+#endif  // TAMP_GEO_GRID_H_

@@ -1,0 +1,27 @@
+#ifndef TAMP_GEO_POI_H_
+#define TAMP_GEO_POI_H_
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace tamp::geo {
+
+/// Point of interest v = <x, y, a> from Section III-B: a typed location used
+/// as the spatial feature of a learning task.
+struct Poi {
+  Point loc;
+  int type = 0;
+
+  Poi() = default;
+  Poi(Point l, int t) : loc(l), type(t) {}
+  Poi(double x, double y, int t) : loc(x, y), type(t) {}
+};
+
+/// The POI sequence V^(i) associated with a learning task (the POIs visited
+/// while performing historical spatial tasks).
+using PoiSequence = std::vector<Poi>;
+
+}  // namespace tamp::geo
+
+#endif  // TAMP_GEO_POI_H_

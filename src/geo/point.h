@@ -1,0 +1,52 @@
+#ifndef TAMP_GEO_POINT_H_
+#define TAMP_GEO_POINT_H_
+
+#include <cmath>
+
+namespace tamp::geo {
+
+/// A location on the (planar) city map. Coordinates are kilometres in a
+/// local tangent frame; all distances in the library are Euclidean on this
+/// plane (the paper's grid-mapped coordinates behave identically).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  Point() = default;
+  Point(double x_in, double y_in) : x(x_in), y(y_in) {}
+
+  Point operator+(const Point& o) const { return {x + o.x, y + o.y}; }
+  Point operator-(const Point& o) const { return {x - o.x, y - o.y}; }
+  Point operator*(double s) const { return {x * s, y * s}; }
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+/// Euclidean distance between two points (km).
+inline double Distance(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// Squared Euclidean distance; cheaper when only comparisons are needed.
+inline double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// A location stamped with the time (minutes since simulation start) at
+/// which the worker is there. Routines (Def. 2) are sequences of these.
+struct TimedPoint {
+  Point loc;
+  double time_min = 0.0;
+
+  TimedPoint() = default;
+  TimedPoint(Point l, double t) : loc(l), time_min(t) {}
+  TimedPoint(double x, double y, double t) : loc(x, y), time_min(t) {}
+};
+
+}  // namespace tamp::geo
+
+#endif  // TAMP_GEO_POINT_H_

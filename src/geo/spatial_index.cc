@@ -1,0 +1,66 @@
+#include "geo/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tamp::geo {
+
+SpatialCountIndex::SpatialCountIndex(const GridSpec& spec,
+                                     const std::vector<Point>& points)
+    : spec_(spec), buckets_(spec.num_cells()), num_points_(points.size()) {
+  for (const Point& p : points) {
+    Point clamped = spec_.Clamp(p);
+    buckets_[spec_.FlatIndex(spec_.CellOf(clamped))].push_back(clamped);
+  }
+}
+
+int SpatialCountIndex::CountWithin(const Point& center,
+                                   double radius_km) const {
+  if (radius_km <= 0.0) return 0;
+  double cell_w = spec_.width_km() / spec_.cols();
+  double cell_h = spec_.height_km() / spec_.rows();
+  GridCell lo = spec_.CellOf({center.x - radius_km, center.y - radius_km});
+  GridCell hi = spec_.CellOf({center.x + radius_km, center.y + radius_km});
+  double r2 = radius_km * radius_km;
+  int count = 0;
+  for (int row = lo.row; row <= hi.row; ++row) {
+    for (int col = lo.col; col <= hi.col; ++col) {
+      // Skip cells whose nearest corner is already outside the radius.
+      double cx0 = col * cell_w, cx1 = (col + 1) * cell_w;
+      double cy0 = row * cell_h, cy1 = (row + 1) * cell_h;
+      double dx = std::max({cx0 - center.x, 0.0, center.x - cx1});
+      double dy = std::max({cy0 - center.y, 0.0, center.y - cy1});
+      if (dx * dx + dy * dy > r2) continue;
+      for (const Point& p : buckets_[row * spec_.cols() + col]) {
+        if (DistanceSquared(p, center) < r2) ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<Point> SpatialCountIndex::QueryWithin(const Point& center,
+                                                  double radius_km) const {
+  std::vector<Point> out;
+  if (radius_km <= 0.0) return out;
+  GridCell lo = spec_.CellOf({center.x - radius_km, center.y - radius_km});
+  GridCell hi = spec_.CellOf({center.x + radius_km, center.y + radius_km});
+  double r2 = radius_km * radius_km;
+  for (int row = lo.row; row <= hi.row; ++row) {
+    for (int col = lo.col; col <= hi.col; ++col) {
+      for (const Point& p : buckets_[row * spec_.cols() + col]) {
+        if (DistanceSquared(p, center) < r2) out.push_back(p);
+      }
+    }
+  }
+  return out;
+}
+
+double SpatialCountIndex::MeanCountPerDisk(double radius_km) const {
+  double area = spec_.width_km() * spec_.height_km();
+  double disk = M_PI * radius_km * radius_km;
+  double mean = static_cast<double>(num_points_) * disk / area;
+  return std::max(mean, 1e-6);
+}
+
+}  // namespace tamp::geo

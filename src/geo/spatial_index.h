@@ -1,0 +1,41 @@
+#ifndef TAMP_GEO_SPATIAL_INDEX_H_
+#define TAMP_GEO_SPATIAL_INDEX_H_
+
+#include <vector>
+
+#include "geo/grid.h"
+#include "geo/point.h"
+
+namespace tamp::geo {
+
+/// Uniform-grid point index supporting fast "count points within radius"
+/// queries. The task-assignment-oriented loss (Eq. 7) calls this once per
+/// trajectory point per training step, so the count path must be cheap.
+class SpatialCountIndex {
+ public:
+  /// Buckets points into `spec`'s cells. Points are clamped into the area.
+  SpatialCountIndex(const GridSpec& spec, const std::vector<Point>& points);
+
+  /// Number of indexed points with dis(point, center) < radius_km.
+  int CountWithin(const Point& center, double radius_km) const;
+
+  /// Indexed points with dis(point, center) < radius_km.
+  std::vector<Point> QueryWithin(const Point& center, double radius_km) const;
+
+  size_t num_points() const { return num_points_; }
+
+  /// Average number of points falling in a disk of the given radius, i.e.
+  /// the rho^t normalizer of Eq. 7 (points per unit circular area times the
+  /// disk area). Returns at least a small positive value so weights stay
+  /// finite on empty histories.
+  double MeanCountPerDisk(double radius_km) const;
+
+ private:
+  GridSpec spec_;
+  std::vector<std::vector<Point>> buckets_;
+  size_t num_points_ = 0;
+};
+
+}  // namespace tamp::geo
+
+#endif  // TAMP_GEO_SPATIAL_INDEX_H_

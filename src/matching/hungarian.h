@@ -1,0 +1,58 @@
+#ifndef TAMP_MATCHING_HUNGARIAN_H_
+#define TAMP_MATCHING_HUNGARIAN_H_
+
+#include <utility>
+#include <vector>
+
+namespace tamp::matching {
+
+/// A weighted edge of the assignment bipartite graph. In the TAMP setting
+/// the left side is tasks, the right side is workers, and the weight is the
+/// reciprocal of the (expected) detour, so maximizing total weight prefers
+/// short detours (Alg. 4 lines 9/16/32).
+struct Edge {
+  int left = 0;
+  int right = 0;
+  double weight = 0.0;  // Must be positive; non-positive edges are dropped.
+};
+
+/// Result of a matching: the chosen (left, right) pairs and their summed
+/// edge weight.
+struct MatchResult {
+  std::vector<std::pair<int, int>> pairs;
+  double total_weight = 0.0;
+};
+
+/// Result of a minimum-cost perfect assignment on a dense cost matrix.
+struct AssignmentResult {
+  /// col_of_row[r] is the column assigned to row r.
+  std::vector<int> col_of_row;
+  double total_cost = 0.0;
+};
+
+/// Minimum-cost perfect assignment of every row to a distinct column via
+/// the Kuhn-Munkres potentials/shortest-augmenting-path algorithm, O(r^2 c).
+/// Requires a rectangular matrix with rows() <= cols() and finite costs.
+/// This is the computational core shared by MaxWeightMatching and the exact
+/// 2-D Wasserstein distance.
+AssignmentResult MinCostAssignment(
+    const std::vector<std::vector<double>>& cost);
+
+/// Maximum-weight bipartite matching via the Kuhn-Munkres algorithm
+/// ([35], [36] in the paper) with potentials and shortest augmenting paths,
+/// O(n^3) on the padded square matrix. Vertices may stay unmatched: only
+/// pairs connected by a real (positive-weight) input edge are reported.
+///
+/// `num_left`/`num_right` bound the vertex ids appearing in `edges`.
+/// Duplicate edges keep the maximum weight.
+MatchResult MaxWeightMatching(int num_left, int num_right,
+                              const std::vector<Edge>& edges);
+
+/// Greedy descending-weight matching; used as a test oracle bound (the
+/// greedy total is always <= the KM total) and a cheap fallback.
+MatchResult GreedyMatching(int num_left, int num_right,
+                           const std::vector<Edge>& edges);
+
+}  // namespace tamp::matching
+
+#endif  // TAMP_MATCHING_HUNGARIAN_H_

@@ -1,0 +1,160 @@
+#include "meta/meta_training.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "nn/optimizer.h"
+
+namespace tamp::meta {
+
+std::vector<double> SampleWeights(const MetaTrainConfig& config,
+                                  const TrainingSample& sample) {
+  if (!config.weight_fn) return {};
+  std::vector<double> weights;
+  weights.reserve(sample.target_km.size());
+  for (const auto& p : sample.target_km) weights.push_back(config.weight_fn(p));
+  return weights;
+}
+
+double BatchLossAndGradient(const nn::EncoderDecoder& model,
+                            const std::vector<double>& params,
+                            const std::vector<TrainingSample>& samples,
+                            const MetaTrainConfig& config,
+                            std::vector<double>& grad) {
+  TAMP_CHECK(!samples.empty());
+  TAMP_CHECK(grad.size() == params.size());
+  std::vector<double> sample_grad(params.size(), 0.0);
+  double loss_sum = 0.0;
+  for (const TrainingSample& sample : samples) {
+    std::fill(sample_grad.begin(), sample_grad.end(), 0.0);
+    loss_sum += model.LossAndGradient(params, sample.input, sample.target,
+                                      SampleWeights(config, sample),
+                                      sample_grad);
+    double inv = 1.0 / static_cast<double>(samples.size());
+    for (size_t i = 0; i < grad.size(); ++i) grad[i] += sample_grad[i] * inv;
+  }
+  return loss_sum / static_cast<double>(samples.size());
+}
+
+std::vector<double> AdaptKSteps(const nn::EncoderDecoder& model,
+                                const std::vector<double>& theta,
+                                const std::vector<TrainingSample>& samples,
+                                int steps, double beta,
+                                const MetaTrainConfig& config) {
+  std::vector<double> adapted = theta;
+  if (samples.empty()) return adapted;
+  std::vector<double> grad(theta.size());
+  for (int s = 0; s < steps; ++s) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    BatchLossAndGradient(model, adapted, samples, config, grad);
+    nn::ClipGradientNorm(grad, config.grad_clip);
+    for (size_t i = 0; i < adapted.size(); ++i) adapted[i] -= beta * grad[i];
+  }
+  return adapted;
+}
+
+MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
+                          const std::vector<LearningTask>& tasks,
+                          const std::vector<int>& members,
+                          std::vector<double>& theta,
+                          const MetaTrainConfig& config, Rng& rng) {
+  TAMP_CHECK(!members.empty());
+  TAMP_CHECK(theta.size() == model.param_count());
+
+  MetaTrainResult result;
+  result.meta_gradient.assign(theta.size(), 0.0);
+  std::vector<double> query_grad(theta.size());
+
+  for (int iter = 0; iter < config.iterations; ++iter) {
+    // Alg. 3 line 2: sample a batch of m member tasks.
+    int m = std::min<int>(config.batch_size, static_cast<int>(members.size()));
+    std::vector<size_t> batch = rng.SampleWithoutReplacement(
+        members.size(), static_cast<size_t>(m));
+
+    std::fill(result.meta_gradient.begin(), result.meta_gradient.end(), 0.0);
+    double loss_sum = 0.0;
+    int contributing = 0;
+    for (size_t pick : batch) {
+      const LearningTask& task = tasks[members[pick]];
+      if (task.support.empty() || task.query.empty()) continue;
+      // Alg. 3 lines 4-7: adapt k steps on the support set.
+      std::vector<double> adapted =
+          AdaptKSteps(model, theta, task.support, config.adapt_steps,
+                      config.beta, config);
+      // Alg. 3 line 8: query loss at the adapted parameters.
+      std::fill(query_grad.begin(), query_grad.end(), 0.0);
+      loss_sum += BatchLossAndGradient(model, adapted, task.query, config,
+                                       query_grad);
+      if (config.update_rule == MetaUpdateRule::kFomaml) {
+        // First-order MAML: the query gradient at theta_i is this task's
+        // contribution to the meta-gradient.
+        for (size_t i = 0; i < theta.size(); ++i) {
+          result.meta_gradient[i] += query_grad[i];
+        }
+      } else {
+        // Reptile: move toward the adapted parameters; expressed as a
+        // gradient so the same meta step applies.
+        double inv_beta = 1.0 / config.beta;
+        for (size_t i = 0; i < theta.size(); ++i) {
+          result.meta_gradient[i] += (theta[i] - adapted[i]) * inv_beta;
+        }
+      }
+      ++contributing;
+    }
+    if (contributing == 0) continue;
+    double inv = 1.0 / static_cast<double>(contributing);
+    for (double& g : result.meta_gradient) g *= inv;
+    nn::ClipGradientNorm(result.meta_gradient, config.grad_clip);
+    // Alg. 3 line 9: meta update.
+    for (size_t i = 0; i < theta.size(); ++i) {
+      theta[i] -= config.alpha * result.meta_gradient[i];
+    }
+    result.avg_query_loss = loss_sum * inv;
+  }
+  return result;
+}
+
+double FineTune(const nn::EncoderDecoder& model, const LearningTask& task,
+                std::vector<double>& theta, int steps, double learning_rate,
+                const MetaTrainConfig& config) {
+  std::vector<TrainingSample> samples = task.support;
+  samples.insert(samples.end(), task.query.begin(), task.query.end());
+  if (samples.empty() || steps <= 0) return 0.0;
+  nn::Adam optimizer(theta.size(), learning_rate);
+  std::vector<double> grad(theta.size());
+  double loss = 0.0;
+  for (int s = 0; s < steps; ++s) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    loss = BatchLossAndGradient(model, theta, samples, config, grad);
+    nn::ClipGradientNorm(grad, config.grad_clip);
+    optimizer.Step(theta, grad);
+  }
+  return loss;
+}
+
+similarity::GradientPath ComputeGradientPath(
+    const nn::EncoderDecoder& model, const LearningTask& task,
+    const std::vector<double>& probe_theta, int steps, double beta,
+    const similarity::RandomProjector& projector) {
+  TAMP_CHECK(probe_theta.size() == model.param_count());
+  TAMP_CHECK(projector.input_dim() == model.param_count());
+  similarity::GradientPath path;
+  path.reserve(steps);
+  MetaTrainConfig plain;  // Uniform weights for the probe.
+  std::vector<double> theta = probe_theta;
+  std::vector<double> grad(theta.size());
+  const std::vector<TrainingSample>& samples =
+      task.support.empty() ? task.query : task.support;
+  for (int s = 0; s < steps; ++s) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    if (!samples.empty()) {
+      BatchLossAndGradient(model, theta, samples, plain, grad);
+      nn::ClipGradientNorm(grad, plain.grad_clip);
+    }
+    path.push_back(projector.Project(grad));
+    for (size_t i = 0; i < theta.size(); ++i) theta[i] -= beta * grad[i];
+  }
+  return path;
+}
+
+}  // namespace tamp::meta

@@ -1,0 +1,128 @@
+#include "nn/encoder_decoder.h"
+
+#include "common/check.h"
+
+namespace tamp::nn {
+
+EncoderDecoder::EncoderDecoder(const Seq2SeqConfig& config)
+    : config_(config),
+      encoder_(config.input_dim, config.hidden_dim, /*offset=*/0),
+      decoder_(config.output_dim, config.hidden_dim,
+               encoder_.param_count()),
+      readout_(config.hidden_dim, config.output_dim,
+               encoder_.param_count() + decoder_.param_count()),
+      param_count_(encoder_.param_count() + decoder_.param_count() +
+                   readout_.param_count()) {
+  TAMP_CHECK(config.seq_out >= 1);
+}
+
+std::vector<double> EncoderDecoder::InitParams(Rng& rng) const {
+  std::vector<double> params(param_count_, 0.0);
+  encoder_.InitParams(rng, params);
+  decoder_.InitParams(rng, params);
+  readout_.InitParams(rng, params);
+  return params;
+}
+
+Sequence EncoderDecoder::RunForward(
+    const std::vector<double>& params, const Sequence& input_seq,
+    const Sequence* teacher_targets, std::vector<LstmStepCache>* enc_caches,
+    std::vector<LstmStepCache>* dec_caches,
+    std::vector<std::vector<double>>* dec_hidden) const {
+  TAMP_CHECK(params.size() == param_count_);
+  TAMP_CHECK(!input_seq.empty());
+  for (const auto& step : input_seq) {
+    TAMP_CHECK(static_cast<int>(step.size()) == config_.input_dim);
+  }
+
+  const int hd = config_.hidden_dim;
+  std::vector<double> h(hd, 0.0);
+  std::vector<double> c(hd, 0.0);
+
+  if (enc_caches != nullptr) enc_caches->resize(input_seq.size());
+  LstmStepCache scratch;
+  for (size_t t = 0; t < input_seq.size(); ++t) {
+    LstmStepCache& cache =
+        enc_caches != nullptr ? (*enc_caches)[t] : scratch;
+    encoder_.Forward(params, input_seq[t].data(), h, c, cache);
+  }
+
+  if (dec_caches != nullptr) dec_caches->resize(config_.seq_out);
+  if (dec_hidden != nullptr) dec_hidden->resize(config_.seq_out);
+
+  Sequence outputs(config_.seq_out);
+  // The decoder's first input is the most recent observed location; later
+  // inputs are the previous ground truth (teacher forcing) or the previous
+  // prediction (autoregressive inference).
+  std::vector<double> dec_input = input_seq.back();
+  dec_input.resize(config_.output_dim, 0.0);
+  for (int t = 0; t < config_.seq_out; ++t) {
+    LstmStepCache& cache =
+        dec_caches != nullptr ? (*dec_caches)[t] : scratch;
+    decoder_.Forward(params, dec_input.data(), h, c, cache);
+    if (dec_hidden != nullptr) (*dec_hidden)[t] = h;
+    readout_.Forward(params, h.data(), outputs[t]);
+    if (t + 1 < config_.seq_out) {
+      dec_input = teacher_targets != nullptr
+                      ? (*teacher_targets)[t]
+                      : outputs[t];
+      dec_input.resize(config_.output_dim, 0.0);
+    }
+  }
+  return outputs;
+}
+
+Sequence EncoderDecoder::Predict(const std::vector<double>& params,
+                                 const Sequence& input_seq) const {
+  return RunForward(params, input_seq, /*teacher_targets=*/nullptr,
+                    /*enc_caches=*/nullptr, /*dec_caches=*/nullptr,
+                    /*dec_hidden=*/nullptr);
+}
+
+double EncoderDecoder::LossAndGradient(const std::vector<double>& params,
+                                       const Sequence& input_seq,
+                                       const Sequence& target_seq,
+                                       const std::vector<double>& step_weights,
+                                       std::vector<double>& grad) const {
+  TAMP_CHECK(grad.size() == param_count_);
+  TAMP_CHECK(static_cast<int>(target_seq.size()) == config_.seq_out);
+
+  std::vector<LstmStepCache> enc_caches;
+  std::vector<LstmStepCache> dec_caches;
+  std::vector<std::vector<double>> dec_hidden;
+  Sequence outputs = RunForward(params, input_seq, &target_seq, &enc_caches,
+                                &dec_caches, &dec_hidden);
+
+  double loss = WeightedMseLoss::Value(outputs, target_seq, step_weights);
+  Sequence dout = WeightedMseLoss::Gradient(outputs, target_seq, step_weights);
+
+  const int hd = config_.hidden_dim;
+  std::vector<double> dh(hd, 0.0);
+  std::vector<double> dc(hd, 0.0);
+  std::vector<double> dh_step(hd);
+
+  // Backward through the decoder. Teacher forcing means decoder inputs are
+  // constants, so no gradient flows through dx; the recurrent state carries
+  // all credit back into the encoder.
+  for (int t = config_.seq_out - 1; t >= 0; --t) {
+    readout_.Backward(params, dec_hidden[t].data(), dout[t].data(), grad,
+                      dh_step.data());
+    for (int k = 0; k < hd; ++k) dh[k] += dh_step[k];
+    decoder_.Backward(params, dec_caches[t], dh, dc, grad, /*dx=*/nullptr);
+  }
+  // Backward through the encoder; input gradients are not needed.
+  for (int t = static_cast<int>(enc_caches.size()) - 1; t >= 0; --t) {
+    encoder_.Backward(params, enc_caches[t], dh, dc, grad, /*dx=*/nullptr);
+  }
+  return loss;
+}
+
+double EncoderDecoder::EvalLoss(const std::vector<double>& params,
+                                const Sequence& input_seq,
+                                const Sequence& target_seq,
+                                const std::vector<double>& step_weights) const {
+  Sequence outputs = Predict(params, input_seq);
+  return WeightedMseLoss::Value(outputs, target_seq, step_weights);
+}
+
+}  // namespace tamp::nn

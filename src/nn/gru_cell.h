@@ -1,0 +1,71 @@
+#ifndef TAMP_NN_GRU_CELL_H_
+#define TAMP_NN_GRU_CELL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace tamp::nn {
+
+/// Per-timestep activation cache for GruCell's backward pass.
+struct GruStepCache {
+  std::vector<double> x;       // Input at this step.
+  std::vector<double> h_prev;  // Hidden state entering the step.
+  std::vector<double> z;       // Update gate (post-sigmoid).
+  std::vector<double> r;       // Reset gate (post-sigmoid).
+  std::vector<double> n;       // Candidate (post-tanh).
+  std::vector<double> uh;      // U_n h_prev (pre-reset product), reused.
+};
+
+/// A gated recurrent unit (Cho et al. [27] — the paper's encoder-decoder
+/// reference architecture) with parameters in a caller-provided flat
+/// vector, mirroring LstmCell's conventions. Provided as the alternative
+/// recurrent substrate: the meta-learning stack is model-agnostic, and the
+/// GRU trades a third of the LSTM's parameters for slightly less gating.
+///
+///   z = sigmoid(W_z x + U_z h + b_z)        (update gate)
+///   r = sigmoid(W_r x + U_r h + b_r)        (reset gate)
+///   n = tanh   (W_n x + r .* (U_n h) + b_n) (candidate)
+///   h' = (1 - z) .* n + z .* h
+///
+/// Layout at `offset`:
+///   W  [3H x I] row-major, gate blocks [z r n]
+///   U  [3H x H] row-major, gate blocks [z r n]
+///   b  [3H]
+class GruCell {
+ public:
+  GruCell(int input_dim, int hidden_dim, size_t offset);
+
+  int input_dim() const { return input_dim_; }
+  int hidden_dim() const { return hidden_dim_; }
+  size_t offset() const { return offset_; }
+  size_t param_count() const {
+    size_t h3 = static_cast<size_t>(3) * hidden_dim_;
+    return h3 * input_dim_ + h3 * hidden_dim_ + h3;
+  }
+
+  /// Xavier weights, zero biases.
+  void InitParams(Rng& rng, std::vector<double>& params) const;
+
+  /// One timestep; `h` (hidden_dim) is updated in place and `cache` filled
+  /// for the backward pass.
+  void Forward(const std::vector<double>& params, const double* x,
+               std::vector<double>& h, GruStepCache& cache) const;
+
+  /// Backward through one timestep: `dh` carries dLoss/dh' in and is
+  /// replaced by dLoss/dh_prev. Parameter gradients accumulate into
+  /// `grad`; the input gradient is written to `dx` when non-null.
+  void Backward(const std::vector<double>& params, const GruStepCache& cache,
+                std::vector<double>& dh, std::vector<double>& grad,
+                double* dx) const;
+
+ private:
+  int input_dim_;
+  int hidden_dim_;
+  size_t offset_;
+};
+
+}  // namespace tamp::nn
+
+#endif  // TAMP_NN_GRU_CELL_H_

@@ -1,0 +1,17 @@
+#include "nn/init.h"
+
+#include <cmath>
+
+namespace tamp::nn {
+
+void XavierUniform(Rng& rng, double* data, size_t count, int fan_in,
+                   int fan_out) {
+  double limit = std::sqrt(6.0 / static_cast<double>(fan_in + fan_out));
+  for (size_t i = 0; i < count; ++i) data[i] = rng.Uniform(-limit, limit);
+}
+
+void Fill(double* data, size_t count, double value) {
+  for (size_t i = 0; i < count; ++i) data[i] = value;
+}
+
+}  // namespace tamp::nn

@@ -1,0 +1,21 @@
+#ifndef TAMP_NN_INIT_H_
+#define TAMP_NN_INIT_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+
+namespace tamp::nn {
+
+/// Xavier/Glorot uniform initialization for a weight block of shape
+/// fan_out x fan_in: U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out))).
+void XavierUniform(Rng& rng, double* data, size_t count, int fan_in,
+                   int fan_out);
+
+/// Fills a block with a constant (used for biases; LSTM forget-gate biases
+/// are conventionally initialized to 1 for gradient flow).
+void Fill(double* data, size_t count, double value);
+
+}  // namespace tamp::nn
+
+#endif  // TAMP_NN_INIT_H_

@@ -1,0 +1,56 @@
+#include "nn/loss.h"
+
+#include "common/check.h"
+
+namespace tamp::nn {
+namespace {
+
+void CheckShapes(const Sequence& predicted, const Sequence& target,
+                 const std::vector<double>& weights) {
+  TAMP_CHECK(!predicted.empty());
+  TAMP_CHECK(predicted.size() == target.size());
+  TAMP_CHECK(weights.empty() || weights.size() == predicted.size());
+  for (size_t t = 0; t < predicted.size(); ++t) {
+    TAMP_CHECK(predicted[t].size() == target[t].size());
+    TAMP_CHECK(!predicted[t].empty());
+  }
+}
+
+}  // namespace
+
+double WeightedMseLoss::Value(const Sequence& predicted,
+                              const Sequence& target,
+                              const std::vector<double>& weights) {
+  CheckShapes(predicted, target, weights);
+  double acc = 0.0;
+  size_t terms = 0;
+  for (size_t t = 0; t < predicted.size(); ++t) {
+    double w = weights.empty() ? 1.0 : weights[t];
+    for (size_t d = 0; d < predicted[t].size(); ++d) {
+      double diff = predicted[t][d] - target[t][d];
+      acc += w * diff * diff;
+    }
+    terms += predicted[t].size();
+  }
+  return acc / static_cast<double>(terms);
+}
+
+Sequence WeightedMseLoss::Gradient(const Sequence& predicted,
+                                   const Sequence& target,
+                                   const std::vector<double>& weights) {
+  CheckShapes(predicted, target, weights);
+  size_t terms = 0;
+  for (const auto& step : predicted) terms += step.size();
+  double scale = 2.0 / static_cast<double>(terms);
+  Sequence grad(predicted.size());
+  for (size_t t = 0; t < predicted.size(); ++t) {
+    double w = weights.empty() ? 1.0 : weights[t];
+    grad[t].resize(predicted[t].size());
+    for (size_t d = 0; d < predicted[t].size(); ++d) {
+      grad[t][d] = scale * w * (predicted[t][d] - target[t][d]);
+    }
+  }
+  return grad;
+}
+
+}  // namespace tamp::nn

@@ -1,0 +1,31 @@
+#ifndef TAMP_NN_LOSS_H_
+#define TAMP_NN_LOSS_H_
+
+#include <vector>
+
+namespace tamp::nn {
+
+/// A sequence of D-dimensional vectors (model inputs, outputs, targets).
+using Sequence = std::vector<std::vector<double>>;
+
+/// Weighted mean-squared-error over an output sequence — Eq. 6 of the
+/// paper:  L = (1/|r|) * sum_i f_w(l_i) * ||l_i - l̂_i||^2,
+/// normalized additionally by the point dimensionality so losses are
+/// comparable across output dims. With all weights equal to 1 this is the
+/// plain MSE loss the baselines (KM-loss / PPI-loss) train with.
+class WeightedMseLoss {
+ public:
+  /// Loss value. `weights` has one entry per sequence step; pass an empty
+  /// vector for uniform (plain MSE) weights. Sequences must be non-empty
+  /// and shape-consistent.
+  static double Value(const Sequence& predicted, const Sequence& target,
+                      const std::vector<double>& weights);
+
+  /// dL/d(predicted); same shape as `predicted`.
+  static Sequence Gradient(const Sequence& predicted, const Sequence& target,
+                           const std::vector<double>& weights);
+};
+
+}  // namespace tamp::nn
+
+#endif  // TAMP_NN_LOSS_H_

@@ -1,0 +1,80 @@
+#include "nn/serialization.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tamp::nn {
+namespace {
+
+constexpr char kMagic[] = "TAMP_MODEL v1";
+
+}  // namespace
+
+Status SaveModelBundle(const std::string& path, const ModelBundle& bundle) {
+  EncoderDecoder model(bundle.config);
+  for (const auto& params : bundle.param_sets) {
+    if (params.size() != model.param_count()) {
+      return Status::InvalidArgument(
+          "parameter set size does not match the model architecture");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) return Status::Internal("cannot open '" + path + "' for writing");
+  out << kMagic << "\n";
+  out << bundle.config.input_dim << " " << bundle.config.hidden_dim << " "
+      << bundle.config.output_dim << " " << bundle.config.seq_out << "\n";
+  out << bundle.param_sets.size() << " " << model.param_count() << "\n";
+  char buf[32];
+  for (const auto& params : bundle.param_sets) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      std::snprintf(buf, sizeof(buf), "%.17g", params[i]);
+      out << buf << (i + 1 == params.size() ? "" : " ");
+    }
+    out << "\n";
+  }
+  out.flush();
+  if (!out) return Status::Internal("write to '" + path + "' failed");
+  return Status::Ok();
+}
+
+StatusOr<ModelBundle> LoadModelBundle(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::string magic;
+  std::getline(in, magic);
+  if (magic != kMagic) {
+    return Status::InvalidArgument("'" + path + "' is not a TAMP model file");
+  }
+  ModelBundle bundle;
+  size_t num_sets = 0, param_count = 0;
+  if (!(in >> bundle.config.input_dim >> bundle.config.hidden_dim >>
+        bundle.config.output_dim >> bundle.config.seq_out)) {
+    return Status::InvalidArgument("malformed architecture line");
+  }
+  if (bundle.config.input_dim <= 0 || bundle.config.hidden_dim <= 0 ||
+      bundle.config.output_dim <= 0 || bundle.config.seq_out <= 0) {
+    return Status::InvalidArgument("non-positive architecture dimension");
+  }
+  if (!(in >> num_sets >> param_count)) {
+    return Status::InvalidArgument("malformed size line");
+  }
+  EncoderDecoder model(bundle.config);
+  if (param_count != model.param_count()) {
+    return Status::InvalidArgument(
+        "recorded parameter count does not match the architecture");
+  }
+  bundle.param_sets.resize(num_sets);
+  for (auto& params : bundle.param_sets) {
+    params.resize(param_count);
+    for (double& v : params) {
+      if (!(in >> v)) {
+        return Status::InvalidArgument("truncated parameter data");
+      }
+    }
+  }
+  return bundle;
+}
+
+}  // namespace tamp::nn

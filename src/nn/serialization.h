@@ -1,0 +1,32 @@
+#ifndef TAMP_NN_SERIALIZATION_H_
+#define TAMP_NN_SERIALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "nn/encoder_decoder.h"
+
+namespace tamp::nn {
+
+/// A model bundle on disk: the architecture plus one or more parameter
+/// vectors (e.g. the per-worker models the offline stage produces).
+struct ModelBundle {
+  Seq2SeqConfig config;
+  std::vector<std::vector<double>> param_sets;
+};
+
+/// Writes a bundle as a line-oriented text file (round-trip exact via
+/// %.17g). Returns InvalidArgument for inconsistent shapes and Internal
+/// for I/O failures. The trained platform state can thus persist between
+/// the offline and online stages, as Fig. 1's deployment implies.
+Status SaveModelBundle(const std::string& path, const ModelBundle& bundle);
+
+/// Reads a bundle written by SaveModelBundle. Returns NotFound when the
+/// file cannot be opened and InvalidArgument on malformed content
+/// (including parameter counts that do not match the recorded config).
+StatusOr<ModelBundle> LoadModelBundle(const std::string& path);
+
+}  // namespace tamp::nn
+
+#endif  // TAMP_NN_SERIALIZATION_H_

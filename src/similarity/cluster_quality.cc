@@ -1,0 +1,81 @@
+#include "similarity/cluster_quality.h"
+
+#include "common/check.h"
+
+namespace tamp::similarity {
+
+PairwiseSimilarity::PairwiseSimilarity(int n, SimilarityFn fn)
+    : n_(n), fn_(std::move(fn)) {
+  TAMP_CHECK(n >= 0);
+  size_t pairs = static_cast<size_t>(n) * (n + 1) / 2;
+  cache_.assign(pairs, 0.0);
+  computed_.assign(pairs, 0);
+}
+
+size_t PairwiseSimilarity::PackIndex(int i, int j) const {
+  TAMP_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
+  if (i > j) std::swap(i, j);
+  // Row-major upper triangle: offset of row i plus column displacement.
+  return static_cast<size_t>(i) * (2 * n_ - i + 1) / 2 +
+         static_cast<size_t>(j - i);
+}
+
+double PairwiseSimilarity::operator()(int i, int j) const {
+  if (i == j) return 1.0;
+  size_t idx = PackIndex(i, j);
+  if (!computed_[idx]) {
+    cache_[idx] = fn_(i, j);
+    computed_[idx] = 1;
+  }
+  return cache_[idx];
+}
+
+void PairwiseSimilarity::Materialize() const {
+  for (int i = 0; i < n_; ++i) {
+    for (int j = i + 1; j < n_; ++j) (*this)(i, j);
+  }
+}
+
+double ClusterQuality(const PairwiseSimilarity& sim,
+                      const std::vector<int>& members,
+                      double gamma_singleton) {
+  size_t size = members.size();
+  if (size == 0) return 0.0;
+  if (size == 1) return gamma_singleton;
+  double sum = 0.0;
+  for (size_t a = 0; a < size; ++a) {
+    for (size_t b = a + 1; b < size; ++b) {
+      sum += sim(members[a], members[b]);
+    }
+  }
+  // Eq. 4 sums ordered pairs (i, j != i); the unordered sum counts each
+  // pair once, so double it before normalizing by |G|(|G|-1).
+  return 2.0 * sum / (static_cast<double>(size) * (size - 1));
+}
+
+double JoinUtility(const PairwiseSimilarity& sim,
+                   const std::vector<int>& cluster_without_task, int task,
+                   double gamma_singleton) {
+  size_t old_size = cluster_without_task.size();
+  if (old_size == 0) {
+    // Joining an empty cluster creates a singleton: Q goes 0 -> gamma.
+    return gamma_singleton;
+  }
+  double old_sum = 0.0;
+  for (size_t a = 0; a < old_size; ++a) {
+    for (size_t b = a + 1; b < old_size; ++b) {
+      old_sum += sim(cluster_without_task[a], cluster_without_task[b]);
+    }
+  }
+  double join_sum = 0.0;
+  for (int member : cluster_without_task) join_sum += sim(member, task);
+  double new_size = static_cast<double>(old_size + 1);
+  double q_new = 2.0 * (old_sum + join_sum) / (new_size * (new_size - 1.0));
+  double q_old = old_size == 1
+                     ? gamma_singleton
+                     : 2.0 * old_sum / (static_cast<double>(old_size) *
+                                        (old_size - 1.0));
+  return q_new - q_old;
+}
+
+}  // namespace tamp::similarity

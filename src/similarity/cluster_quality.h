@@ -1,0 +1,52 @@
+#ifndef TAMP_SIMILARITY_CLUSTER_QUALITY_H_
+#define TAMP_SIMILARITY_CLUSTER_QUALITY_H_
+
+#include <functional>
+#include <vector>
+
+namespace tamp::similarity {
+
+/// Pairwise similarity over a fixed set of n learning tasks, evaluated
+/// lazily and cached. The clustering game queries the same pairs many times
+/// during best-response iteration, so values are computed at most once.
+class PairwiseSimilarity {
+ public:
+  using SimilarityFn = std::function<double(int, int)>;
+
+  /// `fn(i, j)` must be symmetric and is only called for i != j.
+  PairwiseSimilarity(int n, SimilarityFn fn);
+
+  int size() const { return n_; }
+
+  /// Similarity of tasks i and j (cached); Sim(i, i) is defined as 1.
+  double operator()(int i, int j) const;
+
+  /// Forces computation of all pairs (useful before timing-sensitive code).
+  void Materialize() const;
+
+ private:
+  int n_;
+  SimilarityFn fn_;
+  mutable std::vector<double> cache_;    // Upper-triangular, packed.
+  mutable std::vector<char> computed_;
+  size_t PackIndex(int i, int j) const;
+};
+
+/// Cluster quality Q(G) (Eq. 4): mean pairwise similarity for |G| > 1,
+/// `gamma_singleton` for |G| = 1, and 0 for an empty cluster. `members`
+/// holds task indices into `sim`.
+double ClusterQuality(const PairwiseSimilarity& sim,
+                      const std::vector<int>& members,
+                      double gamma_singleton);
+
+/// Marginal utility u(task, G) = Q(G ∪ {task}) - Q(G) (Eq. 5's change in
+/// quality when `task` joins `G`, with `G` given *excluding* the task).
+/// Reference implementation used by tests; the GTMC game maintains
+/// per-cluster pairwise sums incrementally for speed.
+double JoinUtility(const PairwiseSimilarity& sim,
+                   const std::vector<int>& cluster_without_task, int task,
+                   double gamma_singleton);
+
+}  // namespace tamp::similarity
+
+#endif  // TAMP_SIMILARITY_CLUSTER_QUALITY_H_

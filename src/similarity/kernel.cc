@@ -1,0 +1,31 @@
+#include "similarity/kernel.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tamp::similarity {
+
+double PoiKernel(const geo::Poi& a, const geo::Poi& b,
+                 const SpatialKernelParams& params) {
+  TAMP_CHECK(params.bandwidth_km > 0.0);
+  double d2 = geo::DistanceSquared(a.loc, b.loc);
+  double h2 = params.bandwidth_km * params.bandwidth_km;
+  double spatial = std::exp(-d2 / (2.0 * h2));
+  double type_factor = a.type == b.type ? 1.0 : params.type_mismatch_factor;
+  return spatial * type_factor;
+}
+
+double SpatialSimilarity(const geo::PoiSequence& a, const geo::PoiSequence& b,
+                         const SpatialKernelParams& params) {
+  if (a.empty() || b.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& va : a) {
+    for (const auto& vb : b) acc += PoiKernel(va, vb, params);
+  }
+  double mean = acc / (static_cast<double>(a.size()) * b.size());
+  return std::clamp(mean, 0.0, 1.0);
+}
+
+}  // namespace tamp::similarity

@@ -1,0 +1,32 @@
+#ifndef TAMP_SIMILARITY_KERNEL_H_
+#define TAMP_SIMILARITY_KERNEL_H_
+
+#include "geo/poi.h"
+
+namespace tamp::similarity {
+
+/// Parameters of the kernel used by the spatial-feature similarity (Eq. 1).
+/// Follows the kernel-density modelling of human location data of [23]/[24]:
+/// a Gaussian spatial kernel combined with a POI-type agreement factor.
+struct SpatialKernelParams {
+  /// Gaussian bandwidth h in km.
+  double bandwidth_km = 1.0;
+  /// Multiplier applied when the two POIs have different types, in [0, 1].
+  double type_mismatch_factor = 0.5;
+};
+
+/// K_h(v_a, v_b): Gaussian kernel on the POI distance, attenuated when the
+/// POI types differ. Always in (0, 1].
+double PoiKernel(const geo::Poi& a, const geo::Poi& b,
+                 const SpatialKernelParams& params);
+
+/// Spatial-feature similarity Sim_s (Eq. 1): the mean pairwise kernel value
+/// between the two POI sequences, normalized into [0, 1] (the kernel is
+/// already bounded by 1, so Norm is a clamp). Returns 0 when either
+/// sequence is empty.
+double SpatialSimilarity(const geo::PoiSequence& a, const geo::PoiSequence& b,
+                         const SpatialKernelParams& params);
+
+}  // namespace tamp::similarity
+
+#endif  // TAMP_SIMILARITY_KERNEL_H_

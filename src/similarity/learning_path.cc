@@ -1,0 +1,60 @@
+#include "similarity/learning_path.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace tamp::similarity {
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TAMP_CHECK(a.size() == b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * b[i];
+    na += a[i] * a[i];
+    nb += b[i] * b[i];
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double LearningPathSimilarity(const GradientPath& a, const GradientPath& b) {
+  TAMP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double acc = 0.0;
+  for (size_t step = 0; step < a.size(); ++step) {
+    acc += CosineSimilarity(a[step], b[step]);
+  }
+  double mean_cos = acc / static_cast<double>(a.size());
+  // Map [-1, 1] -> [0, 1] so Sim_l composes with Sim_s / Sim_d in Q(G).
+  return 0.5 * (mean_cos + 1.0);
+}
+
+RandomProjector::RandomProjector(size_t input_dim, size_t output_dim,
+                                 uint64_t seed)
+    : input_dim_(input_dim), output_dim_(output_dim) {
+  TAMP_CHECK(input_dim > 0 && output_dim > 0);
+  Rng rng(seed);
+  signs_.resize(input_dim * output_dim);
+  for (auto& s : signs_) s = rng.Bernoulli(0.5) ? 1 : -1;
+}
+
+std::vector<double> RandomProjector::Project(
+    const std::vector<double>& input) const {
+  TAMP_CHECK(input.size() == input_dim_);
+  std::vector<double> out(output_dim_, 0.0);
+  double scale = 1.0 / std::sqrt(static_cast<double>(output_dim_));
+  for (size_t r = 0; r < output_dim_; ++r) {
+    const int8_t* row = signs_.data() + r * input_dim_;
+    double acc = 0.0;
+    for (size_t c = 0; c < input_dim_; ++c) {
+      acc += row[c] > 0 ? input[c] : -input[c];
+    }
+    out[r] = acc * scale;
+  }
+  return out;
+}
+
+}  // namespace tamp::similarity

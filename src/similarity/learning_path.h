@@ -1,0 +1,50 @@
+#ifndef TAMP_SIMILARITY_LEARNING_PATH_H_
+#define TAMP_SIMILARITY_LEARNING_PATH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace tamp::similarity {
+
+/// The k-step gradient path Z^(i) of a learning task: the gradient vector
+/// recorded at each of the first k adaptation steps of a probe meta-learner
+/// (Section III-B, "Learning path").
+using GradientPath = std::vector<std::vector<double>>;
+
+/// Cosine similarity of two vectors; 0 when either is (near) zero.
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b);
+
+/// Learning-path similarity Sim_l (Eq. 2): the mean cosine similarity of
+/// the step-aligned gradients. The paths must have the same number of
+/// steps. Result is mapped from [-1,1] into [0,1] so it composes with the
+/// other similarity factors in Q(G).
+double LearningPathSimilarity(const GradientPath& a, const GradientPath& b);
+
+/// Seeded sparse random projection (Achlioptas +-1 signs) used to reduce
+/// model-sized gradient vectors to a small fixed dimension before storing
+/// them in gradient paths. Johnson-Lindenstrauss: cosine similarities are
+/// approximately preserved, which is all Sim_l consumes.
+class RandomProjector {
+ public:
+  /// Projects `input_dim`-vectors to `output_dim`-vectors. The projection
+  /// matrix is derived deterministically from `seed` so every learning task
+  /// shares the same projection.
+  RandomProjector(size_t input_dim, size_t output_dim, uint64_t seed);
+
+  size_t input_dim() const { return input_dim_; }
+  size_t output_dim() const { return output_dim_; }
+
+  std::vector<double> Project(const std::vector<double>& input) const;
+
+ private:
+  size_t input_dim_;
+  size_t output_dim_;
+  /// Row-major sign matrix [output_dim x input_dim], entries +-1.
+  std::vector<int8_t> signs_;
+};
+
+}  // namespace tamp::similarity
+
+#endif  // TAMP_SIMILARITY_LEARNING_PATH_H_

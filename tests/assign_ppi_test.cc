@@ -1,0 +1,189 @@
+#include "assign/ppi.h"
+
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::assign {
+namespace {
+
+SpatialTask MakeTask(int id, geo::Point loc, double deadline = 1000.0) {
+  SpatialTask t;
+  t.id = id;
+  t.location = loc;
+  t.deadline_min = deadline;
+  return t;
+}
+
+CandidateWorker MakeWorker(int id, std::vector<geo::TimedPoint> predicted,
+                           double mr, double detour_km = 2.0) {
+  CandidateWorker w;
+  w.id = id;
+  w.predicted = std::move(predicted);
+  w.detour_budget_km = detour_km;
+  w.speed_kmpm = 1.0;
+  w.matching_rate = mr;
+  return w;
+}
+
+void ExpectDisjoint(const AssignmentPlan& plan) {
+  std::set<int> tasks, workers;
+  for (const auto& pair : plan.pairs) {
+    EXPECT_TRUE(tasks.insert(pair.task_index).second);
+    EXPECT_TRUE(workers.insert(pair.worker_index).second);
+  }
+}
+
+std::map<int, int> WorkerOfTask(const AssignmentPlan& plan) {
+  std::map<int, int> out;
+  for (const auto& pair : plan.pairs) out[pair.task_index] = pair.worker_index;
+  return out;
+}
+
+/// A staged scenario (a = 0, d = 2 so the Theorem-2 bound is 1):
+///  - W0 (MR 0.6) has two predicted points near T0: |B| = 2, score 1.2
+///    -> matched in stage 1.
+///  - W1 (MR 0.5) has one point near T0: score 0.5 -> stage 2, but T0 is
+///    already taken, so W1 stays free.
+///  - W2 (MR 0.4) has one point near T1: score 0.4 -> matched in stage 2.
+TEST(PpiAssignTest, StagesResolveInOrder) {
+  std::vector<SpatialTask> tasks = {MakeTask(0, {0.0, 0.0}),
+                                    MakeTask(1, {10.0, 0.0})};
+  std::vector<CandidateWorker> workers = {
+      MakeWorker(0, {{0.0, 0.0, 10.0}, {0.5, 0.0, 20.0}}, 0.6),
+      MakeWorker(1, {{0.8, 0.0, 10.0}}, 0.5),
+      MakeWorker(2, {{10.2, 0.0, 10.0}}, 0.4),
+  };
+  PpiConfig config;
+  config.match_radius_km = 0.0;
+  config.epsilon = 1;
+  AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+  ExpectDisjoint(plan);
+  auto assignment = WorkerOfTask(plan);
+  ASSERT_EQ(assignment.size(), 2u);
+  EXPECT_EQ(assignment[0], 0);  // Stage 1: the certain pair wins T0.
+  EXPECT_EQ(assignment[1], 2);  // Stage 2.
+}
+
+TEST(PpiAssignTest, StageOnePrefersCertainOverCloser) {
+  // W0 is *closer* to the task but uncertain (low MR, small |B|); W1 is a
+  // bit farther but certain (score >= 1). Stage 1 runs first, so W1 gets
+  // the task even though a pure nearest matching would pick W0.
+  std::vector<SpatialTask> tasks = {MakeTask(0, {0.0, 0.0})};
+  std::vector<CandidateWorker> workers = {
+      MakeWorker(0, {{0.1, 0.0, 10.0}}, 0.3),
+      MakeWorker(1, {{0.4, 0.0, 10.0}, {0.5, 0.0, 20.0}, {0.6, 0.0, 30.0}},
+                 0.5),
+  };
+  PpiConfig config;
+  config.match_radius_km = 0.0;
+  AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+  auto assignment = WorkerOfTask(plan);
+  ASSERT_EQ(assignment.size(), 1u);
+  EXPECT_EQ(assignment[0], 1);
+}
+
+TEST(PpiAssignTest, StageThreeCatchesTheoremTwoRejects) {
+  // With a = 0.6 and bound 1: the worker's best distance 0.8 fails the
+  // Theorem-2 test (0.8 + 0.6 > 1) but passes stage 3 (0.8 <= 1).
+  std::vector<SpatialTask> tasks = {MakeTask(0, {0.0, 0.0})};
+  std::vector<CandidateWorker> workers = {
+      MakeWorker(0, {{0.8, 0.0, 10.0}}, 0.9)};
+  PpiConfig config;
+  config.match_radius_km = 0.6;
+  AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+  ASSERT_EQ(plan.pairs.size(), 1u);
+}
+
+TEST(PpiAssignTest, InfeasiblePairsStayUnassigned) {
+  std::vector<SpatialTask> tasks = {MakeTask(0, {50.0, 50.0})};
+  std::vector<CandidateWorker> workers = {
+      MakeWorker(0, {{0.0, 0.0, 10.0}}, 0.9)};
+  PpiConfig config;
+  AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+  EXPECT_TRUE(plan.pairs.empty());
+}
+
+TEST(PpiAssignTest, EmptyInputs) {
+  PpiConfig config;
+  EXPECT_TRUE(PpiAssign({}, {MakeWorker(0, {}, 0.5)}, 0.0, config)
+                  .pairs.empty());
+  EXPECT_TRUE(
+      PpiAssign({MakeTask(0, {0, 0})}, {}, 0.0, config).pairs.empty());
+}
+
+TEST(PpiAssignTest, MoreTasksThanWorkers) {
+  std::vector<SpatialTask> tasks;
+  for (int i = 0; i < 5; ++i) {
+    tasks.push_back(MakeTask(i, {static_cast<double>(i), 0.0}));
+  }
+  std::vector<CandidateWorker> workers = {
+      MakeWorker(0, {{0.0, 0.0, 10.0}}, 0.8),
+      MakeWorker(1, {{4.0, 0.0, 10.0}}, 0.8),
+  };
+  PpiConfig config;
+  config.match_radius_km = 0.0;
+  AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+  ExpectDisjoint(plan);
+  EXPECT_EQ(plan.pairs.size(), 2u);
+}
+
+TEST(PpiAssignTest, EpsilonBatchingDoesNotDropPairs) {
+  // Many uncertain pairs: whatever epsilon, all feasible tasks must end up
+  // assigned (one worker each).
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> workers;
+  for (int i = 0; i < 6; ++i) {
+    tasks.push_back(MakeTask(i, {static_cast<double>(2 * i), 0.0}));
+    workers.push_back(MakeWorker(
+        i, {{2.0 * i + 0.3, 0.0, 10.0}}, 0.3 + 0.05 * i));
+  }
+  for (int epsilon : {1, 2, 3, 10}) {
+    PpiConfig config;
+    config.match_radius_km = 0.0;
+    config.epsilon = epsilon;
+    AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+    ExpectDisjoint(plan);
+    EXPECT_EQ(plan.pairs.size(), 6u) << "epsilon=" << epsilon;
+  }
+}
+
+TEST(PpiAssignTest, RandomInstancesProduceValidPlans) {
+  tamp::Rng rng(37);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<SpatialTask> tasks;
+    std::vector<CandidateWorker> workers;
+    int nt = 3 + static_cast<int>(rng.UniformInt(0, 7));
+    int nw = 3 + static_cast<int>(rng.UniformInt(0, 7));
+    for (int i = 0; i < nt; ++i) {
+      tasks.push_back(MakeTask(i, {rng.Uniform(0, 10), rng.Uniform(0, 10)},
+                               rng.Uniform(5, 60)));
+    }
+    for (int i = 0; i < nw; ++i) {
+      std::vector<geo::TimedPoint> pred;
+      for (int p = 0; p < 4; ++p) {
+        pred.push_back(
+            {{rng.Uniform(0, 10), rng.Uniform(0, 10)}, 10.0 * (p + 1)});
+      }
+      workers.push_back(MakeWorker(i, pred, rng.Uniform01(),
+                                   rng.Uniform(1.0, 6.0)));
+    }
+    PpiConfig config;
+    config.match_radius_km = 0.5;
+    config.epsilon = 2;
+    AssignmentPlan plan = PpiAssign(tasks, workers, 0.0, config);
+    ExpectDisjoint(plan);
+    for (const auto& pair : plan.pairs) {
+      EXPECT_GE(pair.task_index, 0);
+      EXPECT_LT(pair.task_index, nt);
+      EXPECT_GE(pair.worker_index, 0);
+      EXPECT_LT(pair.worker_index, nw);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tamp::assign

@@ -1,0 +1,167 @@
+#include "cluster/game_clustering.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/cluster_quality.h"
+
+namespace tamp::cluster {
+namespace {
+
+/// Two clean groups {0..4} and {5..9}.
+similarity::PairwiseSimilarity TwoGroups() {
+  return similarity::PairwiseSimilarity(10, [](int i, int j) {
+    return (i < 5) == (j < 5) ? 0.85 : 0.05;
+  });
+}
+
+std::vector<int> AllItems(int n) {
+  std::vector<int> items(n);
+  for (int i = 0; i < n; ++i) items[i] = i;
+  return items;
+}
+
+GameClusteringConfig DefaultConfig() {
+  GameClusteringConfig config;
+  config.k = 4;
+  config.gamma = 0.2;
+  return config;
+}
+
+void ExpectPartition(const GameClusteringResult& result, int n) {
+  std::set<int> seen;
+  for (const auto& cluster : result.clusters) {
+    EXPECT_FALSE(cluster.empty());
+    for (int item : cluster) {
+      EXPECT_TRUE(seen.insert(item).second) << "duplicate item " << item;
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(n));
+}
+
+TEST(GameTheoreticClusterTest, PartitionsAllItems) {
+  auto sim = TwoGroups();
+  tamp::Rng rng(3);
+  auto result =
+      GameTheoreticCluster(sim, AllItems(10), DefaultConfig(), rng);
+  ExpectPartition(result, 10);
+}
+
+TEST(GameTheoreticClusterTest, ReachesNashEquilibrium) {
+  auto sim = TwoGroups();
+  tamp::Rng rng(5);
+  auto result =
+      GameTheoreticCluster(sim, AllItems(10), DefaultConfig(), rng);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GE(result.rounds, 1);
+}
+
+TEST(GameTheoreticClusterTest, PotentialIsMonotoneNonDecreasing) {
+  // Theorem 1: the game is an exact potential game, so best-response moves
+  // never decrease F = sum Q(G).
+  tamp::Rng seed_rng(7);
+  for (int trial = 0; trial < 5; ++trial) {
+    // Random similarity instance.
+    std::vector<std::vector<double>> m(12, std::vector<double>(12, 0.0));
+    for (int i = 0; i < 12; ++i) {
+      for (int j = i + 1; j < 12; ++j) {
+        m[i][j] = m[j][i] = seed_rng.Uniform01();
+      }
+    }
+    similarity::PairwiseSimilarity sim(
+        12, [&m](int i, int j) { return m[i][j]; });
+    tamp::Rng rng(100 + trial);
+    auto result = GameTheoreticCluster(sim, AllItems(12), DefaultConfig(), rng);
+    for (size_t s = 1; s < result.potential_history.size(); ++s) {
+      EXPECT_GE(result.potential_history[s],
+                result.potential_history[s - 1] - 1e-9)
+          << "potential decreased at sweep " << s;
+    }
+  }
+}
+
+TEST(GameTheoreticClusterTest, SeparatesTheTwoGroups) {
+  auto sim = TwoGroups();
+  tamp::Rng rng(11);
+  GameClusteringConfig config = DefaultConfig();
+  config.k = 2;
+  auto result = GameTheoreticCluster(sim, AllItems(10), config, rng);
+  ASSERT_EQ(result.clusters.size(), 2u);
+  for (const auto& cluster : result.clusters) {
+    bool low = std::all_of(cluster.begin(), cluster.end(),
+                           [](int i) { return i < 5; });
+    bool high = std::all_of(cluster.begin(), cluster.end(),
+                            [](int i) { return i >= 5; });
+    EXPECT_TRUE(low || high) << "mixed cluster";
+  }
+}
+
+TEST(GameTheoreticClusterTest, NashCertificate) {
+  // At equilibrium no player can strictly improve by moving (checked via
+  // the reference JoinUtility implementation).
+  auto sim = TwoGroups();
+  tamp::Rng rng(13);
+  GameClusteringConfig config = DefaultConfig();
+  auto result = GameTheoreticCluster(sim, AllItems(10), config, rng);
+  ASSERT_TRUE(result.converged);
+  for (size_t c = 0; c < result.clusters.size(); ++c) {
+    for (int player : result.clusters[c]) {
+      // Current utility: Q(G) - Q(G \ {player}).
+      std::vector<int> without = result.clusters[c];
+      without.erase(std::find(without.begin(), without.end(), player));
+      double stay = similarity::JoinUtility(sim, without, player, config.gamma);
+      for (size_t other = 0; other < result.clusters.size(); ++other) {
+        if (other == c) continue;
+        double join = similarity::JoinUtility(sim, result.clusters[other],
+                                              player, config.gamma);
+        EXPECT_LE(join, stay + 1e-9)
+            << "player " << player << " would move " << c << "->" << other;
+      }
+    }
+  }
+}
+
+TEST(GameTheoreticClusterTest, SingleItem) {
+  similarity::PairwiseSimilarity sim(1, [](int, int) { return 1.0; });
+  tamp::Rng rng(17);
+  auto result = GameTheoreticCluster(sim, {0}, DefaultConfig(), rng);
+  ASSERT_EQ(result.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters[0], std::vector<int>{0});
+}
+
+TEST(GameTheoreticClusterTest, WorksOnItemSubsets) {
+  // Items need not be 0..n-1: pass global learning-task ids.
+  auto sim = TwoGroups();
+  tamp::Rng rng(19);
+  std::vector<int> subset = {1, 3, 6, 8};
+  auto result = GameTheoreticCluster(sim, subset, DefaultConfig(), rng);
+  std::set<int> seen;
+  for (const auto& cluster : result.clusters) {
+    for (int item : cluster) seen.insert(item);
+  }
+  EXPECT_EQ(seen, std::set<int>(subset.begin(), subset.end()));
+}
+
+TEST(KMedoidsClusterTest, PartitionsWithoutGame) {
+  auto sim = TwoGroups();
+  tamp::Rng rng(23);
+  auto result = KMedoidsCluster(sim, AllItems(10), DefaultConfig(), rng);
+  ExpectPartition(result, 10);
+  EXPECT_EQ(result.rounds, 0);
+}
+
+TEST(GameTheoreticClusterTest, GameNeverWorseThanInitOnPotential) {
+  // The final potential must be >= the k-medoids initialization potential.
+  auto sim = TwoGroups();
+  tamp::Rng rng_a(29), rng_b(29);
+  auto init = KMedoidsCluster(sim, AllItems(10), DefaultConfig(), rng_a);
+  auto refined = GameTheoreticCluster(sim, AllItems(10), DefaultConfig(), rng_b);
+  EXPECT_GE(refined.potential_history.back(),
+            init.potential_history.front() - 1e-9);
+}
+
+}  // namespace
+}  // namespace tamp::cluster

@@ -1,0 +1,79 @@
+#include "cluster/kmedoids.h"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::cluster {
+namespace {
+
+TEST(KMedoidsTest, RecoversTwoSeparatedGroups) {
+  // Items 0-4 near each other, 5-9 near each other, far apart across.
+  auto dist = [](int i, int j) {
+    bool gi = i < 5, gj = j < 5;
+    double base = std::fabs((i % 5) - (j % 5)) * 0.1;
+    return gi == gj ? base : 10.0 + base;
+  };
+  tamp::Rng rng(3);
+  KMedoidsResult result = KMedoids(10, 2, dist, rng);
+  for (int i = 1; i < 5; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[0]);
+  }
+  for (int i = 6; i < 10; ++i) {
+    EXPECT_EQ(result.assignments[i], result.assignments[5]);
+  }
+  EXPECT_NE(result.assignments[0], result.assignments[5]);
+}
+
+TEST(KMedoidsTest, MedoidsAreClusterMembers) {
+  auto dist = [](int i, int j) { return std::fabs(i - j); };
+  tamp::Rng rng(5);
+  KMedoidsResult result = KMedoids(12, 3, dist, rng);
+  for (size_t c = 0; c < result.medoids.size(); ++c) {
+    int medoid = result.medoids[c];
+    ASSERT_GE(medoid, 0);
+    ASSERT_LT(medoid, 12);
+    EXPECT_EQ(result.assignments[medoid], static_cast<int>(c));
+  }
+}
+
+TEST(KMedoidsTest, KClampedToN) {
+  auto dist = [](int i, int j) { return std::fabs(i - j); };
+  tamp::Rng rng(7);
+  KMedoidsResult result = KMedoids(3, 8, dist, rng);
+  EXPECT_LE(result.medoids.size(), 3u);
+}
+
+TEST(KMedoidsTest, SingleItem) {
+  auto dist = [](int, int) { return 0.0; };
+  tamp::Rng rng(9);
+  KMedoidsResult result = KMedoids(1, 1, dist, rng);
+  EXPECT_EQ(result.assignments[0], 0);
+  EXPECT_EQ(result.medoids[0], 0);
+}
+
+TEST(KMedoidsTest, TotalCostIsSumOfMemberDistances) {
+  auto dist = [](int i, int j) { return std::fabs(i - j); };
+  tamp::Rng rng(11);
+  KMedoidsResult result = KMedoids(6, 2, dist, rng);
+  double expected = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    expected += dist(i, result.medoids[result.assignments[i]]);
+  }
+  EXPECT_NEAR(result.total_cost, expected, 1e-9);
+}
+
+TEST(KMedoidsTest, DeterministicGivenSeed) {
+  auto dist = [](int i, int j) { return std::fabs(i * i - j * j) * 0.01; };
+  tamp::Rng a(21), b(21);
+  KMedoidsResult ra = KMedoids(15, 3, dist, a);
+  KMedoidsResult rb = KMedoids(15, 3, dist, b);
+  EXPECT_EQ(ra.assignments, rb.assignments);
+  EXPECT_EQ(ra.medoids, rb.medoids);
+}
+
+}  // namespace
+}  // namespace tamp::cluster

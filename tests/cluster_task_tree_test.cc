@@ -1,0 +1,141 @@
+#include "cluster/task_tree.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::cluster {
+namespace {
+
+/// Factor 1 separates {0..5} vs {6..11}; factor 2 separates even vs odd
+/// within each half.
+similarity::PairwiseSimilarity HalvesFactor() {
+  return similarity::PairwiseSimilarity(12, [](int i, int j) {
+    return (i < 6) == (j < 6) ? 0.8 : 0.05;
+  });
+}
+
+similarity::PairwiseSimilarity ParityFactor() {
+  return similarity::PairwiseSimilarity(12, [](int i, int j) {
+    return (i % 2) == (j % 2) ? 0.9 : 0.1;
+  });
+}
+
+TaskTreeConfig DefaultConfig() {
+  TaskTreeConfig config;
+  config.game.k = 2;
+  config.game.gamma = 0.2;
+  config.thresholds = {0.95, 0.95};  // Always refine while factors remain.
+  return config;
+}
+
+TEST(TaskTreeTest, SingleFactorBuildsOneLevel) {
+  auto f1 = HalvesFactor();
+  tamp::Rng rng(3);
+  auto root = BuildLearningTaskTree({&f1}, DefaultConfig(), rng);
+  ASSERT_NE(root, nullptr);
+  EXPECT_TRUE(ValidateTree(*root));
+  EXPECT_EQ(root->tasks.size(), 12u);
+  EXPECT_EQ(root->children.size(), 2u);
+  EXPECT_EQ(CountLeaves(*root), 2);
+  EXPECT_EQ(CountNodes(*root), 3);
+}
+
+TEST(TaskTreeTest, TwoFactorsBuildTwoLevels) {
+  auto f1 = HalvesFactor();
+  auto f2 = ParityFactor();
+  tamp::Rng rng(5);
+  auto root = BuildLearningTaskTree({&f1, &f2}, DefaultConfig(), rng);
+  EXPECT_TRUE(ValidateTree(*root));
+  // Level 1 splits halves; level 2 splits each half by parity -> 4 leaves.
+  EXPECT_EQ(CountLeaves(*root), 4);
+  for (const auto* leaf : CollectLeaves(*root)) {
+    EXPECT_EQ(leaf->depth, 2);
+    // Each leaf is one parity within one half.
+    std::set<int> parities, halves;
+    for (int t : leaf->tasks) {
+      parities.insert(t % 2);
+      halves.insert(t < 6 ? 0 : 1);
+    }
+    EXPECT_EQ(parities.size(), 1u);
+    EXPECT_EQ(halves.size(), 1u);
+  }
+}
+
+TEST(TaskTreeTest, HighQualityClustersStopRefining) {
+  auto f1 = HalvesFactor();
+  auto f2 = ParityFactor();
+  TaskTreeConfig config = DefaultConfig();
+  // Threshold below the halves' quality (0.8): level-1 children are good
+  // enough, so factor 2 is never used.
+  config.thresholds = {0.5};
+  tamp::Rng rng(7);
+  auto root = BuildLearningTaskTree({&f1, &f2}, config, rng);
+  EXPECT_TRUE(ValidateTree(*root));
+  EXPECT_EQ(CountLeaves(*root), 2);
+  for (const auto* leaf : CollectLeaves(*root)) {
+    EXPECT_EQ(leaf->depth, 1);
+  }
+}
+
+TEST(TaskTreeTest, LeavesPartitionTheRoot) {
+  auto f1 = HalvesFactor();
+  auto f2 = ParityFactor();
+  tamp::Rng rng(9);
+  auto root = BuildLearningTaskTree({&f1, &f2}, DefaultConfig(), rng);
+  std::set<int> leaf_tasks;
+  for (const auto* leaf : CollectLeaves(*root)) {
+    for (int t : leaf->tasks) {
+      EXPECT_TRUE(leaf_tasks.insert(t).second);
+    }
+  }
+  EXPECT_EQ(leaf_tasks.size(), 12u);
+}
+
+TEST(TaskTreeTest, KMedoidsVariantAlsoBuildsValidTree) {
+  auto f1 = HalvesFactor();
+  auto f2 = ParityFactor();
+  TaskTreeConfig config = DefaultConfig();
+  config.use_game = false;  // The GTTAML-GT ablation.
+  tamp::Rng rng(11);
+  auto root = BuildLearningTaskTree({&f1, &f2}, config, rng);
+  EXPECT_TRUE(ValidateTree(*root));
+  EXPECT_GE(CountLeaves(*root), 2);
+}
+
+TEST(TaskTreeTest, MutableAndConstLeafCollectionAgree) {
+  auto f1 = HalvesFactor();
+  tamp::Rng rng(13);
+  auto root = BuildLearningTaskTree({&f1}, DefaultConfig(), rng);
+  auto const_leaves = CollectLeaves(static_cast<const TaskTreeNode&>(*root));
+  auto mutable_leaves = CollectLeaves(*root);
+  EXPECT_EQ(const_leaves.size(), mutable_leaves.size());
+}
+
+TEST(TaskTreeTest, ChildrenInheritParentTheta) {
+  auto f1 = HalvesFactor();
+  TaskTreeConfig config = DefaultConfig();
+  tamp::Rng rng(17);
+  // The root theta is empty at build time; Alg. 1 line 15 copies it.
+  auto root = BuildLearningTaskTree({&f1}, config, rng);
+  for (const auto& child : root->children) {
+    EXPECT_EQ(child->theta, root->theta);
+    EXPECT_EQ(child->parent, root.get());
+  }
+}
+
+TEST(ValidateTreeTest, DetectsBrokenPartition) {
+  TaskTreeNode root;
+  root.tasks = {0, 1, 2};
+  auto child = std::make_unique<TaskTreeNode>();
+  child->tasks = {0, 1};  // Task 2 missing.
+  child->parent = &root;
+  child->depth = 1;
+  root.children.push_back(std::move(child));
+  EXPECT_FALSE(ValidateTree(root));
+}
+
+}  // namespace
+}  // namespace tamp::cluster

@@ -1,0 +1,190 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tamp {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, Uniform01StaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.Uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, Uniform01MeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntCoversFullRangeInclusive) {
+  Rng rng(3);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformInt(2, 6);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 6);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, UniformIntSingleValue) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(9, 9), 9);
+}
+
+TEST(RngTest, NormalMomentsMatch) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.Normal(2.0, 3.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 2.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 3.0, 0.05);
+}
+
+TEST(RngTest, PoissonMeanMatchesLambda) {
+  Rng rng(17);
+  for (double lambda : {0.5, 4.0, 20.0, 100.0}) {
+    const int n = 20000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) sum += rng.Poisson(lambda);
+    EXPECT_NEAR(sum / n, lambda, 0.05 * lambda + 0.05) << "lambda=" << lambda;
+  }
+}
+
+TEST(RngTest, PoissonZeroLambdaIsZero) {
+  Rng rng(19);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(23);
+  const int n = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequencyMatchesP) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, SampleIndexFollowsWeights) {
+  Rng rng(31);
+  std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> counts(4, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[rng.SampleIndex(weights)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.015);
+  EXPECT_NEAR(counts[3] / static_cast<double>(n), 0.6, 0.015);
+}
+
+TEST(RngTest, SampleIndexAllZeroWeightsIsUniform) {
+  Rng rng(37);
+  std::vector<double> weights = {0.0, 0.0, 0.0};
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 9000; ++i) ++counts[rng.SampleIndex(weights)];
+  for (int c : counts) EXPECT_GT(c, 2000);
+}
+
+TEST(RngTest, ShuffleIsAPermutation) {
+  Rng rng(41);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> shuffled = items;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(43);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one = {5};
+  rng.Shuffle(one);
+  EXPECT_EQ(one[0], 5);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(47);
+  for (int trial = 0; trial < 50; ++trial) {
+    auto sample = rng.SampleWithoutReplacement(20, 7);
+    ASSERT_EQ(sample.size(), 7u);
+    std::set<size_t> unique(sample.begin(), sample.end());
+    EXPECT_EQ(unique.size(), 7u);
+    for (size_t s : sample) EXPECT_LT(s, 20u);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(53);
+  auto sample = rng.SampleWithoutReplacement(5, 5);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+/// Property sweep: every seed yields in-range uniform values and distinct
+/// sampled indices.
+class RngSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngSeedSweep, BasicInvariantsHoldForSeed) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    double u = rng.Uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+  auto s = rng.SampleWithoutReplacement(64, 16);
+  std::set<size_t> unique(s.begin(), s.end());
+  EXPECT_EQ(unique.size(), 16u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngSeedSweep,
+                         ::testing::Values(0ULL, 1ULL, 42ULL, 1234567ULL,
+                                           0xFFFFFFFFFFFFFFFFULL));
+
+}  // namespace
+}  // namespace tamp

@@ -1,0 +1,85 @@
+#include "common/statistics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tamp {
+namespace {
+
+TEST(RunningStatTest, EmptyDefaults) {
+  RunningStat stat;
+  EXPECT_EQ(stat.count(), 0u);
+  EXPECT_EQ(stat.mean(), 0.0);
+  EXPECT_EQ(stat.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat stat;
+  stat.Add(3.5);
+  EXPECT_EQ(stat.count(), 1u);
+  EXPECT_DOUBLE_EQ(stat.mean(), 3.5);
+  EXPECT_EQ(stat.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stat.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stat.max(), 3.5);
+}
+
+TEST(RunningStatTest, MatchesDirectComputation) {
+  std::vector<double> values = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStat stat;
+  for (double v : values) stat.Add(v);
+  EXPECT_DOUBLE_EQ(stat.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stat.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stat.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stat.max(), 9.0);
+  EXPECT_DOUBLE_EQ(stat.sum(), 40.0);
+}
+
+TEST(MeanTest, Basics) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(StdDevTest, Basics) {
+  EXPECT_EQ(StdDev({}), 0.0);
+  EXPECT_EQ(StdDev({5.0}), 0.0);
+  EXPECT_NEAR(StdDev({2.0, 4.0}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(PercentileTest, MedianAndExtremes) {
+  std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 50.0), 3.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(v, 100.0), 5.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> v = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(Percentile(v, 25.0), 2.5);
+}
+
+TEST(PercentileTest, SingleElement) {
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(ErrorMetricsTest, RmseAndMae) {
+  std::vector<double> pred = {1.0, 2.0, 3.0};
+  std::vector<double> truth = {1.0, 4.0, 1.0};
+  EXPECT_NEAR(Rmse(pred, truth), std::sqrt((0.0 + 4.0 + 4.0) / 3.0), 1e-12);
+  EXPECT_NEAR(Mae(pred, truth), (0.0 + 2.0 + 2.0) / 3.0, 1e-12);
+}
+
+TEST(ErrorMetricsTest, EmptyIsZero) {
+  EXPECT_EQ(Rmse({}, {}), 0.0);
+  EXPECT_EQ(Mae({}, {}), 0.0);
+}
+
+TEST(ErrorMetricsTest, PerfectPrediction) {
+  std::vector<double> v = {1.0, -2.0, 0.5};
+  EXPECT_EQ(Rmse(v, v), 0.0);
+  EXPECT_EQ(Mae(v, v), 0.0);
+}
+
+}  // namespace
+}  // namespace tamp

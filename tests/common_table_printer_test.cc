@@ -1,0 +1,60 @@
+#include "common/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tamp {
+namespace {
+
+TEST(TablePrinterTest, AlignedTextOutput) {
+  TablePrinter t({"algo", "RMSE"});
+  t.AddRow({"GTTAML", "0.8937"});
+  t.AddRow({"MAML", "0.9722"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("| algo   | RMSE   |"), std::string::npos);
+  EXPECT_NE(out.find("GTTAML"), std::string::npos);
+  EXPECT_NE(out.find("MAML"), std::string::npos);
+  // Header separator present.
+  EXPECT_NE(out.find("|--------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, CsvOutput) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"1", "2"});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "a,b\n1,2\n");
+}
+
+TEST(TablePrinterTest, CsvQuotesCommasAndQuotes) {
+  TablePrinter t({"x"});
+  t.AddRow({"hello, world"});
+  t.AddRow({"say \"hi\""});
+  std::ostringstream os;
+  t.PrintCsv(os);
+  EXPECT_EQ(os.str(), "x\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(TablePrinterTest, RowCount) {
+  TablePrinter t({"c"});
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"v"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FmtTest, FixedPrecision) {
+  EXPECT_EQ(Fmt(0.89371, 4), "0.8937");
+  EXPECT_EQ(Fmt(2.0, 1), "2.0");
+  EXPECT_EQ(Fmt(-1.25, 2), "-1.25");
+}
+
+TEST(FmtTest, Integers) {
+  EXPECT_EQ(Fmt(static_cast<int64_t>(12345)), "12345");
+  EXPECT_EQ(Fmt(static_cast<int64_t>(-7)), "-7");
+}
+
+}  // namespace
+}  // namespace tamp

@@ -1,0 +1,107 @@
+#include "core/ta_loss.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::core {
+namespace {
+
+geo::GridSpec TestGrid() { return geo::GridSpec(10.0, 10.0, 20, 20); }
+
+TEST(TaskOrientedWeighterTest, MatchesEquationSeven) {
+  // Three historical tasks near (2,2); query exactly there.
+  std::vector<geo::Point> tasks = {{2.0, 2.0}, {2.1, 2.0}, {2.0, 2.2},
+                                   {8.0, 8.0}};
+  TaLossParams params;
+  params.kappa = 0.5;
+  params.delta = 0.5;
+  params.dq_km = 1.0;
+  params.max_weight = 1e9;  // Disable the stability cap for the raw check.
+  TaskOrientedWeighter weighter(TestGrid(), tasks, params);
+  // rho = 4 tasks * pi * 1 / 100.
+  double rho = 4.0 * M_PI / 100.0;
+  EXPECT_NEAR(weighter.rho(), rho, 1e-12);
+  // Count within 1 km of (2,2) is 3.
+  EXPECT_NEAR(weighter.Weight({2.0, 2.0}), 0.5 * 3.0 / rho + 0.5, 1e-9);
+}
+
+TEST(TaskOrientedWeighterTest, DenseAreasWeighMoreThanSparse) {
+  tamp::Rng rng(3);
+  std::vector<geo::Point> tasks;
+  for (int i = 0; i < 200; ++i) {
+    tasks.push_back({rng.Normal(2.0, 0.5), rng.Normal(2.0, 0.5)});
+  }
+  TaLossParams params;
+  TaskOrientedWeighter weighter(TestGrid(), tasks, params);
+  EXPECT_GT(weighter.Weight({2.0, 2.0}), weighter.Weight({8.0, 8.0}));
+}
+
+TEST(TaskOrientedWeighterTest, EmptyRegionFallsBackToDelta) {
+  std::vector<geo::Point> tasks = {{9.0, 9.0}};
+  TaLossParams params;
+  params.delta = 0.7;
+  TaskOrientedWeighter weighter(TestGrid(), tasks, params);
+  EXPECT_DOUBLE_EQ(weighter.Weight({1.0, 1.0}), 0.7);
+}
+
+TEST(TaskOrientedWeighterTest, WeightsAreAlwaysAtLeastDelta) {
+  tamp::Rng rng(5);
+  std::vector<geo::Point> tasks;
+  for (int i = 0; i < 50; ++i) {
+    tasks.push_back({rng.Uniform(0, 10), rng.Uniform(0, 10)});
+  }
+  TaLossParams params;
+  TaskOrientedWeighter weighter(TestGrid(), tasks, params);
+  for (int q = 0; q < 50; ++q) {
+    geo::Point p{rng.Uniform(0, 10), rng.Uniform(0, 10)};
+    EXPECT_GE(weighter.Weight(p), params.delta);
+  }
+}
+
+TEST(TaskOrientedWeighterTest, AsFunctionWrapsWeight) {
+  std::vector<geo::Point> tasks = {{5.0, 5.0}};
+  TaLossParams params;
+  TaskOrientedWeighter weighter(TestGrid(), tasks, params);
+  auto fn = weighter.AsFunction();
+  EXPECT_DOUBLE_EQ(fn({5.0, 5.0}), weighter.Weight({5.0, 5.0}));
+}
+
+TEST(TaskOrientedWeighterTest, EmptyHistoryIsFinite) {
+  TaLossParams params;
+  TaskOrientedWeighter weighter(TestGrid(), std::vector<geo::Point>{},
+                                params);
+  double w = weighter.Weight({5.0, 5.0});
+  EXPECT_TRUE(std::isfinite(w));
+  EXPECT_DOUBLE_EQ(w, params.delta);
+}
+
+TEST(TaskOrientedWeighterTest, CapsExtremeWeights) {
+  // 500 tasks stacked on one point: the raw Eq. 7 ratio explodes; the
+  // stability cap bounds it.
+  std::vector<geo::Point> tasks(500, geo::Point{3.0, 3.0});
+  TaLossParams params;
+  params.max_weight = 4.0;
+  TaskOrientedWeighter weighter(TestGrid(), tasks, params);
+  EXPECT_DOUBLE_EQ(weighter.Weight({3.0, 3.0}), 4.0);
+  // Away from the stack the base weight applies, uncapped.
+  EXPECT_DOUBLE_EQ(weighter.Weight({9.0, 9.0}), params.delta);
+}
+
+TEST(TaskOrientedWeighterTest, KappaScalesDensityTerm) {
+  std::vector<geo::Point> tasks(20, geo::Point{3.0, 3.0});
+  TaLossParams lo, hi;
+  lo.kappa = 0.1;
+  hi.kappa = 0.9;
+  lo.max_weight = hi.max_weight = 1e9;
+  TaskOrientedWeighter w_lo(TestGrid(), tasks, lo);
+  TaskOrientedWeighter w_hi(TestGrid(), tasks, hi);
+  double base_lo = w_lo.Weight({3.0, 3.0}) - lo.delta;
+  double base_hi = w_hi.Weight({3.0, 3.0}) - hi.delta;
+  EXPECT_NEAR(base_hi / base_lo, 9.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tamp::core

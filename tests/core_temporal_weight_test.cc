@@ -1,0 +1,86 @@
+// The temporal extension of the task-assignment-oriented loss (the
+// "future work" the paper's Section III-C explicitly scopes out): weights
+// follow the time-of-day structure of historical demand.
+#include <gtest/gtest.h>
+
+#include "core/ta_loss.h"
+
+namespace tamp::core {
+namespace {
+
+geo::GridSpec TestGrid() { return geo::GridSpec(10.0, 10.0, 20, 20); }
+
+/// Morning demand at (2,2), evening demand at (8,8).
+std::vector<geo::TimedPoint> SplitDemand() {
+  std::vector<geo::TimedPoint> tasks;
+  for (int i = 0; i < 30; ++i) {
+    tasks.push_back({{2.0, 2.0}, 9.0 * 60.0 + i});    // ~09:00.
+    tasks.push_back({{8.0, 8.0}, 19.0 * 60.0 + i});   // ~19:00.
+  }
+  return tasks;
+}
+
+TaLossParams WindowedParams() {
+  TaLossParams params;
+  params.temporal_window_min = 90.0;
+  return params;
+}
+
+TEST(TemporalWeightTest, DisabledWindowFallsBackToSpatialWeight) {
+  TaLossParams params;  // temporal_window_min = 0.
+  TaskOrientedWeighter weighter(TestGrid(), SplitDemand(), params);
+  EXPECT_DOUBLE_EQ(weighter.WeightAt({2.0, 2.0}, 9.0 * 60.0),
+                   weighter.Weight({2.0, 2.0}));
+}
+
+TEST(TemporalWeightTest, UntimedConstructionFallsBack) {
+  std::vector<geo::Point> locations = {{2, 2}, {8, 8}};
+  TaskOrientedWeighter weighter(TestGrid(), locations, WindowedParams());
+  EXPECT_DOUBLE_EQ(weighter.WeightAt({2.0, 2.0}, 600.0),
+                   weighter.Weight({2.0, 2.0}));
+}
+
+TEST(TemporalWeightTest, MorningHotspotOnlyWeighsInTheMorning) {
+  TaskOrientedWeighter weighter(TestGrid(), SplitDemand(), WindowedParams());
+  double morning = weighter.WeightAt({2.0, 2.0}, 9.0 * 60.0);
+  double evening = weighter.WeightAt({2.0, 2.0}, 19.0 * 60.0);
+  EXPECT_GT(morning, evening);
+  // In the evening the morning hotspot carries only the base weight.
+  EXPECT_DOUBLE_EQ(evening, WindowedParams().delta);
+}
+
+TEST(TemporalWeightTest, EveningHotspotMirrors) {
+  TaskOrientedWeighter weighter(TestGrid(), SplitDemand(), WindowedParams());
+  EXPECT_GT(weighter.WeightAt({8.0, 8.0}, 19.0 * 60.0),
+            weighter.WeightAt({8.0, 8.0}, 9.0 * 60.0));
+}
+
+TEST(TemporalWeightTest, WindowWrapsAroundMidnight) {
+  std::vector<geo::TimedPoint> late_demand;
+  for (int i = 0; i < 20; ++i) {
+    late_demand.push_back({{5.0, 5.0}, 23.5 * 60.0 + i * 0.1});  // ~23:30.
+  }
+  TaskOrientedWeighter weighter(TestGrid(), late_demand, WindowedParams());
+  // Half past midnight is within 90 minutes of 23:30 across the wrap.
+  double after_midnight = weighter.WeightAt({5.0, 5.0}, 0.5 * 60.0);
+  double noon = weighter.WeightAt({5.0, 5.0}, 12.0 * 60.0);
+  EXPECT_GT(after_midnight, noon);
+}
+
+TEST(TemporalWeightTest, AbsoluteTimesReduceToTimeOfDay) {
+  TaskOrientedWeighter weighter(TestGrid(), SplitDemand(), WindowedParams());
+  // Day 3, 09:00 == day 0, 09:00.
+  EXPECT_DOUBLE_EQ(weighter.WeightAt({2.0, 2.0}, 3.0 * 1440.0 + 540.0),
+                   weighter.WeightAt({2.0, 2.0}, 540.0));
+}
+
+TEST(TemporalWeightTest, CapStillApplies) {
+  std::vector<geo::TimedPoint> stacked(400, {{3.0, 3.0}, 600.0});
+  TaLossParams params = WindowedParams();
+  params.max_weight = 4.0;
+  TaskOrientedWeighter weighter(TestGrid(), stacked, params);
+  EXPECT_DOUBLE_EQ(weighter.WeightAt({3.0, 3.0}, 600.0), 4.0);
+}
+
+}  // namespace
+}  // namespace tamp::core

@@ -1,0 +1,118 @@
+#include "data/mobility.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace tamp::data {
+namespace {
+
+geo::GridSpec TestGrid() { return geo::GridSpec(20.0, 10.0, 50, 100); }
+
+DayParams TestDay() {
+  DayParams day;
+  day.day_start_min = 480.0;
+  day.day_end_min = 1200.0;
+  day.sample_period_min = 10.0;
+  return day;
+}
+
+class ArchetypeSweep : public ::testing::TestWithParam<Archetype> {};
+
+TEST_P(ArchetypeSweep, DayTrajectoryIsWellFormed) {
+  tamp::Rng rng(5);
+  geo::GridSpec grid = TestGrid();
+  MobilityProfile profile =
+      MakeProfile(GetParam(), 0, {5.0, 5.0}, 1.5, grid, rng);
+  geo::Trajectory day = GenerateDay(profile, TestDay(), /*day_index=*/2,
+                                    grid, rng);
+  // 480..1200 every 10 min -> 73 points.
+  EXPECT_EQ(day.size(), 73u);
+  EXPECT_DOUBLE_EQ(day.start_time(), 2 * 1440.0 + 480.0);
+  EXPECT_DOUBLE_EQ(day.end_time(), 2 * 1440.0 + 1200.0);
+  for (const auto& p : day.points()) {
+    EXPECT_GE(p.loc.x, 0.0);
+    EXPECT_LE(p.loc.x, grid.width_km());
+    EXPECT_GE(p.loc.y, 0.0);
+    EXPECT_LE(p.loc.y, grid.height_km());
+  }
+  // Timestamps strictly increase.
+  for (size_t i = 1; i < day.size(); ++i) {
+    EXPECT_GT(day[i].time_min, day[i - 1].time_min);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Archetypes, ArchetypeSweep,
+                         ::testing::Values(Archetype::kCommuter,
+                                           Archetype::kHubAndSpoke,
+                                           Archetype::kRoamer,
+                                           Archetype::kVenueHopper));
+
+TEST(MobilityTest, DeterministicForSameSeed) {
+  geo::GridSpec grid = TestGrid();
+  tamp::Rng rng_a(9), rng_b(9);
+  MobilityProfile pa =
+      MakeProfile(Archetype::kCommuter, 0, {5, 5}, 1.5, grid, rng_a);
+  MobilityProfile pb =
+      MakeProfile(Archetype::kCommuter, 0, {5, 5}, 1.5, grid, rng_b);
+  geo::Trajectory da = GenerateDay(pa, TestDay(), 0, grid, rng_a);
+  geo::Trajectory db = GenerateDay(pb, TestDay(), 0, grid, rng_b);
+  ASSERT_EQ(da.size(), db.size());
+  for (size_t i = 0; i < da.size(); ++i) {
+    EXPECT_DOUBLE_EQ(da[i].loc.x, db[i].loc.x);
+    EXPECT_DOUBLE_EQ(da[i].loc.y, db[i].loc.y);
+  }
+}
+
+TEST(MobilityTest, CommuterDaysAreSimilarAcrossDays) {
+  // A commuter's routine is regular: day-over-day positions at the same
+  // time-of-day are close (that is the predictability meta-learning
+  // exploits).
+  geo::GridSpec grid = TestGrid();
+  tamp::Rng rng(11);
+  MobilityProfile profile =
+      MakeProfile(Archetype::kCommuter, 0, {5, 5}, 1.0, grid, rng);
+  profile.improvisation_prob = 0.0;
+  geo::Trajectory day0 = GenerateDay(profile, TestDay(), 0, grid, rng);
+  geo::Trajectory day1 = GenerateDay(profile, TestDay(), 1, grid, rng);
+  ASSERT_EQ(day0.size(), day1.size());
+  double mean_gap = 0.0;
+  for (size_t i = 0; i < day0.size(); ++i) {
+    mean_gap += geo::Distance(day0[i].loc, day1[i].loc);
+  }
+  mean_gap /= day0.size();
+  EXPECT_LT(mean_gap, 2.0);
+}
+
+TEST(MobilityTest, DifferentZonesProduceDistantProfiles) {
+  geo::GridSpec grid = TestGrid();
+  tamp::Rng rng(13);
+  MobilityProfile west =
+      MakeProfile(Archetype::kCommuter, 0, {3, 5}, 0.8, grid, rng);
+  MobilityProfile east =
+      MakeProfile(Archetype::kCommuter, 1, {17, 5}, 0.8, grid, rng);
+  // Home anchors (index 0) live near their zones.
+  EXPECT_LT(geo::Distance(west.anchors[0], {3, 5}), 4.0);
+  EXPECT_LT(geo::Distance(east.anchors[0], {17, 5}), 4.0);
+  EXPECT_GT(geo::Distance(west.anchors[0], east.anchors[0]), 6.0);
+}
+
+TEST(MobilityTest, HubAndSpokeReturnsToHub) {
+  geo::GridSpec grid = TestGrid();
+  tamp::Rng rng(17);
+  MobilityProfile profile =
+      MakeProfile(Archetype::kHubAndSpoke, 0, {10, 5}, 1.0, grid, rng);
+  profile.noise_km = 0.0;
+  profile.improvisation_prob = 0.0;
+  geo::Trajectory day = GenerateDay(profile, TestDay(), 0, grid, rng);
+  // The hub must be visited repeatedly: count samples within 0.5 km.
+  const geo::Point& hub = profile.anchors[0];
+  int near_hub = 0;
+  for (const auto& p : day.points()) {
+    if (geo::Distance(p.loc, hub) < 0.5) ++near_hub;
+  }
+  EXPECT_GT(near_hub, 5);
+}
+
+}  // namespace
+}  // namespace tamp::data

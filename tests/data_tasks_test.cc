@@ -1,0 +1,126 @@
+#include "data/tasks.h"
+
+#include <gtest/gtest.h>
+
+namespace tamp::data {
+namespace {
+
+geo::GridSpec TestGrid() { return geo::GridSpec(20.0, 10.0, 50, 100); }
+
+std::vector<TaskHotspot> TestHotspots() {
+  return {{{5.0, 5.0}, 0.5, 2.0}, {{15.0, 5.0}, 0.5, 1.0}};
+}
+
+TaskStreamConfig TestConfig() {
+  TaskStreamConfig config;
+  config.num_tasks = 500;
+  config.horizon_start_min = 480.0;
+  config.horizon_end_min = 1200.0;
+  config.valid_lo_units = 3.0;
+  config.valid_hi_units = 4.0;
+  config.time_unit_min = 10.0;
+  return config;
+}
+
+TEST(GenerateTaskStreamTest, CountAndIds) {
+  tamp::Rng rng(3);
+  auto tasks = GenerateTaskStream(TestConfig(), TestHotspots(), TestGrid(), rng);
+  ASSERT_EQ(tasks.size(), 500u);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_EQ(tasks[i].id, static_cast<int>(i));
+  }
+}
+
+TEST(GenerateTaskStreamTest, ReleasesAreSortedWithinHorizon) {
+  tamp::Rng rng(5);
+  auto tasks = GenerateTaskStream(TestConfig(), TestHotspots(), TestGrid(), rng);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    EXPECT_GE(tasks[i].release_time_min, 480.0);
+    EXPECT_LE(tasks[i].release_time_min, 1200.0);
+    if (i > 0) {
+      EXPECT_GE(tasks[i].release_time_min, tasks[i - 1].release_time_min);
+    }
+  }
+}
+
+TEST(GenerateTaskStreamTest, DeadlinesWithinValidityBounds) {
+  tamp::Rng rng(7);
+  auto tasks = GenerateTaskStream(TestConfig(), TestHotspots(), TestGrid(), rng);
+  for (const auto& t : tasks) {
+    double validity = t.deadline_min - t.release_time_min;
+    EXPECT_GE(validity, 30.0 - 1e-9);  // 3 units x 10 min.
+    EXPECT_LE(validity, 40.0 + 1e-9);  // 4 units x 10 min.
+  }
+}
+
+TEST(GenerateTaskStreamTest, LocationsClusterAroundHotspots) {
+  tamp::Rng rng(9);
+  auto hotspots = TestHotspots();
+  auto tasks = GenerateTaskStream(TestConfig(), hotspots, TestGrid(), rng);
+  int near_any = 0;
+  for (const auto& t : tasks) {
+    for (const auto& h : hotspots) {
+      if (geo::Distance(t.location, h.center) < 2.0) {
+        ++near_any;
+        break;
+      }
+    }
+  }
+  // With spread 0.5, nearly every task is within 2 km of a hotspot.
+  EXPECT_GT(near_any, 480);
+}
+
+TEST(GenerateTaskStreamTest, HotspotWeightsShapeDemand) {
+  tamp::Rng rng(11);
+  auto hotspots = TestHotspots();  // Weights 2:1.
+  auto tasks = GenerateTaskStream(TestConfig(), hotspots, TestGrid(), rng);
+  int near_first = 0, near_second = 0;
+  for (const auto& t : tasks) {
+    if (geo::Distance(t.location, hotspots[0].center) < 2.0) ++near_first;
+    if (geo::Distance(t.location, hotspots[1].center) < 2.0) ++near_second;
+  }
+  EXPECT_GT(near_first, near_second);
+}
+
+TEST(GenerateTaskStreamTest, RushHourConcentratesArrivals) {
+  tamp::Rng rng(13);
+  TaskStreamConfig config = TestConfig();
+  config.num_tasks = 4000;
+  config.rush_amplitude = 3.0;
+  auto tasks = GenerateTaskStream(config, TestHotspots(), TestGrid(), rng);
+  // Count arrivals near the first rush peak (25% of horizon) vs the
+  // quiet middle (50%).
+  double span = 1200.0 - 480.0;
+  double peak = 480.0 + 0.25 * span;
+  double mid = 480.0 + 0.5 * span;
+  int at_peak = 0, at_mid = 0;
+  for (const auto& t : tasks) {
+    if (std::abs(t.release_time_min - peak) < 30.0) ++at_peak;
+    if (std::abs(t.release_time_min - mid) < 30.0) ++at_mid;
+  }
+  EXPECT_GT(at_peak, at_mid);
+}
+
+TEST(SampleTaskLocationsTest, CountAndBounds) {
+  tamp::Rng rng(15);
+  geo::GridSpec grid = TestGrid();
+  auto locs = SampleTaskLocations(300, TestHotspots(), grid, rng);
+  ASSERT_EQ(locs.size(), 300u);
+  for (const auto& p : locs) {
+    EXPECT_GE(p.x, 0.0);
+    EXPECT_LE(p.x, grid.width_km());
+    EXPECT_GE(p.y, 0.0);
+    EXPECT_LE(p.y, grid.height_km());
+  }
+}
+
+TEST(GenerateTaskStreamTest, ZeroTasks) {
+  tamp::Rng rng(17);
+  TaskStreamConfig config = TestConfig();
+  config.num_tasks = 0;
+  EXPECT_TRUE(
+      GenerateTaskStream(config, TestHotspots(), TestGrid(), rng).empty());
+}
+
+}  // namespace
+}  // namespace tamp::data

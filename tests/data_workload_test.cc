@@ -1,0 +1,179 @@
+#include "data/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace tamp::data {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig config;
+  config.num_workers = 10;
+  config.num_train_days = 3;
+  config.num_test_days = 1;
+  config.num_tasks = 100;
+  config.num_historical_tasks = 200;
+  config.seq_in = 5;
+  config.seq_out = 2;
+  config.seed = 21;
+  return config;
+}
+
+TEST(ExtractSamplesTest, ShapesAndNormalization) {
+  geo::GridSpec grid(20.0, 10.0, 50, 100);
+  geo::Trajectory traj;
+  for (int i = 0; i < 10; ++i) {
+    traj.Append({1.0 * i, 0.5 * i, 10.0 * i});
+  }
+  auto samples = ExtractSamples(traj, 3, 2, grid);
+  // Windows: 10 - (3+2) + 1 = 6.
+  ASSERT_EQ(samples.size(), 6u);
+  for (const auto& s : samples) {
+    ASSERT_EQ(s.input.size(), 3u);
+    ASSERT_EQ(s.target.size(), 2u);
+    ASSERT_EQ(s.target_km.size(), 2u);
+    for (const auto& step : s.input) {
+      // (x, y, time-of-day), all normalized.
+      ASSERT_EQ(static_cast<int>(step.size()), kSampleInputDim);
+      for (double v : step) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 1.0);
+      }
+    }
+  }
+  // Time-of-day increases along the input window.
+  EXPECT_GT(samples[0].input[1][2], samples[0].input[0][2]);
+  // First sample: input = points 0..2, target = points 3..4.
+  EXPECT_NEAR(samples[0].target_km[0].x, 3.0, 1e-12);
+  EXPECT_NEAR(samples[0].target_km[1].x, 4.0, 1e-12);
+}
+
+TEST(ExtractSamplesTest, TooShortTrajectoryYieldsNothing) {
+  geo::GridSpec grid(10, 10, 10, 10);
+  geo::Trajectory traj({{0, 0, 0}, {1, 1, 10}});
+  EXPECT_TRUE(ExtractSamples(traj, 3, 2, grid).empty());
+}
+
+TEST(ExtractSamplesTest, WindowsNeverSpanDays) {
+  geo::GridSpec grid(10, 10, 10, 10);
+  geo::Trajectory traj;
+  // Day 0: 4 points; day 1: 4 points. seq_in=3, seq_out=1 -> windows of 4.
+  for (int i = 0; i < 4; ++i) traj.Append({1.0 * i, 0.0, 1000.0 + i * 10});
+  for (int i = 0; i < 4; ++i) traj.Append({1.0 * i, 5.0, 2440.0 + i * 10});
+  auto samples = ExtractSamples(traj, 3, 1, grid);
+  // One full window per day, none across the boundary.
+  EXPECT_EQ(samples.size(), 2u);
+}
+
+TEST(GenerateWorkloadTest, ShapesAreConsistent) {
+  Workload w = GenerateWorkload(SmallConfig());
+  EXPECT_EQ(w.workers.size(), 10u);
+  EXPECT_EQ(w.learning_tasks.size(), 10u);
+  EXPECT_EQ(w.task_stream.size(), 100u);
+  EXPECT_EQ(w.historical_task_locations.size(), 200u);
+  EXPECT_FALSE(w.hotspots.empty());
+  for (size_t i = 0; i < w.workers.size(); ++i) {
+    EXPECT_EQ(w.workers[i].id, static_cast<int>(i));
+    EXPECT_EQ(w.learning_tasks[i].worker_id, static_cast<int>(i));
+    EXPECT_FALSE(w.learning_tasks[i].support.empty());
+    EXPECT_FALSE(w.learning_tasks[i].query.empty());
+    EXPECT_FALSE(w.learning_tasks[i].eval.empty());
+    EXPECT_FALSE(w.learning_tasks[i].pois.empty());
+    EXPECT_FALSE(w.learning_tasks[i].location_cloud.empty());
+  }
+}
+
+TEST(GenerateWorkloadTest, SampleShapesFollowConfig) {
+  WorkloadConfig config = SmallConfig();
+  config.seq_in = 4;
+  config.seq_out = 3;
+  Workload w = GenerateWorkload(config);
+  const auto& sample = w.learning_tasks[0].support[0];
+  EXPECT_EQ(sample.input.size(), 4u);
+  EXPECT_EQ(sample.target.size(), 3u);
+  EXPECT_EQ(sample.target_km.size(), 3u);
+}
+
+TEST(GenerateWorkloadTest, DeterministicForSeed) {
+  Workload a = GenerateWorkload(SmallConfig());
+  Workload b = GenerateWorkload(SmallConfig());
+  ASSERT_EQ(a.task_stream.size(), b.task_stream.size());
+  for (size_t i = 0; i < a.task_stream.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.task_stream[i].location.x, b.task_stream[i].location.x);
+    EXPECT_DOUBLE_EQ(a.task_stream[i].release_time_min,
+                     b.task_stream[i].release_time_min);
+  }
+  EXPECT_DOUBLE_EQ(a.workers[3].train[5].loc.x, b.workers[3].train[5].loc.x);
+}
+
+TEST(GenerateWorkloadTest, TestStreamLiesInTestHorizon) {
+  WorkloadConfig config = SmallConfig();
+  Workload w = GenerateWorkload(config);
+  double test_day_start = 1440.0 * config.num_train_days;
+  for (const auto& task : w.task_stream) {
+    EXPECT_GE(task.release_time_min, test_day_start);
+    EXPECT_GT(task.deadline_min, task.release_time_min);
+  }
+  for (const auto& worker : w.workers) {
+    EXPECT_GE(worker.test.start_time(), test_day_start);
+    EXPECT_LT(worker.train.end_time(), test_day_start);
+  }
+}
+
+TEST(GenerateWorkloadTest, NewcomersHaveLessHistory) {
+  WorkloadConfig config = SmallConfig();
+  config.newcomer_fraction = 0.3;
+  Workload w = GenerateWorkload(config);
+  int newcomers = 0;
+  for (const auto& worker : w.workers) {
+    if (worker.is_newcomer) {
+      ++newcomers;
+      EXPECT_LT(worker.train.size(), w.workers.back().train.size());
+    }
+  }
+  EXPECT_EQ(newcomers, 3);
+}
+
+TEST(GenerateWorkloadTest, GowallaWorkloadUsesItsOwnGrid) {
+  WorkloadConfig config = SmallConfig();
+  config.kind = WorkloadKind::kGowallaFoursquare;
+  Workload w = GenerateWorkload(config);
+  EXPECT_DOUBLE_EQ(w.grid.width_km(), 36.0);
+  EXPECT_DOUBLE_EQ(w.grid.height_km(), 36.0);
+  EXPECT_EQ(w.learning_tasks.size(), 10u);
+}
+
+TEST(GenerateWorkloadTest, GowallaTasksAlignWithWorkerDistributions) {
+  // Appendix C: workload 2's task and worker distributions are more
+  // similar. Measure: mean distance from task locations to the nearest
+  // zone hotspot should be small for both workloads, but the *worker*
+  // location clouds should be much closer to task hotspots in workload 2.
+  WorkloadConfig config = SmallConfig();
+  config.num_workers = 20;
+  Workload porto = GenerateWorkload(config);
+  config.kind = WorkloadKind::kGowallaFoursquare;
+  Workload gowalla = GenerateWorkload(config);
+
+  auto mean_dist_to_hotspots = [](const Workload& w) {
+    double total = 0.0;
+    int count = 0;
+    for (const auto& task : w.learning_tasks) {
+      for (const auto& p : task.location_cloud) {
+        double best = 1e9;
+        for (const auto& h : w.hotspots) {
+          best = std::min(best, geo::Distance(p, h.center));
+        }
+        total += best;
+        ++count;
+      }
+    }
+    return total / count;
+  };
+  double porto_scaled =
+      mean_dist_to_hotspots(porto) / porto.grid.width_km();
+  double gowalla_scaled =
+      mean_dist_to_hotspots(gowalla) / gowalla.grid.width_km();
+  EXPECT_LT(gowalla_scaled, porto_scaled);
+}
+
+}  // namespace
+}  // namespace tamp::data

@@ -1,0 +1,102 @@
+#include "geo/grid.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "geo/point.h"
+
+namespace tamp::geo {
+namespace {
+
+TEST(PointTest, DistanceIsEuclidean) {
+  EXPECT_DOUBLE_EQ(Distance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Distance({1, 1}, {1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+}
+
+TEST(PointTest, Arithmetic) {
+  Point p = Point{1, 2} + Point{3, 4};
+  EXPECT_EQ(p, (Point{4, 6}));
+  Point q = Point{3, 4} - Point{1, 1};
+  EXPECT_EQ(q, (Point{2, 3}));
+  Point r = Point{1, 2} * 2.0;
+  EXPECT_EQ(r, (Point{2, 4}));
+}
+
+TEST(GridSpecTest, PaperGridShape) {
+  // The paper's 100x50 Porto grid: 100 latitude rows, 50 longitude cols.
+  GridSpec grid(20.0, 10.0, 50, 100);
+  EXPECT_EQ(grid.num_cells(), 5000);
+}
+
+TEST(GridSpecTest, CellOfCorners) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  EXPECT_EQ(grid.CellOf({0.0, 0.0}).row, 0);
+  EXPECT_EQ(grid.CellOf({0.0, 0.0}).col, 0);
+  GridCell far = grid.CellOf({9.99, 9.99});
+  EXPECT_EQ(far.row, 9);
+  EXPECT_EQ(far.col, 9);
+  // The far border clamps into the last cell.
+  GridCell border = grid.CellOf({10.0, 10.0});
+  EXPECT_EQ(border.row, 9);
+  EXPECT_EQ(border.col, 9);
+}
+
+TEST(GridSpecTest, OutOfBoundsClampsToBorder) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  GridCell c = grid.CellOf({-5.0, 100.0});
+  EXPECT_EQ(c.col, 0);
+  EXPECT_EQ(c.row, 9);
+}
+
+TEST(GridSpecTest, CellCenterRoundTrip) {
+  GridSpec grid(10.0, 20.0, 4, 5);
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 5; ++col) {
+      Point center = grid.CellCenter({row, col});
+      GridCell back = grid.CellOf(center);
+      EXPECT_EQ(back.row, row);
+      EXPECT_EQ(back.col, col);
+    }
+  }
+}
+
+TEST(GridSpecTest, FlatIndexIsBijective) {
+  GridSpec grid(10.0, 10.0, 3, 7);
+  std::vector<bool> seen(grid.num_cells(), false);
+  for (int row = 0; row < 3; ++row) {
+    for (int col = 0; col < 7; ++col) {
+      int idx = grid.FlatIndex({row, col});
+      ASSERT_GE(idx, 0);
+      ASSERT_LT(idx, grid.num_cells());
+      EXPECT_FALSE(seen[idx]);
+      seen[idx] = true;
+    }
+  }
+}
+
+TEST(GridSpecTest, NormalizeDenormalizeRoundTrip) {
+  GridSpec grid(20.0, 10.0, 50, 100);
+  tamp::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Point p{rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 10.0)};
+    Point n = grid.Normalize(p);
+    EXPECT_GE(n.x, 0.0);
+    EXPECT_LE(n.x, 1.0);
+    EXPECT_GE(n.y, 0.0);
+    EXPECT_LE(n.y, 1.0);
+    Point back = grid.Denormalize(n);
+    EXPECT_NEAR(back.x, p.x, 1e-9);
+    EXPECT_NEAR(back.y, p.y, 1e-9);
+  }
+}
+
+TEST(GridSpecTest, DenormalizeClampsInput) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  Point p = grid.Denormalize({-0.5, 1.5});
+  EXPECT_DOUBLE_EQ(p.x, 0.0);
+  EXPECT_DOUBLE_EQ(p.y, 10.0);
+}
+
+}  // namespace
+}  // namespace tamp::geo

@@ -1,0 +1,92 @@
+#include "geo/spatial_index.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::geo {
+namespace {
+
+int BruteCount(const std::vector<Point>& points, const Point& center,
+               double radius) {
+  int count = 0;
+  for (const Point& p : points) {
+    if (Distance(p, center) < radius) ++count;
+  }
+  return count;
+}
+
+TEST(SpatialCountIndexTest, EmptyIndex) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  SpatialCountIndex index(grid, {});
+  EXPECT_EQ(index.num_points(), 0u);
+  EXPECT_EQ(index.CountWithin({5.0, 5.0}, 3.0), 0);
+}
+
+TEST(SpatialCountIndexTest, SimpleCounts) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  std::vector<Point> pts = {{1, 1}, {1.2, 1.0}, {9, 9}};
+  SpatialCountIndex index(grid, pts);
+  EXPECT_EQ(index.CountWithin({1, 1}, 0.5), 2);
+  EXPECT_EQ(index.CountWithin({9, 9}, 0.5), 1);
+  EXPECT_EQ(index.CountWithin({5, 5}, 0.5), 0);
+  EXPECT_EQ(index.CountWithin({5, 5}, 100.0), 3);
+}
+
+TEST(SpatialCountIndexTest, ZeroRadiusCountsNothing) {
+  GridSpec grid(10.0, 10.0, 5, 5);
+  SpatialCountIndex index(grid, {{3, 3}});
+  EXPECT_EQ(index.CountWithin({3, 3}, 0.0), 0);
+}
+
+TEST(SpatialCountIndexTest, StrictInequalityOnBoundary) {
+  GridSpec grid(10.0, 10.0, 5, 5);
+  SpatialCountIndex index(grid, {{3.0, 3.0}});
+  // dis == radius is NOT within (Eq. 7 uses strict <).
+  EXPECT_EQ(index.CountWithin({3.0, 4.0}, 1.0), 0);
+  EXPECT_EQ(index.CountWithin({3.0, 4.0}, 1.0001), 1);
+}
+
+TEST(SpatialCountIndexTest, MatchesBruteForceOnRandomData) {
+  GridSpec grid(20.0, 10.0, 16, 32);
+  tamp::Rng rng(77);
+  std::vector<Point> pts;
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.Uniform(0.0, 20.0), rng.Uniform(0.0, 10.0)});
+  }
+  SpatialCountIndex index(grid, pts);
+  for (int q = 0; q < 100; ++q) {
+    Point center{rng.Uniform(-1.0, 21.0), rng.Uniform(-1.0, 11.0)};
+    double radius = rng.Uniform(0.1, 5.0);
+    EXPECT_EQ(index.CountWithin(center, radius),
+              BruteCount(pts, center, radius))
+        << "center=(" << center.x << "," << center.y << ") r=" << radius;
+  }
+}
+
+TEST(SpatialCountIndexTest, QueryWithinReturnsThePoints) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  std::vector<Point> pts = {{1, 1}, {2, 2}, {8, 8}};
+  SpatialCountIndex index(grid, pts);
+  auto near = index.QueryWithin({1.5, 1.5}, 1.5);
+  EXPECT_EQ(near.size(), 2u);
+}
+
+TEST(SpatialCountIndexTest, MeanCountPerDisk) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  std::vector<Point> pts(100, Point{5, 5});
+  SpatialCountIndex index(grid, pts);
+  // 100 points on 100 km^2 -> density 1/km^2; disk r=1 has area pi.
+  EXPECT_NEAR(index.MeanCountPerDisk(1.0), M_PI, 1e-9);
+}
+
+TEST(SpatialCountIndexTest, MeanCountPerDiskFloorsAtPositive) {
+  GridSpec grid(10.0, 10.0, 10, 10);
+  SpatialCountIndex index(grid, {});
+  EXPECT_GT(index.MeanCountPerDisk(1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace tamp::geo

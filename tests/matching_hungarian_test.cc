@@ -1,0 +1,177 @@
+#include "matching/hungarian.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::matching {
+namespace {
+
+/// Exhaustive maximum-weight matching by trying every left->right injective
+/// assignment (exponential; only for tiny instances).
+double BruteForceBest(int num_left, int num_right,
+                      const std::vector<Edge>& edges) {
+  std::vector<std::vector<double>> w(num_left,
+                                     std::vector<double>(num_right, 0.0));
+  for (const Edge& e : edges) {
+    if (e.weight > 0.0) w[e.left][e.right] = std::max(w[e.left][e.right], e.weight);
+  }
+  double best = 0.0;
+  std::vector<int> rights(num_right);
+  for (int i = 0; i < num_right; ++i) rights[i] = i;
+  // Recursion over left vertices: match to any free right or stay single.
+  std::vector<char> used(num_right, 0);
+  std::function<void(int, double)> rec = [&](int left, double acc) {
+    if (left == num_left) {
+      best = std::max(best, acc);
+      return;
+    }
+    rec(left + 1, acc);  // Leave `left` unmatched.
+    for (int r = 0; r < num_right; ++r) {
+      if (used[r] || w[left][r] <= 0.0) continue;
+      used[r] = 1;
+      rec(left + 1, acc + w[left][r]);
+      used[r] = 0;
+    }
+  };
+  rec(0, 0.0);
+  return best;
+}
+
+void ExpectValidMatching(const MatchResult& result, int num_left,
+                         int num_right) {
+  std::set<int> lefts, rights;
+  for (auto [l, r] : result.pairs) {
+    EXPECT_GE(l, 0);
+    EXPECT_LT(l, num_left);
+    EXPECT_GE(r, 0);
+    EXPECT_LT(r, num_right);
+    EXPECT_TRUE(lefts.insert(l).second) << "duplicate left " << l;
+    EXPECT_TRUE(rights.insert(r).second) << "duplicate right " << r;
+  }
+}
+
+TEST(MinCostAssignmentTest, TwoByTwo) {
+  auto result = MinCostAssignment({{1.0, 2.0}, {2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(result.total_cost, 2.0);
+  EXPECT_EQ(result.col_of_row[0], 0);
+  EXPECT_EQ(result.col_of_row[1], 1);
+}
+
+TEST(MinCostAssignmentTest, RectangularRowsLessThanCols) {
+  auto result = MinCostAssignment({{5.0, 1.0, 9.0}});
+  EXPECT_DOUBLE_EQ(result.total_cost, 1.0);
+  EXPECT_EQ(result.col_of_row[0], 1);
+}
+
+TEST(MinCostAssignmentTest, ClassicExample) {
+  // A well-known 3x3 instance with optimal cost 5 (1+3+1... verify):
+  // rows choose (0,1)=2? Let's use a matrix with a known answer:
+  //   [4 1 3]
+  //   [2 0 5]
+  //   [3 2 2]   optimum: 1 + 2 + 2 = 5.
+  auto result = MinCostAssignment({{4, 1, 3}, {2, 0, 5}, {3, 2, 2}});
+  EXPECT_DOUBLE_EQ(result.total_cost, 5.0);
+}
+
+TEST(MaxWeightMatchingTest, EmptyInputs) {
+  EXPECT_TRUE(MaxWeightMatching(0, 5, {}).pairs.empty());
+  EXPECT_TRUE(MaxWeightMatching(5, 0, {}).pairs.empty());
+  EXPECT_TRUE(MaxWeightMatching(3, 3, {}).pairs.empty());
+}
+
+TEST(MaxWeightMatchingTest, SingleEdge) {
+  auto result = MaxWeightMatching(2, 2, {{0, 1, 3.5}});
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], std::make_pair(0, 1));
+  EXPECT_DOUBLE_EQ(result.total_weight, 3.5);
+}
+
+TEST(MaxWeightMatchingTest, PrefersHeavierCombination) {
+  // Greedy would take (0,0,10) then only (1,1,1) = 11; optimal is
+  // (0,1,9) + (1,0,9) = 18.
+  std::vector<Edge> edges = {{0, 0, 10.0}, {0, 1, 9.0}, {1, 0, 9.0},
+                             {1, 1, 1.0}};
+  auto result = MaxWeightMatching(2, 2, edges);
+  EXPECT_DOUBLE_EQ(result.total_weight, 18.0);
+  auto greedy = GreedyMatching(2, 2, edges);
+  EXPECT_DOUBLE_EQ(greedy.total_weight, 11.0);
+}
+
+TEST(MaxWeightMatchingTest, NonPositiveEdgesIgnored) {
+  auto result = MaxWeightMatching(2, 2, {{0, 0, 0.0}, {1, 1, -3.0}});
+  EXPECT_TRUE(result.pairs.empty());
+}
+
+TEST(MaxWeightMatchingTest, DuplicateEdgesKeepMax) {
+  auto result = MaxWeightMatching(1, 1, {{0, 0, 1.0}, {0, 0, 7.0}});
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.total_weight, 7.0);
+}
+
+TEST(MaxWeightMatchingTest, LeavesVerticesUnmatchedWhenNoEdge) {
+  // 3 tasks, 3 workers, but only task 0 has edges.
+  auto result = MaxWeightMatching(3, 3, {{0, 2, 1.0}});
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_EQ(result.pairs[0], std::make_pair(0, 2));
+}
+
+TEST(MaxWeightMatchingTest, RectangularMoreLeftThanRight) {
+  std::vector<Edge> edges = {{0, 0, 5.0}, {1, 0, 6.0}, {2, 0, 7.0}};
+  auto result = MaxWeightMatching(3, 1, edges);
+  ASSERT_EQ(result.pairs.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.total_weight, 7.0);
+}
+
+/// Property sweep: on random instances the KM result is a valid matching,
+/// optimal (vs brute force), and >= the greedy total.
+class MatchingRandomSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, uint64_t>> {};
+
+TEST_P(MatchingRandomSweep, OptimalOnRandomInstances) {
+  auto [num_left, num_right, seed] = GetParam();
+  tamp::Rng rng(seed);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<Edge> edges;
+    for (int l = 0; l < num_left; ++l) {
+      for (int r = 0; r < num_right; ++r) {
+        if (rng.Bernoulli(0.6)) {
+          edges.push_back({l, r, rng.Uniform(0.1, 10.0)});
+        }
+      }
+    }
+    auto result = MaxWeightMatching(num_left, num_right, edges);
+    ExpectValidMatching(result, num_left, num_right);
+    double brute = BruteForceBest(num_left, num_right, edges);
+    EXPECT_NEAR(result.total_weight, brute, 1e-9);
+    auto greedy = GreedyMatching(num_left, num_right, edges);
+    EXPECT_LE(greedy.total_weight, result.total_weight + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MatchingRandomSweep,
+    ::testing::Values(std::make_tuple(2, 2, 1ULL), std::make_tuple(3, 3, 2ULL),
+                      std::make_tuple(4, 4, 3ULL), std::make_tuple(5, 3, 4ULL),
+                      std::make_tuple(3, 6, 5ULL),
+                      std::make_tuple(6, 6, 6ULL)));
+
+TEST(MaxWeightMatchingTest, LargeInstanceRunsAndIsValid) {
+  tamp::Rng rng(123);
+  const int n = 120;
+  std::vector<Edge> edges;
+  for (int l = 0; l < n; ++l) {
+    for (int r = 0; r < n; ++r) {
+      if (rng.Bernoulli(0.15)) edges.push_back({l, r, rng.Uniform(0.1, 5.0)});
+    }
+  }
+  auto result = MaxWeightMatching(n, n, edges);
+  ExpectValidMatching(result, n, n);
+  EXPECT_GT(result.pairs.size(), 50u);
+}
+
+}  // namespace
+}  // namespace tamp::matching

@@ -1,0 +1,139 @@
+#include "meta/taml.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/encoder_decoder.h"
+
+namespace tamp::meta {
+namespace {
+
+LearningTask MakeTask(int id, double vx, tamp::Rng& rng) {
+  LearningTask task;
+  task.worker_id = id;
+  auto sample = [&]() {
+    TrainingSample s;
+    double x = rng.Uniform(0.2, 0.6), y = rng.Uniform(0.2, 0.6);
+    for (int t = 0; t < 3; ++t) s.input.push_back({x + vx * t, y});
+    s.target.push_back({x + vx * 3, y});
+    s.target_km.push_back({(x + vx * 3) * 10.0, y * 10.0});
+    return s;
+  };
+  for (int i = 0; i < 6; ++i) task.support.push_back(sample());
+  for (int i = 0; i < 4; ++i) task.query.push_back(sample());
+  for (const auto& s : task.support) {
+    task.location_cloud.push_back(s.target_km[0]);
+  }
+  return task;
+}
+
+nn::EncoderDecoder SmallModel() {
+  nn::Seq2SeqConfig config;
+  config.hidden_dim = 6;
+  return nn::EncoderDecoder(config);
+}
+
+/// Builds a two-leaf tree: leaf A = tasks {0,1}, leaf B = tasks {2,3}.
+std::unique_ptr<cluster::TaskTreeNode> TwoLeafTree() {
+  auto root = std::make_unique<cluster::TaskTreeNode>();
+  root->tasks = {0, 1, 2, 3};
+  for (int half = 0; half < 2; ++half) {
+    auto leaf = std::make_unique<cluster::TaskTreeNode>();
+    leaf->tasks = half == 0 ? std::vector<int>{0, 1} : std::vector<int>{2, 3};
+    leaf->parent = root.get();
+    leaf->depth = 1;
+    root->children.push_back(std::move(leaf));
+  }
+  return root;
+}
+
+TEST(InitializeTreeParamsTest, PropagatesToAllNodes) {
+  auto root = TwoLeafTree();
+  std::vector<double> theta = {1.0, 2.0, 3.0};
+  InitializeTreeParams(*root, theta);
+  EXPECT_EQ(root->theta, theta);
+  for (const auto& child : root->children) EXPECT_EQ(child->theta, theta);
+}
+
+TEST(TamlTest, TrainsLeavesAndUpdatesInteriorNodes) {
+  tamp::Rng rng(3);
+  nn::EncoderDecoder model = SmallModel();
+  std::vector<LearningTask> tasks;
+  for (int i = 0; i < 4; ++i) {
+    tasks.push_back(MakeTask(i, i < 2 ? 0.04 : -0.04, rng));
+  }
+  auto root = TwoLeafTree();
+  std::vector<double> init = model.InitParams(rng);
+  InitializeTreeParams(*root, init);
+
+  MetaTrainConfig config;
+  config.iterations = 10;
+  config.batch_size = 2;
+  TamlResult result = Taml(*root, tasks, model, config, rng);
+
+  EXPECT_GT(result.avg_loss, 0.0);
+  EXPECT_EQ(result.gradient.size(), model.param_count());
+  // Leaves must have moved away from the shared initialization...
+  for (const auto& child : root->children) {
+    EXPECT_NE(child->theta, init);
+  }
+  // ...and in different directions (their data differs).
+  EXPECT_NE(root->children[0]->theta, root->children[1]->theta);
+  // The interior node also takes a (single) meta step.
+  EXPECT_NE(root->theta, init);
+}
+
+TEST(TamlTest, SingleNodeTreeEqualsMetaTraining) {
+  tamp::Rng rng(5);
+  nn::EncoderDecoder model = SmallModel();
+  std::vector<LearningTask> tasks = {MakeTask(0, 0.03, rng),
+                                     MakeTask(1, 0.03, rng)};
+  auto root = std::make_unique<cluster::TaskTreeNode>();
+  root->tasks = {0, 1};
+  InitializeTreeParams(*root, model.InitParams(rng));
+  MetaTrainConfig config;
+  config.iterations = 5;
+  TamlResult result = Taml(*root, tasks, model, config, rng);
+  EXPECT_GT(result.avg_loss, 0.0);
+}
+
+TEST(FindLeafForTaskTest, FindsCoveringLeaf) {
+  auto root = TwoLeafTree();
+  const cluster::TaskTreeNode* leaf0 = FindLeafForTask(*root, 1);
+  ASSERT_NE(leaf0, nullptr);
+  EXPECT_EQ(leaf0, root->children[0].get());
+  const cluster::TaskTreeNode* leaf1 = FindLeafForTask(*root, 3);
+  EXPECT_EQ(leaf1, root->children[1].get());
+  EXPECT_EQ(FindLeafForTask(*root, 99), nullptr);
+}
+
+TEST(FindMostSimilarNodeTest, PicksTheMatchingCluster) {
+  auto root = TwoLeafTree();
+  // The newcomer resembles tasks 2 and 3.
+  auto similarity_to = [](int task_id) {
+    return task_id >= 2 ? 0.9 : 0.1;
+  };
+  const cluster::TaskTreeNode* best = FindMostSimilarNode(*root, similarity_to);
+  EXPECT_EQ(best, root->children[1].get());
+}
+
+TEST(FindMostSimilarNodeTest, RootWinsWhenSimilarityIsBalanced) {
+  auto root = TwoLeafTree();
+  // Equal similarity everywhere: every node scores the same; post-order
+  // visits children first, so a strictly-greater root never replaces them,
+  // and the result is one of the equally good nodes.
+  const cluster::TaskTreeNode* best =
+      FindMostSimilarNode(*root, [](int) { return 0.5; });
+  ASSERT_NE(best, nullptr);
+}
+
+TEST(FindMostSimilarNodeTest, SingleNodeTreeReturnsRoot) {
+  cluster::TaskTreeNode root;
+  root.tasks = {0};
+  const cluster::TaskTreeNode* best =
+      FindMostSimilarNode(root, [](int) { return 0.3; });
+  EXPECT_EQ(best, &root);
+}
+
+}  // namespace
+}  // namespace tamp::meta

@@ -1,0 +1,181 @@
+#include "nn/gru_cell.h"
+
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/optimizer.h"
+
+namespace tamp::nn {
+namespace {
+
+std::vector<double> NumericalGradient(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> params, double h = 1e-6) {
+  std::vector<double> grad(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    double orig = params[i];
+    params[i] = orig + h;
+    double plus = f(params);
+    params[i] = orig - h;
+    double minus = f(params);
+    params[i] = orig;
+    grad[i] = (plus - minus) / (2.0 * h);
+  }
+  return grad;
+}
+
+double MaxRelError(const std::vector<double>& a,
+                   const std::vector<double>& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double denom = std::max({std::fabs(a[i]), std::fabs(b[i]), 1e-4});
+    worst = std::max(worst, std::fabs(a[i] - b[i]) / denom);
+  }
+  return worst;
+}
+
+TEST(GruCellTest, ParamCountMatchesLayout) {
+  GruCell cell(2, 5, 0);
+  // W [15x2] + U [15x5] + b [15].
+  EXPECT_EQ(cell.param_count(), 15u * 2 + 15u * 5 + 15u);
+}
+
+TEST(GruCellTest, ForwardIsDeterministicAndBounded) {
+  tamp::Rng rng(3);
+  GruCell cell(2, 4, 0);
+  std::vector<double> params(cell.param_count());
+  cell.InitParams(rng, params);
+  std::vector<double> x = {0.4, -0.2};
+  std::vector<double> h(4, 0.0);
+  GruStepCache cache;
+  cell.Forward(params, x.data(), h, cache);
+  for (double v : h) {
+    // h is a convex combination of tanh candidates and the zero state.
+    EXPECT_GT(v, -1.0);
+    EXPECT_LT(v, 1.0);
+  }
+  std::vector<double> h2(4, 0.0);
+  GruStepCache cache2;
+  cell.Forward(params, x.data(), h2, cache2);
+  EXPECT_EQ(h, h2);
+}
+
+TEST(GruCellTest, GradientMatchesFiniteDifferencesOverTwoSteps) {
+  tamp::Rng rng(5);
+  const int input_dim = 2, hidden = 3;
+  GruCell cell(input_dim, hidden, 0);
+  std::vector<double> params(cell.param_count());
+  cell.InitParams(rng, params);
+  std::vector<std::vector<double>> xs = {{0.3, -0.7}, {0.9, 0.1}};
+
+  auto loss_fn = [&](const std::vector<double>& p) {
+    std::vector<double> h(hidden, 0.0);
+    GruStepCache cache;
+    for (const auto& x : xs) cell.Forward(p, x.data(), h, cache);
+    double loss = 0.0;
+    for (double v : h) loss += v * v;
+    return loss;
+  };
+
+  std::vector<double> h(hidden, 0.0);
+  std::vector<GruStepCache> caches(xs.size());
+  for (size_t t = 0; t < xs.size(); ++t) {
+    cell.Forward(params, xs[t].data(), h, caches[t]);
+  }
+  std::vector<double> dh(hidden);
+  for (int k = 0; k < hidden; ++k) dh[k] = 2.0 * h[k];
+  std::vector<double> grad(params.size(), 0.0);
+  for (int t = static_cast<int>(xs.size()) - 1; t >= 0; --t) {
+    cell.Backward(params, caches[t], dh, grad, nullptr);
+  }
+  std::vector<double> numeric = NumericalGradient(loss_fn, params);
+  EXPECT_LT(MaxRelError(grad, numeric), 1e-4);
+}
+
+TEST(GruCellTest, InputGradientMatchesFiniteDifferences) {
+  tamp::Rng rng(7);
+  GruCell cell(3, 4, 0);
+  std::vector<double> params(cell.param_count());
+  cell.InitParams(rng, params);
+  std::vector<double> x = {0.2, -0.5, 0.8};
+
+  auto loss_of_x = [&](const std::vector<double>& xin) {
+    std::vector<double> h(4, 0.0);
+    GruStepCache cache;
+    cell.Forward(params, xin.data(), h, cache);
+    double loss = 0.0;
+    for (double v : h) loss += v * v;
+    return loss;
+  };
+  std::vector<double> h(4, 0.0);
+  GruStepCache cache;
+  cell.Forward(params, x.data(), h, cache);
+  std::vector<double> dh(4);
+  for (int k = 0; k < 4; ++k) dh[k] = 2.0 * h[k];
+  std::vector<double> grad(params.size(), 0.0);
+  std::vector<double> dx(3);
+  cell.Backward(params, cache, dh, grad, dx.data());
+  std::vector<double> numeric = NumericalGradient(loss_of_x, x);
+  EXPECT_LT(MaxRelError(dx, numeric), 1e-4);
+}
+
+TEST(GruCellTest, LearnsASimpleRecurrentTask) {
+  // Predict the running mean of a 1-D input stream: GRU + linear head
+  // trained with SGD must beat the untrained loss by a wide margin.
+  tamp::Rng rng(11);
+  const int hidden = 6;
+  GruCell cell(1, hidden, 0);
+  Linear head(hidden, 1, cell.param_count());
+  std::vector<double> params(cell.param_count() + head.param_count());
+  cell.InitParams(rng, params);
+  head.InitParams(rng, params);
+
+  auto run_episode = [&](std::vector<double>& grad_out, bool train,
+                         tamp::Rng& data_rng) {
+    std::vector<double> xs(6);
+    double mean = 0.0;
+    for (size_t i = 0; i < xs.size(); ++i) {
+      xs[i] = data_rng.Uniform(-1.0, 1.0);
+      mean += xs[i];
+    }
+    mean /= xs.size();
+    std::vector<double> h(hidden, 0.0);
+    std::vector<GruStepCache> caches(xs.size());
+    for (size_t t = 0; t < xs.size(); ++t) {
+      cell.Forward(params, &xs[t], h, caches[t]);
+    }
+    std::vector<double> y;
+    head.Forward(params, h.data(), y);
+    double err = y[0] - mean;
+    if (train) {
+      std::fill(grad_out.begin(), grad_out.end(), 0.0);
+      std::vector<double> dy = {2.0 * err};
+      std::vector<double> dh(hidden);
+      head.Backward(params, h.data(), dy.data(), grad_out, dh.data());
+      for (int t = static_cast<int>(xs.size()) - 1; t >= 0; --t) {
+        cell.Backward(params, caches[t], dh, grad_out, nullptr);
+      }
+      ClipGradientNorm(grad_out, 5.0);
+      Sgd(0.05).Step(params, grad_out);
+    }
+    return err * err;
+  };
+
+  std::vector<double> grad(params.size());
+  tamp::Rng eval_rng(100);
+  double before = 0.0;
+  for (int i = 0; i < 50; ++i) before += run_episode(grad, false, eval_rng);
+  tamp::Rng train_rng(200);
+  for (int i = 0; i < 1500; ++i) run_episode(grad, true, train_rng);
+  tamp::Rng eval_rng2(100);
+  double after = 0.0;
+  for (int i = 0; i < 50; ++i) after += run_episode(grad, false, eval_rng2);
+  EXPECT_LT(after, before * 0.3) << "before " << before << " after " << after;
+}
+
+}  // namespace
+}  // namespace tamp::nn

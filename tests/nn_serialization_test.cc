@@ -1,0 +1,126 @@
+#include "nn/serialization.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+ModelBundle MakeBundle(int sets) {
+  ModelBundle bundle;
+  bundle.config.input_dim = 3;
+  bundle.config.hidden_dim = 5;
+  bundle.config.seq_out = 2;
+  EncoderDecoder model(bundle.config);
+  tamp::Rng rng(7);
+  for (int s = 0; s < sets; ++s) {
+    bundle.param_sets.push_back(model.InitParams(rng));
+  }
+  return bundle;
+}
+
+TEST(SerializationTest, RoundTripIsExact) {
+  std::string path = TempPath("bundle_roundtrip.tamp");
+  ModelBundle bundle = MakeBundle(3);
+  ASSERT_TRUE(SaveModelBundle(path, bundle).ok());
+
+  StatusOr<ModelBundle> loaded = LoadModelBundle(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->config.input_dim, 3);
+  EXPECT_EQ(loaded->config.hidden_dim, 5);
+  EXPECT_EQ(loaded->config.seq_out, 2);
+  ASSERT_EQ(loaded->param_sets.size(), 3u);
+  for (size_t s = 0; s < 3; ++s) {
+    ASSERT_EQ(loaded->param_sets[s].size(), bundle.param_sets[s].size());
+    for (size_t i = 0; i < bundle.param_sets[s].size(); ++i) {
+      // %.17g round-trips doubles exactly.
+      EXPECT_EQ(loaded->param_sets[s][i], bundle.param_sets[s][i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadedModelPredictsIdentically) {
+  std::string path = TempPath("bundle_predict.tamp");
+  ModelBundle bundle = MakeBundle(1);
+  ASSERT_TRUE(SaveModelBundle(path, bundle).ok());
+  StatusOr<ModelBundle> loaded = LoadModelBundle(path);
+  ASSERT_TRUE(loaded.ok());
+
+  EncoderDecoder model(bundle.config);
+  Sequence input = {{0.1, 0.2, 0.3}, {0.4, 0.5, 0.6}};
+  Sequence a = model.Predict(bundle.param_sets[0], input);
+  Sequence b = model.Predict(loaded->param_sets[0], input);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) EXPECT_EQ(a[t], b[t]);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, EmptyBundleRoundTrips) {
+  std::string path = TempPath("bundle_empty.tamp");
+  ModelBundle bundle = MakeBundle(0);
+  ASSERT_TRUE(SaveModelBundle(path, bundle).ok());
+  StatusOr<ModelBundle> loaded = LoadModelBundle(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->param_sets.empty());
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, SaveRejectsWrongParamCount) {
+  ModelBundle bundle = MakeBundle(1);
+  bundle.param_sets[0].pop_back();
+  Status status = SaveModelBundle(TempPath("bundle_bad.tamp"), bundle);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SerializationTest, LoadMissingFileIsNotFound) {
+  StatusOr<ModelBundle> result =
+      LoadModelBundle(TempPath("does_not_exist.tamp"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, LoadRejectsWrongMagic) {
+  std::string path = TempPath("bundle_magic.tamp");
+  std::ofstream(path) << "NOT A MODEL\n";
+  StatusOr<ModelBundle> result = LoadModelBundle(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadRejectsTruncatedData) {
+  std::string path = TempPath("bundle_trunc.tamp");
+  ModelBundle bundle = MakeBundle(1);
+  ASSERT_TRUE(SaveModelBundle(path, bundle).ok());
+  // Chop off the tail of the file.
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  in.close();
+  std::ofstream(path) << contents.substr(0, contents.size() / 2);
+  StatusOr<ModelBundle> result = LoadModelBundle(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(SerializationTest, LoadRejectsNegativeDimensions) {
+  std::string path = TempPath("bundle_dims.tamp");
+  std::ofstream(path) << "TAMP_MODEL v1\n-3 5 2 1\n0 100\n";
+  StatusOr<ModelBundle> result = LoadModelBundle(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tamp::nn

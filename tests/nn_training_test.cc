@@ -1,0 +1,160 @@
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/encoder_decoder.h"
+#include "nn/optimizer.h"
+
+namespace tamp::nn {
+namespace {
+
+/// A toy trajectory task: points move diagonally with constant velocity;
+/// the model should learn to extrapolate.
+struct ToyData {
+  std::vector<Sequence> inputs;
+  std::vector<Sequence> targets;
+};
+
+ToyData MakeToyData(int n, int seq_in, int seq_out, tamp::Rng& rng) {
+  ToyData data;
+  for (int s = 0; s < n; ++s) {
+    double x = rng.Uniform(0.1, 0.5);
+    double y = rng.Uniform(0.1, 0.5);
+    double vx = 0.04, vy = 0.02;
+    Sequence input, target;
+    for (int t = 0; t < seq_in; ++t) {
+      input.push_back({x + vx * t, y + vy * t});
+    }
+    for (int t = 0; t < seq_out; ++t) {
+      target.push_back({x + vx * (seq_in + t), y + vy * (seq_in + t)});
+    }
+    data.inputs.push_back(std::move(input));
+    data.targets.push_back(std::move(target));
+  }
+  return data;
+}
+
+TEST(EncoderDecoderTrainingTest, LossDecreasesUnderSgd) {
+  tamp::Rng rng(11);
+  Seq2SeqConfig config;
+  config.hidden_dim = 8;
+  config.seq_out = 1;
+  EncoderDecoder model(config);
+  std::vector<double> params = model.InitParams(rng);
+  ToyData data = MakeToyData(16, 4, 1, rng);
+
+  auto epoch_loss = [&](bool train) {
+    std::vector<double> grad(params.size(), 0.0);
+    double total = 0.0;
+    for (size_t i = 0; i < data.inputs.size(); ++i) {
+      std::fill(grad.begin(), grad.end(), 0.0);
+      total += model.LossAndGradient(params, data.inputs[i], data.targets[i],
+                                     {}, grad);
+      if (train) {
+        ClipGradientNorm(grad, 5.0);
+        Sgd(0.2).Step(params, grad);
+      }
+    }
+    return total / data.inputs.size();
+  };
+
+  double initial = epoch_loss(false);
+  for (int e = 0; e < 60; ++e) epoch_loss(true);
+  double trained = epoch_loss(false);
+  EXPECT_LT(trained, initial * 0.3)
+      << "initial=" << initial << " trained=" << trained;
+}
+
+TEST(EncoderDecoderTrainingTest, PredictionApproachesTarget) {
+  tamp::Rng rng(13);
+  Seq2SeqConfig config;
+  config.hidden_dim = 8;
+  EncoderDecoder model(config);
+  std::vector<double> params = model.InitParams(rng);
+  ToyData data = MakeToyData(16, 4, 1, rng);
+
+  std::vector<double> grad(params.size(), 0.0);
+  for (int e = 0; e < 150; ++e) {
+    for (size_t i = 0; i < data.inputs.size(); ++i) {
+      std::fill(grad.begin(), grad.end(), 0.0);
+      model.LossAndGradient(params, data.inputs[i], data.targets[i], {}, grad);
+      ClipGradientNorm(grad, 5.0);
+      Sgd(0.2).Step(params, grad);
+    }
+  }
+  // Mean absolute prediction error should be small on training data.
+  double err = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < data.inputs.size(); ++i) {
+    Sequence pred = model.Predict(params, data.inputs[i]);
+    for (size_t t = 0; t < pred.size(); ++t) {
+      for (size_t d = 0; d < pred[t].size(); ++d) {
+        err += std::fabs(pred[t][d] - data.targets[i][t][d]);
+        ++count;
+      }
+    }
+  }
+  EXPECT_LT(err / count, 0.05);
+}
+
+TEST(EncoderDecoderTest, PredictIsDeterministic) {
+  tamp::Rng rng(17);
+  Seq2SeqConfig config;
+  EncoderDecoder model(config);
+  std::vector<double> params = model.InitParams(rng);
+  Sequence input = {{0.1, 0.2}, {0.3, 0.4}};
+  Sequence a = model.Predict(params, input);
+  Sequence b = model.Predict(params, input);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a[t], b[t]);
+  }
+}
+
+TEST(EncoderDecoderTest, SeqOutControlsPredictionLength) {
+  tamp::Rng rng(19);
+  for (int seq_out : {1, 2, 3}) {
+    Seq2SeqConfig config;
+    config.seq_out = seq_out;
+    EncoderDecoder model(config);
+    std::vector<double> params = model.InitParams(rng);
+    Sequence pred = model.Predict(params, {{0.5, 0.5}});
+    EXPECT_EQ(static_cast<int>(pred.size()), seq_out);
+    for (const auto& step : pred) EXPECT_EQ(step.size(), 2u);
+  }
+}
+
+TEST(EncoderDecoderTest, ParamCountMatchesLayout) {
+  Seq2SeqConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = 16;
+  config.output_dim = 2;
+  EncoderDecoder model(config);
+  size_t h4 = 4 * 16;
+  size_t enc = h4 * 2 + h4 * 16 + h4;
+  size_t dec = h4 * 2 + h4 * 16 + h4;
+  size_t readout = 16 * 2 + 2;
+  EXPECT_EQ(model.param_count(), enc + dec + readout);
+}
+
+TEST(EncoderDecoderTest, InitParamsDependOnSeed) {
+  Seq2SeqConfig config;
+  EncoderDecoder model(config);
+  tamp::Rng a(1), b(1), c(2);
+  EXPECT_EQ(model.InitParams(a), model.InitParams(b));
+  EXPECT_NE(model.InitParams(a), model.InitParams(c));
+}
+
+TEST(EncoderDecoderTest, EvalLossZeroForOracleTargets) {
+  tamp::Rng rng(23);
+  Seq2SeqConfig config;
+  EncoderDecoder model(config);
+  std::vector<double> params = model.InitParams(rng);
+  Sequence input = {{0.2, 0.2}, {0.4, 0.4}};
+  Sequence pred = model.Predict(params, input);
+  EXPECT_NEAR(model.EvalLoss(params, input, pred, {}), 0.0, 1e-18);
+}
+
+}  // namespace
+}  // namespace tamp::nn

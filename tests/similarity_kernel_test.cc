@@ -1,0 +1,92 @@
+#include "similarity/kernel.h"
+
+#include <gtest/gtest.h>
+
+namespace tamp::similarity {
+namespace {
+
+SpatialKernelParams DefaultParams() {
+  SpatialKernelParams p;
+  p.bandwidth_km = 1.0;
+  p.type_mismatch_factor = 0.5;
+  return p;
+}
+
+TEST(PoiKernelTest, IdenticalPoisScoreOne) {
+  geo::Poi v(1.0, 2.0, 3);
+  EXPECT_DOUBLE_EQ(PoiKernel(v, v, DefaultParams()), 1.0);
+}
+
+TEST(PoiKernelTest, DecaysWithDistance) {
+  SpatialKernelParams p = DefaultParams();
+  geo::Poi a(0.0, 0.0, 1);
+  double near = PoiKernel(a, {0.5, 0.0, 1}, p);
+  double far = PoiKernel(a, {3.0, 0.0, 1}, p);
+  EXPECT_GT(near, far);
+  EXPECT_GT(near, 0.8);
+  EXPECT_LT(far, 0.05);
+}
+
+TEST(PoiKernelTest, TypeMismatchAttenuates) {
+  SpatialKernelParams p = DefaultParams();
+  geo::Poi a(0.0, 0.0, 1);
+  geo::Poi same(0.0, 0.0, 1);
+  geo::Poi other(0.0, 0.0, 2);
+  EXPECT_DOUBLE_EQ(PoiKernel(a, other, p),
+                   p.type_mismatch_factor * PoiKernel(a, same, p));
+}
+
+TEST(PoiKernelTest, IsSymmetric) {
+  SpatialKernelParams p = DefaultParams();
+  geo::Poi a(0.0, 0.0, 1), b(1.5, 2.0, 3);
+  EXPECT_DOUBLE_EQ(PoiKernel(a, b, p), PoiKernel(b, a, p));
+}
+
+TEST(PoiKernelTest, BandwidthControlsReach) {
+  geo::Poi a(0.0, 0.0, 1), b(2.0, 0.0, 1);
+  SpatialKernelParams narrow = DefaultParams();
+  narrow.bandwidth_km = 0.5;
+  SpatialKernelParams wide = DefaultParams();
+  wide.bandwidth_km = 4.0;
+  EXPECT_LT(PoiKernel(a, b, narrow), PoiKernel(a, b, wide));
+}
+
+TEST(SpatialSimilarityTest, EmptySequencesScoreZero) {
+  geo::PoiSequence a = {{0, 0, 1}};
+  EXPECT_EQ(SpatialSimilarity({}, a, DefaultParams()), 0.0);
+  EXPECT_EQ(SpatialSimilarity(a, {}, DefaultParams()), 0.0);
+  EXPECT_EQ(SpatialSimilarity({}, {}, DefaultParams()), 0.0);
+}
+
+TEST(SpatialSimilarityTest, IdenticalSequencesScoreHigh) {
+  geo::PoiSequence a = {{1, 1, 0}, {1.2, 1.0, 0}};
+  double sim = SpatialSimilarity(a, a, DefaultParams());
+  EXPECT_GT(sim, 0.9);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST(SpatialSimilarityTest, InRangeZeroOne) {
+  geo::PoiSequence a = {{0, 0, 0}, {5, 5, 1}};
+  geo::PoiSequence b = {{10, 10, 2}, {2, 3, 0}};
+  double sim = SpatialSimilarity(a, b, DefaultParams());
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+}
+
+TEST(SpatialSimilarityTest, NearbySequencesBeatsFarOnes) {
+  SpatialKernelParams p = DefaultParams();
+  geo::PoiSequence base = {{1, 1, 0}, {2, 1, 0}};
+  geo::PoiSequence near = {{1.3, 1.1, 0}, {2.2, 0.8, 0}};
+  geo::PoiSequence far = {{15, 8, 0}, {18, 9, 0}};
+  EXPECT_GT(SpatialSimilarity(base, near, p), SpatialSimilarity(base, far, p));
+}
+
+TEST(SpatialSimilarityTest, IsSymmetric) {
+  SpatialKernelParams p = DefaultParams();
+  geo::PoiSequence a = {{0, 0, 0}, {1, 2, 1}};
+  geo::PoiSequence b = {{3, 1, 1}};
+  EXPECT_DOUBLE_EQ(SpatialSimilarity(a, b, p), SpatialSimilarity(b, a, p));
+}
+
+}  // namespace
+}  // namespace tamp::similarity

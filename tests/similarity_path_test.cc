@@ -1,0 +1,94 @@
+#include "similarity/learning_path.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::similarity {
+namespace {
+
+TEST(CosineSimilarityTest, ParallelVectorsScoreOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 2, 3}, {2, 4, 6}), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, OrthogonalVectorsScoreZero) {
+  EXPECT_NEAR(CosineSimilarity({1, 0}, {0, 1}), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, OppositeVectorsScoreMinusOne) {
+  EXPECT_NEAR(CosineSimilarity({1, 1}, {-1, -1}), -1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorScoresZero) {
+  EXPECT_EQ(CosineSimilarity({0, 0}, {1, 2}), 0.0);
+}
+
+TEST(LearningPathSimilarityTest, IdenticalPathsScoreOne) {
+  GradientPath p = {{1, 2}, {3, 4}, {-1, 0.5}};
+  EXPECT_NEAR(LearningPathSimilarity(p, p), 1.0, 1e-12);
+}
+
+TEST(LearningPathSimilarityTest, OppositePathsScoreZero) {
+  GradientPath a = {{1, 2}, {3, 4}};
+  GradientPath b = {{-1, -2}, {-3, -4}};
+  // Mean cosine -1 maps to 0 in the [0,1] range.
+  EXPECT_NEAR(LearningPathSimilarity(a, b), 0.0, 1e-12);
+}
+
+TEST(LearningPathSimilarityTest, MixedStepsAverage) {
+  GradientPath a = {{1, 0}, {1, 0}};
+  GradientPath b = {{1, 0}, {0, 1}};  // cos 1 then cos 0 -> mean 0.5 -> 0.75.
+  EXPECT_NEAR(LearningPathSimilarity(a, b), 0.75, 1e-12);
+}
+
+TEST(LearningPathSimilarityTest, EmptyPathsScoreZero) {
+  EXPECT_EQ(LearningPathSimilarity({}, {}), 0.0);
+}
+
+TEST(RandomProjectorTest, DeterministicForSeed) {
+  RandomProjector a(10, 4, 99), b(10, 4, 99);
+  std::vector<double> v = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  EXPECT_EQ(a.Project(v), b.Project(v));
+}
+
+TEST(RandomProjectorTest, OutputDimension) {
+  RandomProjector proj(10, 4, 1);
+  EXPECT_EQ(proj.Project(std::vector<double>(10, 1.0)).size(), 4u);
+}
+
+TEST(RandomProjectorTest, LinearInInput) {
+  RandomProjector proj(6, 3, 7);
+  std::vector<double> v = {1, -2, 3, 0.5, 0, 2};
+  std::vector<double> scaled(v.size());
+  for (size_t i = 0; i < v.size(); ++i) scaled[i] = 2.0 * v[i];
+  auto pv = proj.Project(v);
+  auto ps = proj.Project(scaled);
+  for (size_t i = 0; i < pv.size(); ++i) EXPECT_NEAR(ps[i], 2.0 * pv[i], 1e-12);
+}
+
+TEST(RandomProjectorTest, ApproximatelyPreservesCosine) {
+  // Johnson-Lindenstrauss sanity: cosine similarity of high-dimensional
+  // vectors survives projection to a moderate dimension, on average.
+  const size_t dim = 512, proj_dim = 64;
+  tamp::Rng rng(5);
+  RandomProjector proj(dim, proj_dim, 11);
+  double total_error = 0.0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(dim), b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = rng.Normal();
+      // b correlates with a.
+      b[i] = 0.7 * a[i] + 0.3 * rng.Normal();
+    }
+    double full = CosineSimilarity(a, b);
+    double projected = CosineSimilarity(proj.Project(a), proj.Project(b));
+    total_error += std::fabs(full - projected);
+  }
+  EXPECT_LT(total_error / trials, 0.12);
+}
+
+}  // namespace
+}  // namespace tamp::similarity

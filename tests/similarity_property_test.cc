@@ -1,0 +1,102 @@
+// Parameterized metric-property suites for the similarity substrate: the
+// Wasserstein distances must behave like metrics and the similarity
+// transforms must stay bounded and monotone — the clustering game's
+// convergence proof quietly relies on these.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/wasserstein.h"
+
+namespace tamp::similarity {
+namespace {
+
+std::vector<geo::Point> RandomCloud(int n, tamp::Rng& rng, double spread) {
+  std::vector<geo::Point> cloud;
+  for (int i = 0; i < n; ++i) {
+    cloud.push_back({rng.Uniform(0.0, spread), rng.Uniform(0.0, spread)});
+  }
+  return cloud;
+}
+
+class WassersteinSweep
+    : public ::testing::TestWithParam<std::tuple<int, uint64_t>> {};
+
+TEST_P(WassersteinSweep, NonNegativityAndIdentity) {
+  auto [n, seed] = GetParam();
+  tamp::Rng rng(seed);
+  auto a = RandomCloud(n, rng, 10.0);
+  auto b = RandomCloud(n, rng, 10.0);
+  EXPECT_GE(SlicedWasserstein2D(a, b, 8), 0.0);
+  EXPECT_NEAR(SlicedWasserstein2D(a, a, 8), 0.0, 1e-12);
+  EXPECT_GE(ExactWasserstein2D(a, b), 0.0);
+  EXPECT_NEAR(ExactWasserstein2D(a, a), 0.0, 1e-12);
+}
+
+TEST_P(WassersteinSweep, Symmetry) {
+  auto [n, seed] = GetParam();
+  tamp::Rng rng(seed + 1);
+  auto a = RandomCloud(n, rng, 10.0);
+  auto b = RandomCloud(n, rng, 10.0);
+  EXPECT_NEAR(SlicedWasserstein2D(a, b, 16), SlicedWasserstein2D(b, a, 16),
+              1e-9);
+  EXPECT_NEAR(ExactWasserstein2D(a, b), ExactWasserstein2D(b, a), 1e-9);
+}
+
+TEST_P(WassersteinSweep, TriangleInequalityExact) {
+  auto [n, seed] = GetParam();
+  tamp::Rng rng(seed + 2);
+  auto a = RandomCloud(n, rng, 10.0);
+  auto b = RandomCloud(n, rng, 10.0);
+  auto c = RandomCloud(n, rng, 10.0);
+  double ab = ExactWasserstein2D(a, b);
+  double bc = ExactWasserstein2D(b, c);
+  double ac = ExactWasserstein2D(a, c);
+  EXPECT_LE(ac, ab + bc + 1e-9);
+}
+
+TEST_P(WassersteinSweep, TranslationEquivariance) {
+  auto [n, seed] = GetParam();
+  tamp::Rng rng(seed + 3);
+  auto a = RandomCloud(n, rng, 10.0);
+  std::vector<geo::Point> shifted;
+  for (const auto& p : a) shifted.push_back({p.x + 4.0, p.y - 1.0});
+  // W(a, a + v) == |v| for a pure translation.
+  EXPECT_NEAR(ExactWasserstein2D(a, shifted), std::sqrt(16.0 + 1.0), 1e-9);
+}
+
+TEST_P(WassersteinSweep, SlicedLowerBoundsExact) {
+  auto [n, seed] = GetParam();
+  tamp::Rng rng(seed + 4);
+  auto a = RandomCloud(n, rng, 10.0);
+  auto b = RandomCloud(n, rng, 10.0);
+  EXPECT_LE(SlicedWasserstein2D(a, b, 32), ExactWasserstein2D(a, b) + 1e-9);
+}
+
+TEST_P(WassersteinSweep, SimilarityBoundedAndMonotone) {
+  auto [n, seed] = GetParam();
+  tamp::Rng rng(seed + 5);
+  auto a = RandomCloud(n, rng, 5.0);
+  std::vector<geo::Point> near, far;
+  for (const auto& p : a) {
+    near.push_back({p.x + 0.5, p.y});
+    far.push_back({p.x + 15.0, p.y});
+  }
+  double s_self = DistributionSimilarity(a, a, 8, 2.0);
+  double s_near = DistributionSimilarity(a, near, 8, 2.0);
+  double s_far = DistributionSimilarity(a, far, 8, 2.0);
+  EXPECT_NEAR(s_self, 1.0, 1e-12);
+  EXPECT_GT(s_near, s_far);
+  EXPECT_GE(s_far, 0.0);
+  EXPECT_LE(s_near, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WassersteinSweep,
+                         ::testing::Values(std::make_tuple(4, 1ULL),
+                                           std::make_tuple(12, 2ULL),
+                                           std::make_tuple(25, 3ULL),
+                                           std::make_tuple(40, 4ULL)));
+
+}  // namespace
+}  // namespace tamp::similarity

@@ -1,0 +1,128 @@
+#include "similarity/wasserstein.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace tamp::similarity {
+namespace {
+
+TEST(Wasserstein1DTest, IdenticalSamplesAreZero) {
+  EXPECT_DOUBLE_EQ(Wasserstein1D({1, 2, 3}, {3, 2, 1}), 0.0);
+}
+
+TEST(Wasserstein1DTest, PureShiftEqualsShiftMagnitude) {
+  // W1 of a distribution against its translation is the translation.
+  EXPECT_NEAR(Wasserstein1D({0, 1, 2}, {5, 6, 7}), 5.0, 1e-12);
+}
+
+TEST(Wasserstein1DTest, TwoPointMasses) {
+  EXPECT_NEAR(Wasserstein1D({0.0}, {4.0}), 4.0, 1e-12);
+}
+
+TEST(Wasserstein1DTest, UnequalSampleCounts) {
+  // {0,0} vs {0,0,3}: F_a jumps to 1 at 0; F_b is 2/3 at 0 and 1 at 3.
+  // Integral of |F_a - F_b| = (1 - 2/3) * 3 = 1.
+  EXPECT_NEAR(Wasserstein1D({0.0, 0.0}, {0.0, 0.0, 3.0}), 1.0, 1e-12);
+}
+
+TEST(Wasserstein1DTest, IsSymmetric) {
+  std::vector<double> a = {0.1, 0.5, 2.0, 2.2};
+  std::vector<double> b = {1.0, 1.5};
+  EXPECT_NEAR(Wasserstein1D(a, b), Wasserstein1D(b, a), 1e-12);
+}
+
+TEST(ExactWasserstein2DTest, IdenticalSetsAreZero) {
+  std::vector<geo::Point> a = {{0, 0}, {1, 1}, {2, 0}};
+  EXPECT_NEAR(ExactWasserstein2D(a, a), 0.0, 1e-12);
+}
+
+TEST(ExactWasserstein2DTest, PureTranslation) {
+  std::vector<geo::Point> a = {{0, 0}, {1, 0}};
+  std::vector<geo::Point> b = {{0, 3}, {1, 3}};
+  EXPECT_NEAR(ExactWasserstein2D(a, b), 3.0, 1e-12);
+}
+
+TEST(ExactWasserstein2DTest, OptimalCouplingNotGreedy) {
+  // a = {(0,0), (10,0)}, b = {(1,0), (9,0)}: optimal pairing is 0->1 and
+  // 10->9, mean cost 1 (crossed pairing would cost 9).
+  std::vector<geo::Point> a = {{0, 0}, {10, 0}};
+  std::vector<geo::Point> b = {{9, 0}, {1, 0}};
+  EXPECT_NEAR(ExactWasserstein2D(a, b), 1.0, 1e-12);
+}
+
+TEST(SlicedWasserstein2DTest, ZeroForIdenticalClouds) {
+  std::vector<geo::Point> a = {{0, 0}, {2, 1}, {1, 3}};
+  EXPECT_NEAR(SlicedWasserstein2D(a, a, 8), 0.0, 1e-12);
+}
+
+TEST(SlicedWasserstein2DTest, GrowsWithSeparation) {
+  tamp::Rng rng(3);
+  std::vector<geo::Point> base, near, far;
+  for (int i = 0; i < 40; ++i) {
+    geo::Point p{rng.Normal(0.0, 1.0), rng.Normal(0.0, 1.0)};
+    base.push_back(p);
+    near.push_back({p.x + 1.0, p.y});
+    far.push_back({p.x + 8.0, p.y});
+  }
+  double d_near = SlicedWasserstein2D(base, near, 16);
+  double d_far = SlicedWasserstein2D(base, far, 16);
+  EXPECT_LT(d_near, d_far);
+}
+
+TEST(SlicedWasserstein2DTest, LowerBoundsExactAndTracksIt) {
+  // Each 1-D projection is a contraction, so sliced W <= exact W; for
+  // translations the gap is the average |cos| factor (2/pi).
+  tamp::Rng rng(9);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<geo::Point> a, b;
+    for (int i = 0; i < 12; ++i) {
+      a.push_back({rng.Uniform(0, 5), rng.Uniform(0, 5)});
+      b.push_back({rng.Uniform(3, 9), rng.Uniform(1, 7)});
+    }
+    double sliced = SlicedWasserstein2D(a, b, 32);
+    double exact = ExactWasserstein2D(a, b);
+    EXPECT_LE(sliced, exact + 1e-9);
+    EXPECT_GT(sliced, 0.3 * exact);
+  }
+}
+
+TEST(DistributionSimilarityTest, IdenticalDistributionsScoreOne) {
+  std::vector<geo::Point> a = {{0, 0}, {1, 1}};
+  EXPECT_NEAR(DistributionSimilarity(a, a, 8, 2.0), 1.0, 1e-12);
+}
+
+TEST(DistributionSimilarityTest, EmptyCloudScoresZero) {
+  std::vector<geo::Point> a = {{0, 0}};
+  EXPECT_EQ(DistributionSimilarity({}, a, 8, 2.0), 0.0);
+}
+
+TEST(DistributionSimilarityTest, DecreasesWithDistance) {
+  std::vector<geo::Point> base = {{0, 0}, {1, 0}};
+  std::vector<geo::Point> near = {{0.5, 0}, {1.5, 0}};
+  std::vector<geo::Point> far = {{20, 0}, {21, 0}};
+  double s_near = DistributionSimilarity(base, near, 8, 2.0);
+  double s_far = DistributionSimilarity(base, far, 8, 2.0);
+  EXPECT_GT(s_near, s_far);
+  EXPECT_GT(s_near, 0.5);
+  EXPECT_LT(s_far, 0.2);
+}
+
+TEST(DistributionSimilarityTest, AlwaysInUnitInterval) {
+  tamp::Rng rng(17);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<geo::Point> a, b;
+    for (int i = 0; i < 10; ++i) {
+      a.push_back({rng.Uniform(0, 30), rng.Uniform(0, 30)});
+      b.push_back({rng.Uniform(0, 30), rng.Uniform(0, 30)});
+    }
+    double s = DistributionSimilarity(a, b, 8, 2.0);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace tamp::similarity
