@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_tasks_gowalla.dir/bench_fig10_tasks_gowalla.cc.o"
+  "CMakeFiles/bench_fig10_tasks_gowalla.dir/bench_fig10_tasks_gowalla.cc.o.d"
+  "bench_fig10_tasks_gowalla"
+  "bench_fig10_tasks_gowalla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_tasks_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

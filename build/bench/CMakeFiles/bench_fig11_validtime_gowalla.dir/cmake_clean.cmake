@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_validtime_gowalla.dir/bench_fig11_validtime_gowalla.cc.o"
+  "CMakeFiles/bench_fig11_validtime_gowalla.dir/bench_fig11_validtime_gowalla.cc.o.d"
+  "bench_fig11_validtime_gowalla"
+  "bench_fig11_validtime_gowalla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_validtime_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_validtime_porto.dir/bench_fig8_validtime_porto.cc.o"
+  "CMakeFiles/bench_fig8_validtime_porto.dir/bench_fig8_validtime_porto.cc.o.d"
+  "bench_fig8_validtime_porto"
+  "bench_fig8_validtime_porto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_validtime_porto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_detour_gowalla.dir/bench_fig9_detour_gowalla.cc.o"
+  "CMakeFiles/bench_fig9_detour_gowalla.dir/bench_fig9_detour_gowalla.cc.o.d"
+  "bench_fig9_detour_gowalla"
+  "bench_fig9_detour_gowalla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_detour_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

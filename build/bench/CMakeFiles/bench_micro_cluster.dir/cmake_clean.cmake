@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cluster.dir/bench_micro_cluster.cc.o"
+  "CMakeFiles/bench_micro_cluster.dir/bench_micro_cluster.cc.o.d"
+  "bench_micro_cluster"
+  "bench_micro_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

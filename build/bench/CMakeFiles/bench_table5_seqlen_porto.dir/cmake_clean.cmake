@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_seqlen_porto.dir/bench_table5_seqlen_porto.cc.o"
+  "CMakeFiles/bench_table5_seqlen_porto.dir/bench_table5_seqlen_porto.cc.o.d"
+  "bench_table5_seqlen_porto"
+  "bench_table5_seqlen_porto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_seqlen_porto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_cluster_ablation_gowalla.dir/bench_table6_cluster_ablation_gowalla.cc.o"
+  "CMakeFiles/bench_table6_cluster_ablation_gowalla.dir/bench_table6_cluster_ablation_gowalla.cc.o.d"
+  "bench_table6_cluster_ablation_gowalla"
+  "bench_table6_cluster_ablation_gowalla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_cluster_ablation_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

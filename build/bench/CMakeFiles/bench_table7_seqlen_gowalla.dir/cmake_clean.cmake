@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_seqlen_gowalla.dir/bench_table7_seqlen_gowalla.cc.o"
+  "CMakeFiles/bench_table7_seqlen_gowalla.dir/bench_table7_seqlen_gowalla.cc.o.d"
+  "bench_table7_seqlen_gowalla"
+  "bench_table7_seqlen_gowalla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_seqlen_gowalla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

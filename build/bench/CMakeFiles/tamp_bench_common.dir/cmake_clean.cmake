@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/tamp_bench_common.dir/bench_common.cc.o.d"
+  "libtamp_bench_common.a"
+  "libtamp_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtamp_bench_common.a"
+)

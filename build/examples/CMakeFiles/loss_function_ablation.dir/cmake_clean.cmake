@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loss_function_ablation.dir/loss_function_ablation.cpp.o"
+  "CMakeFiles/loss_function_ablation.dir/loss_function_ablation.cpp.o.d"
+  "loss_function_ablation"
+  "loss_function_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loss_function_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newcomer_onboarding.dir/newcomer_onboarding.cpp.o"
+  "CMakeFiles/newcomer_onboarding.dir/newcomer_onboarding.cpp.o.d"
+  "newcomer_onboarding"
+  "newcomer_onboarding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newcomer_onboarding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

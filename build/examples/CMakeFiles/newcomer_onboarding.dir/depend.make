@@ -1,0 +1,2 @@
+# Empty dependencies file for newcomer_onboarding.
+# This may be replaced when dependencies are built.

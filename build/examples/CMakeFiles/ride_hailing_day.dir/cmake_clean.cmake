@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ride_hailing_day.dir/ride_hailing_day.cpp.o"
+  "CMakeFiles/ride_hailing_day.dir/ride_hailing_day.cpp.o.d"
+  "ride_hailing_day"
+  "ride_hailing_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ride_hailing_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assign/bounds.cc" "src/assign/CMakeFiles/tamp_assign.dir/bounds.cc.o" "gcc" "src/assign/CMakeFiles/tamp_assign.dir/bounds.cc.o.d"
+  "/root/repo/src/assign/candidates.cc" "src/assign/CMakeFiles/tamp_assign.dir/candidates.cc.o" "gcc" "src/assign/CMakeFiles/tamp_assign.dir/candidates.cc.o.d"
+  "/root/repo/src/assign/ggpso.cc" "src/assign/CMakeFiles/tamp_assign.dir/ggpso.cc.o" "gcc" "src/assign/CMakeFiles/tamp_assign.dir/ggpso.cc.o.d"
+  "/root/repo/src/assign/km_assigner.cc" "src/assign/CMakeFiles/tamp_assign.dir/km_assigner.cc.o" "gcc" "src/assign/CMakeFiles/tamp_assign.dir/km_assigner.cc.o.d"
+  "/root/repo/src/assign/matching_rate.cc" "src/assign/CMakeFiles/tamp_assign.dir/matching_rate.cc.o" "gcc" "src/assign/CMakeFiles/tamp_assign.dir/matching_rate.cc.o.d"
+  "/root/repo/src/assign/ppi.cc" "src/assign/CMakeFiles/tamp_assign.dir/ppi.cc.o" "gcc" "src/assign/CMakeFiles/tamp_assign.dir/ppi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tamp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/tamp_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

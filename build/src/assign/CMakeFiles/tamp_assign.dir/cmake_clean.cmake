@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_assign.dir/bounds.cc.o"
+  "CMakeFiles/tamp_assign.dir/bounds.cc.o.d"
+  "CMakeFiles/tamp_assign.dir/candidates.cc.o"
+  "CMakeFiles/tamp_assign.dir/candidates.cc.o.d"
+  "CMakeFiles/tamp_assign.dir/ggpso.cc.o"
+  "CMakeFiles/tamp_assign.dir/ggpso.cc.o.d"
+  "CMakeFiles/tamp_assign.dir/km_assigner.cc.o"
+  "CMakeFiles/tamp_assign.dir/km_assigner.cc.o.d"
+  "CMakeFiles/tamp_assign.dir/matching_rate.cc.o"
+  "CMakeFiles/tamp_assign.dir/matching_rate.cc.o.d"
+  "CMakeFiles/tamp_assign.dir/ppi.cc.o"
+  "CMakeFiles/tamp_assign.dir/ppi.cc.o.d"
+  "libtamp_assign.a"
+  "libtamp_assign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_assign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/game_clustering.cc" "src/cluster/CMakeFiles/tamp_cluster.dir/game_clustering.cc.o" "gcc" "src/cluster/CMakeFiles/tamp_cluster.dir/game_clustering.cc.o.d"
+  "/root/repo/src/cluster/kmeans.cc" "src/cluster/CMakeFiles/tamp_cluster.dir/kmeans.cc.o" "gcc" "src/cluster/CMakeFiles/tamp_cluster.dir/kmeans.cc.o.d"
+  "/root/repo/src/cluster/kmedoids.cc" "src/cluster/CMakeFiles/tamp_cluster.dir/kmedoids.cc.o" "gcc" "src/cluster/CMakeFiles/tamp_cluster.dir/kmedoids.cc.o.d"
+  "/root/repo/src/cluster/task_tree.cc" "src/cluster/CMakeFiles/tamp_cluster.dir/task_tree.cc.o" "gcc" "src/cluster/CMakeFiles/tamp_cluster.dir/task_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/tamp_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tamp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/tamp_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

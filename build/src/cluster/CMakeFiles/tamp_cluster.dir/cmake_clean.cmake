@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_cluster.dir/game_clustering.cc.o"
+  "CMakeFiles/tamp_cluster.dir/game_clustering.cc.o.d"
+  "CMakeFiles/tamp_cluster.dir/kmeans.cc.o"
+  "CMakeFiles/tamp_cluster.dir/kmeans.cc.o.d"
+  "CMakeFiles/tamp_cluster.dir/kmedoids.cc.o"
+  "CMakeFiles/tamp_cluster.dir/kmedoids.cc.o.d"
+  "CMakeFiles/tamp_cluster.dir/task_tree.cc.o"
+  "CMakeFiles/tamp_cluster.dir/task_tree.cc.o.d"
+  "libtamp_cluster.a"
+  "libtamp_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

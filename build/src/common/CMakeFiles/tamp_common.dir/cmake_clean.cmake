@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_common.dir/rng.cc.o"
+  "CMakeFiles/tamp_common.dir/rng.cc.o.d"
+  "CMakeFiles/tamp_common.dir/statistics.cc.o"
+  "CMakeFiles/tamp_common.dir/statistics.cc.o.d"
+  "CMakeFiles/tamp_common.dir/status.cc.o"
+  "CMakeFiles/tamp_common.dir/status.cc.o.d"
+  "CMakeFiles/tamp_common.dir/table_printer.cc.o"
+  "CMakeFiles/tamp_common.dir/table_printer.cc.o.d"
+  "libtamp_common.a"
+  "libtamp_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_core.dir/pipeline.cc.o"
+  "CMakeFiles/tamp_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/tamp_core.dir/rollout.cc.o"
+  "CMakeFiles/tamp_core.dir/rollout.cc.o.d"
+  "CMakeFiles/tamp_core.dir/simulator.cc.o"
+  "CMakeFiles/tamp_core.dir/simulator.cc.o.d"
+  "CMakeFiles/tamp_core.dir/ta_loss.cc.o"
+  "CMakeFiles/tamp_core.dir/ta_loss.cc.o.d"
+  "libtamp_core.a"
+  "libtamp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_data.dir/mobility.cc.o"
+  "CMakeFiles/tamp_data.dir/mobility.cc.o.d"
+  "CMakeFiles/tamp_data.dir/tasks.cc.o"
+  "CMakeFiles/tamp_data.dir/tasks.cc.o.d"
+  "CMakeFiles/tamp_data.dir/workload.cc.o"
+  "CMakeFiles/tamp_data.dir/workload.cc.o.d"
+  "libtamp_data.a"
+  "libtamp_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

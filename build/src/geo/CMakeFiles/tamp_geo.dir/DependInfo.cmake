@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geo/grid.cc" "src/geo/CMakeFiles/tamp_geo.dir/grid.cc.o" "gcc" "src/geo/CMakeFiles/tamp_geo.dir/grid.cc.o.d"
+  "/root/repo/src/geo/spatial_index.cc" "src/geo/CMakeFiles/tamp_geo.dir/spatial_index.cc.o" "gcc" "src/geo/CMakeFiles/tamp_geo.dir/spatial_index.cc.o.d"
+  "/root/repo/src/geo/trajectory.cc" "src/geo/CMakeFiles/tamp_geo.dir/trajectory.cc.o" "gcc" "src/geo/CMakeFiles/tamp_geo.dir/trajectory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

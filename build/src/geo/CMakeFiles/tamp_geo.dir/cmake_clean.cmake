@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_geo.dir/grid.cc.o"
+  "CMakeFiles/tamp_geo.dir/grid.cc.o.d"
+  "CMakeFiles/tamp_geo.dir/spatial_index.cc.o"
+  "CMakeFiles/tamp_geo.dir/spatial_index.cc.o.d"
+  "CMakeFiles/tamp_geo.dir/trajectory.cc.o"
+  "CMakeFiles/tamp_geo.dir/trajectory.cc.o.d"
+  "libtamp_geo.a"
+  "libtamp_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

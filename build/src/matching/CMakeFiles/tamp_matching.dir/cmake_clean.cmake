@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_matching.dir/hungarian.cc.o"
+  "CMakeFiles/tamp_matching.dir/hungarian.cc.o.d"
+  "libtamp_matching.a"
+  "libtamp_matching.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_matching.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/meta/meta_training.cc" "src/meta/CMakeFiles/tamp_meta.dir/meta_training.cc.o" "gcc" "src/meta/CMakeFiles/tamp_meta.dir/meta_training.cc.o.d"
+  "/root/repo/src/meta/taml.cc" "src/meta/CMakeFiles/tamp_meta.dir/taml.cc.o" "gcc" "src/meta/CMakeFiles/tamp_meta.dir/taml.cc.o.d"
+  "/root/repo/src/meta/trainer.cc" "src/meta/CMakeFiles/tamp_meta.dir/trainer.cc.o" "gcc" "src/meta/CMakeFiles/tamp_meta.dir/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tamp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tamp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/tamp_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tamp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/tamp_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_meta.dir/meta_training.cc.o"
+  "CMakeFiles/tamp_meta.dir/meta_training.cc.o.d"
+  "CMakeFiles/tamp_meta.dir/taml.cc.o"
+  "CMakeFiles/tamp_meta.dir/taml.cc.o.d"
+  "CMakeFiles/tamp_meta.dir/trainer.cc.o"
+  "CMakeFiles/tamp_meta.dir/trainer.cc.o.d"
+  "libtamp_meta.a"
+  "libtamp_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

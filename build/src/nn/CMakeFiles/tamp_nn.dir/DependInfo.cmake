@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/encoder_decoder.cc" "src/nn/CMakeFiles/tamp_nn.dir/encoder_decoder.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/encoder_decoder.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "src/nn/CMakeFiles/tamp_nn.dir/gru_cell.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/gru_cell.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/nn/CMakeFiles/tamp_nn.dir/init.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/tamp_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/loss.cc" "src/nn/CMakeFiles/tamp_nn.dir/loss.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/loss.cc.o.d"
+  "/root/repo/src/nn/lstm_cell.cc" "src/nn/CMakeFiles/tamp_nn.dir/lstm_cell.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/lstm_cell.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/nn/CMakeFiles/tamp_nn.dir/optimizer.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/optimizer.cc.o.d"
+  "/root/repo/src/nn/serialization.cc" "src/nn/CMakeFiles/tamp_nn.dir/serialization.cc.o" "gcc" "src/nn/CMakeFiles/tamp_nn.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tamp_geo.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

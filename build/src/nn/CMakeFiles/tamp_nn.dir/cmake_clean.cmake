@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_nn.dir/encoder_decoder.cc.o"
+  "CMakeFiles/tamp_nn.dir/encoder_decoder.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/gru_cell.cc.o"
+  "CMakeFiles/tamp_nn.dir/gru_cell.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/init.cc.o"
+  "CMakeFiles/tamp_nn.dir/init.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/linear.cc.o"
+  "CMakeFiles/tamp_nn.dir/linear.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/loss.cc.o"
+  "CMakeFiles/tamp_nn.dir/loss.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/lstm_cell.cc.o"
+  "CMakeFiles/tamp_nn.dir/lstm_cell.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/optimizer.cc.o"
+  "CMakeFiles/tamp_nn.dir/optimizer.cc.o.d"
+  "CMakeFiles/tamp_nn.dir/serialization.cc.o"
+  "CMakeFiles/tamp_nn.dir/serialization.cc.o.d"
+  "libtamp_nn.a"
+  "libtamp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

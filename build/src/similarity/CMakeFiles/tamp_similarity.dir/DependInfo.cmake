@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/similarity/cluster_quality.cc" "src/similarity/CMakeFiles/tamp_similarity.dir/cluster_quality.cc.o" "gcc" "src/similarity/CMakeFiles/tamp_similarity.dir/cluster_quality.cc.o.d"
+  "/root/repo/src/similarity/kernel.cc" "src/similarity/CMakeFiles/tamp_similarity.dir/kernel.cc.o" "gcc" "src/similarity/CMakeFiles/tamp_similarity.dir/kernel.cc.o.d"
+  "/root/repo/src/similarity/learning_path.cc" "src/similarity/CMakeFiles/tamp_similarity.dir/learning_path.cc.o" "gcc" "src/similarity/CMakeFiles/tamp_similarity.dir/learning_path.cc.o.d"
+  "/root/repo/src/similarity/wasserstein.cc" "src/similarity/CMakeFiles/tamp_similarity.dir/wasserstein.cc.o" "gcc" "src/similarity/CMakeFiles/tamp_similarity.dir/wasserstein.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tamp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/tamp_matching.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

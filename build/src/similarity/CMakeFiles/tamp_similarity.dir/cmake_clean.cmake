@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tamp_similarity.dir/cluster_quality.cc.o"
+  "CMakeFiles/tamp_similarity.dir/cluster_quality.cc.o.d"
+  "CMakeFiles/tamp_similarity.dir/kernel.cc.o"
+  "CMakeFiles/tamp_similarity.dir/kernel.cc.o.d"
+  "CMakeFiles/tamp_similarity.dir/learning_path.cc.o"
+  "CMakeFiles/tamp_similarity.dir/learning_path.cc.o.d"
+  "CMakeFiles/tamp_similarity.dir/wasserstein.cc.o"
+  "CMakeFiles/tamp_similarity.dir/wasserstein.cc.o.d"
+  "libtamp_similarity.a"
+  "libtamp_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tamp_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

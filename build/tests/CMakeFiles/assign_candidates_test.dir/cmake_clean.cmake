@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_candidates_test.dir/assign_candidates_test.cc.o"
+  "CMakeFiles/assign_candidates_test.dir/assign_candidates_test.cc.o.d"
+  "assign_candidates_test"
+  "assign_candidates_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_candidates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

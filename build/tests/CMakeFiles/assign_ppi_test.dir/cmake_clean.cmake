@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/assign_ppi_test.dir/assign_ppi_test.cc.o"
+  "CMakeFiles/assign_ppi_test.dir/assign_ppi_test.cc.o.d"
+  "assign_ppi_test"
+  "assign_ppi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/assign_ppi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

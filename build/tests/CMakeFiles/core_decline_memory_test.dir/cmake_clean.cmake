@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_decline_memory_test.dir/core_decline_memory_test.cc.o"
+  "CMakeFiles/core_decline_memory_test.dir/core_decline_memory_test.cc.o.d"
+  "core_decline_memory_test"
+  "core_decline_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_decline_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

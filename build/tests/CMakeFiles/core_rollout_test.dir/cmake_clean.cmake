@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_rollout_test.dir/core_rollout_test.cc.o"
+  "CMakeFiles/core_rollout_test.dir/core_rollout_test.cc.o.d"
+  "core_rollout_test"
+  "core_rollout_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_rollout_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

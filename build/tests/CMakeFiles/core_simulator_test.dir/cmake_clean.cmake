@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_simulator_test.dir/core_simulator_test.cc.o"
+  "CMakeFiles/core_simulator_test.dir/core_simulator_test.cc.o.d"
+  "core_simulator_test"
+  "core_simulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_simulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

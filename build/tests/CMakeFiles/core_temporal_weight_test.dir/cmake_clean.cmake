@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_temporal_weight_test.dir/core_temporal_weight_test.cc.o"
+  "CMakeFiles/core_temporal_weight_test.dir/core_temporal_weight_test.cc.o.d"
+  "core_temporal_weight_test"
+  "core_temporal_weight_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_temporal_weight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_mobility_test.dir/data_mobility_test.cc.o"
+  "CMakeFiles/data_mobility_test.dir/data_mobility_test.cc.o.d"
+  "data_mobility_test"
+  "data_mobility_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mobility_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_tasks_test.dir/data_tasks_test.cc.o"
+  "CMakeFiles/data_tasks_test.dir/data_tasks_test.cc.o.d"
+  "data_tasks_test"
+  "data_tasks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_tasks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

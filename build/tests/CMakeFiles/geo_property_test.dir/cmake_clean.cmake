@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_property_test.dir/geo_property_test.cc.o"
+  "CMakeFiles/geo_property_test.dir/geo_property_test.cc.o.d"
+  "geo_property_test"
+  "geo_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

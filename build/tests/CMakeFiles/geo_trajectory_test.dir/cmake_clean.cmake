@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/geo_trajectory_test.dir/geo_trajectory_test.cc.o"
+  "CMakeFiles/geo_trajectory_test.dir/geo_trajectory_test.cc.o.d"
+  "geo_trajectory_test"
+  "geo_trajectory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/geo_trajectory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matching_hungarian_test.dir/matching_hungarian_test.cc.o"
+  "CMakeFiles/matching_hungarian_test.dir/matching_hungarian_test.cc.o.d"
+  "matching_hungarian_test"
+  "matching_hungarian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matching_hungarian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

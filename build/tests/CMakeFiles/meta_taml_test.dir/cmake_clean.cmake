@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_taml_test.dir/meta_taml_test.cc.o"
+  "CMakeFiles/meta_taml_test.dir/meta_taml_test.cc.o.d"
+  "meta_taml_test"
+  "meta_taml_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_taml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

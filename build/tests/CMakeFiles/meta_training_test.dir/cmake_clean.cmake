@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/meta_training_test.dir/meta_training_test.cc.o"
+  "CMakeFiles/meta_training_test.dir/meta_training_test.cc.o.d"
+  "meta_training_test"
+  "meta_training_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/meta_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_path_test.dir/similarity_path_test.cc.o"
+  "CMakeFiles/similarity_path_test.dir/similarity_path_test.cc.o.d"
+  "similarity_path_test"
+  "similarity_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/similarity_property_test.cc" "tests/CMakeFiles/similarity_property_test.dir/similarity_property_test.cc.o" "gcc" "tests/CMakeFiles/similarity_property_test.dir/similarity_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tamp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tamp_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/assign/CMakeFiles/tamp_assign.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/tamp_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tamp_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/similarity/CMakeFiles/tamp_similarity.dir/DependInfo.cmake"
+  "/root/repo/build/src/matching/CMakeFiles/tamp_matching.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/tamp_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/tamp_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tamp_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

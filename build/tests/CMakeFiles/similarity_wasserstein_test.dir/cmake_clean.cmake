@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/similarity_wasserstein_test.dir/similarity_wasserstein_test.cc.o"
+  "CMakeFiles/similarity_wasserstein_test.dir/similarity_wasserstein_test.cc.o.d"
+  "similarity_wasserstein_test"
+  "similarity_wasserstein_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/similarity_wasserstein_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
