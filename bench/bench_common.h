@@ -1,5 +1,4 @@
-#ifndef TAMP_BENCH_BENCH_COMMON_H_
-#define TAMP_BENCH_BENCH_COMMON_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -81,5 +80,3 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
                         const std::string& title);
 
 }  // namespace tamp::bench
-
-#endif  // TAMP_BENCH_BENCH_COMMON_H_

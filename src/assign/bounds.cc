@@ -35,7 +35,8 @@ AssignmentPlan UpperBoundAssign(const std::vector<SpatialTask>& tasks,
   matching::MatchResult result = matching::MaxWeightMatching(
       static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
   for (auto [t, w] : result.pairs) {
-    plan.pairs.push_back({t, w, detours[t][w]});
+    plan.pairs.push_back(
+        {t, w, detours[static_cast<size_t>(t)][static_cast<size_t>(w)]});
   }
   return plan;
 }
@@ -71,7 +72,8 @@ AssignmentPlan LowerBoundAssign(const std::vector<SpatialTask>& tasks,
   matching::MatchResult result = matching::MaxWeightMatching(
       static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
   for (auto [t, w] : result.pairs) {
-    plan.pairs.push_back({t, w, detours[t][w]});
+    plan.pairs.push_back(
+        {t, w, detours[static_cast<size_t>(t)][static_cast<size_t>(w)]});
   }
   return plan;
 }

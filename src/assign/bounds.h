@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_BOUNDS_H_
-#define TAMP_ASSIGN_BOUNDS_H_
+#pragma once
 
 #include "assign/types.h"
 #include "geo/trajectory.h"
@@ -24,5 +23,3 @@ AssignmentPlan LowerBoundAssign(const std::vector<SpatialTask>& tasks,
                                 double now_min, double weight_floor_km = 1e-3);
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_BOUNDS_H_

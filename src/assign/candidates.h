@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_CANDIDATES_H_
-#define TAMP_ASSIGN_CANDIDATES_H_
+#pragma once
 
 #include <vector>
 
@@ -31,5 +30,3 @@ CandidateInfo EvaluateCandidate(const SpatialTask& task,
                                 double match_radius_km, double now_min);
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_CANDIDATES_H_

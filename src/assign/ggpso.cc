@@ -40,7 +40,7 @@ FeasibilityTable BuildTable(const std::vector<SpatialTask>& tasks,
   return table;
 }
 
-double MinDisOf(const FeasibilityTable& table, int task, int worker) {
+double MinDisOf(const FeasibilityTable& table, size_t task, int worker) {
   for (const FeasibleEdge& e : table[task]) {
     if (e.worker == worker) return e.min_dis;
   }
@@ -54,7 +54,7 @@ double Fitness(const Individual& ind, const FeasibilityTable& table,
     int w = ind.worker_of_task[t];
     if (w < 0) continue;
     completed += 1.0;
-    cost_term += 1.0 / (1.0 + MinDisOf(table, static_cast<int>(t), w));
+    cost_term += 1.0 / (1.0 + MinDisOf(table, t, w));
   }
   return completed + cost_weight * cost_term;
 }
@@ -63,7 +63,7 @@ Individual RandomIndividual(const FeasibilityTable& table, int num_workers,
                             Rng& rng) {
   Individual ind;
   ind.worker_of_task.assign(table.size(), -1);
-  std::vector<char> used(num_workers, 0);
+  std::vector<char> used(static_cast<size_t>(num_workers), 0);
   std::vector<size_t> order(table.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   rng.Shuffle(order);
@@ -74,9 +74,9 @@ Individual RandomIndividual(const FeasibilityTable& table, int num_workers,
     // Linear probe from a random start so every feasible worker can win.
     for (size_t probe = 0; probe < table[t].size(); ++probe) {
       const FeasibleEdge& e = table[t][(pick + probe) % table[t].size()];
-      if (!used[e.worker]) {
+      if (!used[static_cast<size_t>(e.worker)]) {
         ind.worker_of_task[t] = e.worker;
-        used[e.worker] = 1;
+        used[static_cast<size_t>(e.worker)] = 1;
         break;
       }
     }
@@ -91,13 +91,13 @@ Individual Crossover(const Individual& parent, const Individual& best,
                      int num_workers, double pull, Rng& rng) {
   Individual child;
   child.worker_of_task.assign(parent.worker_of_task.size(), -1);
-  std::vector<char> used(num_workers, 0);
+  std::vector<char> used(static_cast<size_t>(num_workers), 0);
   for (size_t t = 0; t < parent.worker_of_task.size(); ++t) {
     int gene = rng.Bernoulli(pull) ? best.worker_of_task[t]
                                    : parent.worker_of_task[t];
-    if (gene >= 0 && !used[gene]) {
+    if (gene >= 0 && !used[static_cast<size_t>(gene)]) {
       child.worker_of_task[t] = gene;
-      used[gene] = 1;
+      used[static_cast<size_t>(gene)] = 1;
     }
   }
   return child;
@@ -105,19 +105,21 @@ Individual Crossover(const Individual& parent, const Individual& best,
 
 void Mutate(Individual& ind, const FeasibilityTable& table, int num_workers,
             double rate, Rng& rng) {
-  std::vector<char> used(num_workers, 0);
+  std::vector<char> used(static_cast<size_t>(num_workers), 0);
   for (int w : ind.worker_of_task) {
-    if (w >= 0) used[w] = 1;
+    if (w >= 0) used[static_cast<size_t>(w)] = 1;
   }
   for (size_t t = 0; t < ind.worker_of_task.size(); ++t) {
     if (table[t].empty() || !rng.Bernoulli(rate)) continue;
     size_t pick = static_cast<size_t>(
         rng.UniformInt(0, static_cast<int64_t>(table[t].size()) - 1));
     int candidate = table[t][pick].worker;
-    if (used[candidate]) continue;
-    if (ind.worker_of_task[t] >= 0) used[ind.worker_of_task[t]] = 0;
+    if (used[static_cast<size_t>(candidate)]) continue;
+    if (ind.worker_of_task[t] >= 0) {
+      used[static_cast<size_t>(ind.worker_of_task[t])] = 0;
+    }
     ind.worker_of_task[t] = candidate;
-    used[candidate] = 1;
+    used[static_cast<size_t>(candidate)] = 1;
   }
 }
 
@@ -136,7 +138,7 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
   const int num_workers = static_cast<int>(workers.size());
 
   std::vector<Individual> population;
-  population.reserve(config.population);
+  population.reserve(static_cast<size_t>(config.population));
   for (int i = 0; i < config.population; ++i) {
     population.push_back(RandomIndividual(table, num_workers, rng));
     population.back().fitness =
@@ -150,7 +152,7 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
 
   for (int gen = 0; gen < config.generations; ++gen) {
     std::vector<Individual> next;
-    next.reserve(config.population);
+    next.reserve(static_cast<size_t>(config.population));
     next.push_back(best);  // Elitism.
     while (static_cast<int>(next.size()) < config.population) {
       // Tournament selection of the parent.
@@ -175,8 +177,7 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
   for (size_t t = 0; t < best.worker_of_task.size(); ++t) {
     int w = best.worker_of_task[t];
     if (w < 0) continue;
-    plan.pairs.push_back({static_cast<int>(t), w,
-                          MinDisOf(table, static_cast<int>(t), w)});
+    plan.pairs.push_back({static_cast<int>(t), w, MinDisOf(table, t, w)});
   }
   return plan;
 }

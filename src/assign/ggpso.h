@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_GGPSO_H_
-#define TAMP_ASSIGN_GGPSO_H_
+#pragma once
 
 #include "assign/types.h"
 #include "common/rng.h"
@@ -29,5 +28,3 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
                            double now_min, const GgpsoConfig& config);
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_GGPSO_H_

@@ -28,7 +28,8 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
   matching::MatchResult result = matching::MaxWeightMatching(
       static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
   for (auto [t, w] : result.pairs) {
-    plan.pairs.push_back({t, w, min_dis[t][w]});
+    plan.pairs.push_back(
+        {t, w, min_dis[static_cast<size_t>(t)][static_cast<size_t>(w)]});
   }
   return plan;
 }

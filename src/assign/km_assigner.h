@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_KM_ASSIGNER_H_
-#define TAMP_ASSIGN_KM_ASSIGNER_H_
+#pragma once
 
 #include "assign/types.h"
 
@@ -15,5 +14,3 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         double weight_floor_km = 1e-3);
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_KM_ASSIGNER_H_

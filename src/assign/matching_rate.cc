@@ -8,10 +8,15 @@ double MatchingRate(const std::vector<geo::Point>& real,
                     const std::vector<geo::Point>& predicted,
                     double radius_km) {
   TAMP_CHECK(real.size() == predicted.size());
+  TAMP_CHECK_FINITE(radius_km);
   if (real.empty()) return 0.0;
   int matched = 0;
   for (size_t i = 0; i < real.size(); ++i) {
-    if (geo::Distance(real[i], predicted[i]) <= radius_km) ++matched;
+    // A NaN distance (corrupt prediction) must abort here rather than
+    // silently count as unmatched and skew the PPI objective.
+    if (TAMP_CHECK_FINITE(geo::Distance(real[i], predicted[i])) <= radius_km) {
+      ++matched;
+    }
   }
   return static_cast<double>(matched) / static_cast<double>(real.size());
 }

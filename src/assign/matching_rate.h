@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_MATCHING_RATE_H_
-#define TAMP_ASSIGN_MATCHING_RATE_H_
+#pragma once
 
 #include <vector>
 
@@ -16,5 +15,3 @@ double MatchingRate(const std::vector<geo::Point>& real,
                     double radius_km);
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_MATCHING_RATE_H_

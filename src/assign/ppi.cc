@@ -35,9 +35,11 @@ void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
   matching::MatchResult result =
       matching::MaxWeightMatching(num_tasks, num_workers, km_edges);
   for (auto [task, worker] : result.pairs) {
-    TAMP_CHECK(!task_done[task] && !worker_done[worker]);
-    task_done[task] = 1;
-    worker_done[worker] = 1;
+    const size_t ti = static_cast<size_t>(task);
+    const size_t wi = static_cast<size_t>(worker);
+    TAMP_CHECK(!task_done[ti] && !worker_done[wi]);
+    task_done[ti] = 1;
+    worker_done[wi] = 1;
     double min_b = 0.0;
     for (const PpiCandidate& c : edges) {
       if (c.task == task && c.worker == worker) {
@@ -59,19 +61,20 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   AssignmentPlan plan;
   if (num_tasks == 0 || num_workers == 0) return plan;
 
-  std::vector<char> task_done(num_tasks, 0), worker_done(num_workers, 0);
+  std::vector<char> task_done(static_cast<size_t>(num_tasks), 0);
+  std::vector<char> worker_done(static_cast<size_t>(num_workers), 0);
 
   // ---- Stage 1 (Alg. 4 lines 1-12): certain pairs (|B| * MR >= 1). ----
   std::vector<PpiCandidate> certain;
   std::vector<PpiCandidate> pending;  // The B-set of lines 10-11.
-  for (int t = 0; t < num_tasks; ++t) {
-    for (int w = 0; w < num_workers; ++w) {
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    for (size_t w = 0; w < workers.size(); ++w) {
       CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
                                              config.match_radius_km, now_min);
       if (info.b_distances.empty()) continue;
       PpiCandidate c;
-      c.task = t;
-      c.worker = w;
+      c.task = static_cast<int>(t);
+      c.worker = static_cast<int>(w);
       c.min_b = info.min_b;
       c.score = static_cast<double>(info.b_distances.size()) *
                 workers[w].matching_rate;
@@ -97,14 +100,20 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
     // Skip entries invalidated by earlier commits (lines 22-23's removal).
     std::vector<PpiCandidate> live;
     for (const PpiCandidate& c : batch) {
-      if (!task_done[c.task] && !worker_done[c.worker]) live.push_back(c);
+      if (!task_done[static_cast<size_t>(c.task)] &&
+          !worker_done[static_cast<size_t>(c.worker)]) {
+        live.push_back(c);
+      }
     }
     MatchAndCommit(live, num_tasks, num_workers, config.weight_floor_km,
                    task_done, worker_done, plan);
     batch.clear();
   };
   for (const PpiCandidate& c : pending) {
-    if (task_done[c.task] || worker_done[c.worker]) continue;
+    if (task_done[static_cast<size_t>(c.task)] ||
+        worker_done[static_cast<size_t>(c.worker)]) {
+      continue;
+    }
     batch.push_back(c);
     if (static_cast<int>(batch.size()) == config.epsilon) flush_batch();
   }
@@ -112,14 +121,15 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
 
   // ---- Stage 3 (lines 28-34): leftovers matched on dis^min only. ----
   std::vector<PpiCandidate> fallback;
-  for (int t = 0; t < num_tasks; ++t) {
+  for (size_t t = 0; t < tasks.size(); ++t) {
     if (task_done[t]) continue;
-    for (int w = 0; w < num_workers; ++w) {
+    for (size_t w = 0; w < workers.size(); ++w) {
       if (worker_done[w]) continue;
       CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
                                              config.match_radius_km, now_min);
       if (!info.stage3_feasible) continue;
-      fallback.push_back({t, w, info.min_dis, 0.0});
+      fallback.push_back(
+          {static_cast<int>(t), static_cast<int>(w), info.min_dis, 0.0});
     }
   }
   MatchAndCommit(fallback, num_tasks, num_workers, config.weight_floor_km,

@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_PPI_H_
-#define TAMP_ASSIGN_PPI_H_
+#pragma once
 
 #include "assign/types.h"
 
@@ -30,5 +29,3 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
                          double now_min, const PpiConfig& config);
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_PPI_H_

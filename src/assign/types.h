@@ -1,5 +1,4 @@
-#ifndef TAMP_ASSIGN_TYPES_H_
-#define TAMP_ASSIGN_TYPES_H_
+#pragma once
 
 #include <vector>
 
@@ -59,5 +58,3 @@ struct AssignmentPlan {
 };
 
 }  // namespace tamp::assign
-
-#endif  // TAMP_ASSIGN_TYPES_H_

@@ -9,6 +9,10 @@
 namespace tamp::cluster {
 namespace {
 
+/// Cluster/player ids are ints at the API surface; containers index by
+/// size_t. Ids are checked non-negative on entry, so the cast is safe.
+inline size_t I(int id) { return static_cast<size_t>(id); }
+
 /// Incremental view of the clustering game state: per-cluster member lists
 /// and pairwise-similarity sums, so Q(G) and join/leave utilities are O(|G|)
 /// per evaluation instead of O(|G|^2).
@@ -17,29 +21,29 @@ class GameState {
   GameState(const similarity::PairwiseSimilarity& sim,
             const std::vector<int>& items,
             const std::vector<int>& initial_assignment, int k, double gamma)
-      : sim_(sim), items_(items), gamma_(gamma), members_(k), pair_sum_(k, 0.0),
+      : sim_(sim), items_(items), gamma_(gamma), members_(I(k)), pair_sum_(I(k), 0.0),
         assignment_(initial_assignment) {
     TAMP_CHECK(items.size() == initial_assignment.size());
     for (size_t p = 0; p < items.size(); ++p) {
       int c = initial_assignment[p];
       TAMP_CHECK(c >= 0 && c < k);
-      for (int other : members_[c]) {
-        pair_sum_[c] += sim_(items_[p], items_[other]);
+      for (int other : members_[I(c)]) {
+        pair_sum_[I(c)] += sim_(items_[p], items_[I(other)]);
       }
-      members_[c].push_back(static_cast<int>(p));
+      members_[I(c)].push_back(static_cast<int>(p));
     }
   }
 
   int num_clusters() const { return static_cast<int>(members_.size()); }
-  int cluster_of(int player) const { return assignment_[player]; }
-  const std::vector<int>& members(int c) const { return members_[c]; }
+  int cluster_of(int player) const { return assignment_[I(player)]; }
+  const std::vector<int>& members(int c) const { return members_[I(c)]; }
 
   /// Q of cluster c from its cached pairwise sum (Eq. 4).
   double Quality(int c) const {
-    size_t size = members_[c].size();
+    size_t size = members_[I(c)].size();
     if (size == 0) return 0.0;
     if (size == 1) return gamma_;
-    return 2.0 * pair_sum_[c] /
+    return 2.0 * pair_sum_[I(c)] /
            (static_cast<double>(size) * static_cast<double>(size - 1));
   }
 
@@ -47,22 +51,22 @@ class GameState {
   /// player itself if it is a member).
   double LinkSum(int player, int c) const {
     double sum = 0.0;
-    for (int other : members_[c]) {
+    for (int other : members_[I(c)]) {
       if (other == player) continue;
-      sum += sim_(items_[player], items_[other]);
+      sum += sim_(items_[I(player)], items_[I(other)]);
     }
     return sum;
   }
 
   /// Utility of player's current situation: Q(G) - Q(G \ {player}) (Eq. 5).
   double StayUtility(int player) const {
-    int c = assignment_[player];
-    size_t size = members_[c].size();
+    int c = assignment_[I(player)];
+    size_t size = members_[I(c)].size();
     TAMP_CHECK(size >= 1);
     if (size == 1) return gamma_;  // Q({p}) - Q(empty) = gamma.
     double link = LinkSum(player, c);
     double q_with = Quality(c);
-    double sum_without = pair_sum_[c] - link;
+    double sum_without = pair_sum_[I(c)] - link;
     size_t size_without = size - 1;
     double q_without =
         size_without == 1
@@ -74,24 +78,25 @@ class GameState {
 
   /// Utility of moving to cluster c: Q(G_c + player) - Q(G_c).
   double JoinUtility(int player, int c) const {
-    size_t size = members_[c].size();
+    size_t size = members_[I(c)].size();
     if (size == 0) return gamma_;
     double link = LinkSum(player, c);
     double new_size = static_cast<double>(size + 1);
-    double q_new = 2.0 * (pair_sum_[c] + link) / (new_size * (new_size - 1.0));
+    double q_new =
+        2.0 * (pair_sum_[I(c)] + link) / (new_size * (new_size - 1.0));
     return q_new - Quality(c);
   }
 
   void Move(int player, int to) {
-    int from = assignment_[player];
+    int from = assignment_[I(player)];
     TAMP_CHECK(from != to);
-    pair_sum_[from] -= LinkSum(player, from);
-    auto& from_members = members_[from];
+    pair_sum_[I(from)] -= LinkSum(player, from);
+    auto& from_members = members_[I(from)];
     from_members.erase(
         std::find(from_members.begin(), from_members.end(), player));
-    pair_sum_[to] += LinkSum(player, to);
-    members_[to].push_back(player);
-    assignment_[player] = to;
+    pair_sum_[I(to)] += LinkSum(player, to);
+    members_[I(to)].push_back(player);
+    assignment_[I(player)] = to;
   }
 
   /// The potential function F = sum_G Q(G) of Theorem 1's proof.
@@ -115,7 +120,7 @@ std::vector<int> InitialAssignment(const similarity::PairwiseSimilarity& sim,
                                    Rng& rng) {
   // Algorithm 1 line 5: k-medoids with 1/Sim as the distance.
   auto dist = [&](int a, int b) {
-    double s = sim(items[a], items[b]);
+    double s = sim(items[I(a)], items[I(b)]);
     return 1.0 / std::max(s, 1e-9);
   };
   KMedoidsResult init =
@@ -130,7 +135,7 @@ GameClusteringResult Collect(const GameState& state,
     if (state.members(c).empty()) continue;  // Alg. 1 line 12.
     std::vector<int> cluster;
     cluster.reserve(state.members(c).size());
-    for (int p : state.members(c)) cluster.push_back(items[p]);
+    for (int p : state.members(c)) cluster.push_back(items[I(p)]);
     std::sort(cluster.begin(), cluster.end());
     result.clusters.push_back(std::move(cluster));
   }

@@ -1,5 +1,4 @@
-#ifndef TAMP_CLUSTER_GAME_CLUSTERING_H_
-#define TAMP_CLUSTER_GAME_CLUSTERING_H_
+#pragma once
 
 #include <vector>
 
@@ -50,5 +49,3 @@ GameClusteringResult KMedoidsCluster(
     const GameClusteringConfig& config, Rng& rng);
 
 }  // namespace tamp::cluster
-
-#endif  // TAMP_CLUSTER_GAME_CLUSTERING_H_

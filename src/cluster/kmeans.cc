@@ -25,7 +25,7 @@ double SquaredDistance(const std::vector<double>& a,
 std::vector<std::vector<double>> SeedCentroids(
     const std::vector<std::vector<double>>& points, int k, Rng& rng) {
   std::vector<std::vector<double>> centroids;
-  centroids.reserve(k);
+  centroids.reserve(static_cast<size_t>(k));
   size_t first = static_cast<size_t>(
       rng.UniformInt(0, static_cast<int64_t>(points.size()) - 1));
   centroids.push_back(points[first]);
@@ -63,11 +63,11 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
     for (size_t p = 0; p < points.size(); ++p) {
       int best_c = 0;
       double best_d = std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
+      for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
         double d = SquaredDistance(points[p], result.centroids[c]);
         if (d < best_d) {
           best_d = d;
-          best_c = c;
+          best_c = static_cast<int>(c);
         }
       }
       if (result.assignments[p] != best_c) {
@@ -79,14 +79,16 @@ KMeansResult KMeans(const std::vector<std::vector<double>>& points, int k,
     result.iterations = iter + 1;
     if (!changed && iter > 0) break;
     // Recompute centroids; empty clusters keep their previous centroid.
-    std::vector<std::vector<double>> sums(k, std::vector<double>(dim, 0.0));
-    std::vector<int> counts(k, 0);
+    const size_t num_clusters = static_cast<size_t>(k);
+    std::vector<std::vector<double>> sums(num_clusters,
+                                          std::vector<double>(dim, 0.0));
+    std::vector<int> counts(num_clusters, 0);
     for (size_t p = 0; p < points.size(); ++p) {
-      int c = result.assignments[p];
+      size_t c = static_cast<size_t>(result.assignments[p]);
       ++counts[c];
       for (size_t d = 0; d < dim; ++d) sums[c][d] += points[p][d];
     }
-    for (int c = 0; c < k; ++c) {
+    for (size_t c = 0; c < num_clusters; ++c) {
       if (counts[c] == 0) continue;
       for (size_t d = 0; d < dim; ++d) {
         result.centroids[c][d] = sums[c][d] / counts[c];
@@ -108,29 +110,31 @@ SoftKMeansResult SoftKMeans(const std::vector<std::vector<double>>& points,
 
   SoftKMeansResult result;
   result.centroids = SeedCentroids(points, k, rng);
-  result.responsibilities.assign(points.size(), std::vector<double>(k, 0.0));
+  const size_t num_clusters = static_cast<size_t>(k);
+  result.responsibilities.assign(points.size(),
+                                 std::vector<double>(num_clusters, 0.0));
 
   for (int iter = 0; iter < max_iterations; ++iter) {
     // E-step: Gaussian responsibilities (numerically stabilized).
     for (size_t p = 0; p < points.size(); ++p) {
-      std::vector<double> logits(k);
+      std::vector<double> logits(num_clusters);
       double max_logit = -std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
+      for (size_t c = 0; c < num_clusters; ++c) {
         logits[c] = -beta * SquaredDistance(points[p], result.centroids[c]);
         max_logit = std::max(max_logit, logits[c]);
       }
       double denom = 0.0;
-      for (int c = 0; c < k; ++c) {
+      for (size_t c = 0; c < num_clusters; ++c) {
         logits[c] = std::exp(logits[c] - max_logit);
         denom += logits[c];
       }
-      for (int c = 0; c < k; ++c) {
+      for (size_t c = 0; c < num_clusters; ++c) {
         result.responsibilities[p][c] = logits[c] / denom;
       }
     }
     // M-step: responsibility-weighted centroids.
     double shift = 0.0;
-    for (int c = 0; c < k; ++c) {
+    for (size_t c = 0; c < num_clusters; ++c) {
       std::vector<double> sum(dim, 0.0);
       double weight = 0.0;
       for (size_t p = 0; p < points.size(); ++p) {

@@ -1,5 +1,4 @@
-#ifndef TAMP_CLUSTER_KMEANS_H_
-#define TAMP_CLUSTER_KMEANS_H_
+#pragma once
 
 #include <vector>
 
@@ -39,5 +38,3 @@ SoftKMeansResult SoftKMeans(const std::vector<std::vector<double>>& points,
                             int max_iterations = 100);
 
 }  // namespace tamp::cluster
-
-#endif  // TAMP_CLUSTER_KMEANS_H_

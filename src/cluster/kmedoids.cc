@@ -19,7 +19,7 @@ KMedoidsResult KMedoids(int n, int k,
       rng.SampleWithoutReplacement(static_cast<size_t>(n),
                                    static_cast<size_t>(k));
   result.medoids.assign(seed.begin(), seed.end());
-  result.assignments.assign(n, 0);
+  result.assignments.assign(static_cast<size_t>(n), 0);
 
   for (int iter = 0; iter < max_iterations; ++iter) {
     // Assignment step.
@@ -28,15 +28,15 @@ KMedoidsResult KMedoids(int n, int k,
     for (int i = 0; i < n; ++i) {
       int best_c = 0;
       double best_d = std::numeric_limits<double>::infinity();
-      for (int c = 0; c < k; ++c) {
+      for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
         double d = i == result.medoids[c] ? 0.0 : dist(i, result.medoids[c]);
         if (d < best_d) {
           best_d = d;
-          best_c = c;
+          best_c = static_cast<int>(c);
         }
       }
-      if (result.assignments[i] != best_c) {
-        result.assignments[i] = best_c;
+      if (result.assignments[static_cast<size_t>(i)] != best_c) {
+        result.assignments[static_cast<size_t>(i)] = best_c;
         changed = true;
       }
       result.total_cost += best_d;
@@ -46,10 +46,13 @@ KMedoidsResult KMedoids(int n, int k,
 
     // Update step: each cluster's medoid becomes the member minimizing the
     // total intra-cluster distance.
-    for (int c = 0; c < k; ++c) {
+    for (size_t c = 0; c < static_cast<size_t>(k); ++c) {
       std::vector<int> members;
       for (int i = 0; i < n; ++i) {
-        if (result.assignments[i] == c) members.push_back(i);
+        if (result.assignments[static_cast<size_t>(i)] ==
+            static_cast<int>(c)) {
+          members.push_back(i);
+        }
       }
       if (members.empty()) continue;
       int best_medoid = members[0];

@@ -1,5 +1,4 @@
-#ifndef TAMP_CLUSTER_KMEDOIDS_H_
-#define TAMP_CLUSTER_KMEDOIDS_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -25,5 +24,3 @@ KMedoidsResult KMedoids(int n, int k,
                         int max_iterations = 50);
 
 }  // namespace tamp::cluster
-
-#endif  // TAMP_CLUSTER_KMEDOIDS_H_

@@ -17,7 +17,7 @@ std::unique_ptr<TaskTreeNode> BuildLearningTaskTree(
   for (const auto* f : factors) TAMP_CHECK(f->size() == n);
 
   auto root = std::make_unique<TaskTreeNode>();
-  root->tasks.resize(n);
+  root->tasks.resize(static_cast<size_t>(n));
   std::iota(root->tasks.begin(), root->tasks.end(), 0);
 
   // Alg. 1 lines 2-18: queue of (node, factor index j).

@@ -1,5 +1,4 @@
-#ifndef TAMP_CLUSTER_TASK_TREE_H_
-#define TAMP_CLUSTER_TASK_TREE_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -64,5 +63,3 @@ std::vector<TaskTreeNode*> CollectLeaves(TaskTreeNode& root);
 bool ValidateTree(const TaskTreeNode& root);
 
 }  // namespace tamp::cluster
-
-#endif  // TAMP_CLUSTER_TASK_TREE_H_

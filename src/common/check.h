@@ -1,28 +1,108 @@
-#ifndef TAMP_COMMON_CHECK_H_
-#define TAMP_COMMON_CHECK_H_
+#pragma once
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
 /// Internal invariant checks. These abort on failure: they guard programmer
 /// errors (broken invariants), not recoverable conditions, which are reported
 /// via Status (see status.h).
+///
+/// Layers:
+///   TAMP_CHECK(cond)            always-on invariant check
+///   TAMP_CHECK_MSG(cond, msg)   always-on, with an extra context string
+///   TAMP_DCHECK(cond)           debug-only (compiled out when NDEBUG)
+///   TAMP_CHECK_FINITE(x)        rejects NaN/Inf at numeric trust boundaries
+///   TAMP_CHECK_INDEX(i, size)   bounds check; evaluates to the index
+///
+/// All failure messages carry file:line so a crash in a deep numeric path
+/// (loss/gradient, similarity kernel, cost matrix) points at the boundary
+/// that was violated, not at downstream corruption.
+
+namespace tamp::internal {
+
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* kind, const char* expr,
+                                   const char* msg) {
+  if (msg != nullptr) {
+    std::fprintf(stderr, "%s failed at %s:%d: %s (%s)\n", kind, file, line,
+                 expr, msg);
+  } else {
+    std::fprintf(stderr, "%s failed at %s:%d: %s\n", kind, file, line, expr);
+  }
+  std::abort();
+}
+
+/// Bounds-checked index helper backing TAMP_CHECK_INDEX. Returns the index
+/// unchanged so it can be used inline: v[TAMP_CHECK_INDEX(i, v.size())].
+template <typename Index, typename Size>
+inline Index CheckedIndex(Index i, Size size, const char* file, int line,
+                          const char* expr) {
+  const bool negative = i < static_cast<Index>(0);
+  const bool too_big = static_cast<unsigned long long>(i) >=
+                       static_cast<unsigned long long>(size);
+  if (negative || too_big) {
+    std::fprintf(stderr,
+                 "TAMP_CHECK_INDEX failed at %s:%d: %s (index %lld out of "
+                 "range [0, %llu))\n",
+                 file, line, expr, static_cast<long long>(i),
+                 static_cast<unsigned long long>(size));
+    std::abort();
+  }
+  return i;
+}
+
+/// Finite-value guard backing TAMP_CHECK_FINITE. Returns the value unchanged
+/// so it can wrap expressions: return TAMP_CHECK_FINITE(loss);
+template <typename Float>
+inline Float CheckedFinite(Float x, const char* file, int line,
+                           const char* expr) {
+  if (!std::isfinite(x)) {
+    std::fprintf(stderr,
+                 "TAMP_CHECK_FINITE failed at %s:%d: %s is not finite "
+                 "(value: %g)\n",
+                 file, line, expr, static_cast<double>(x));
+    std::abort();
+  }
+  return x;
+}
+
+}  // namespace tamp::internal
+
 #define TAMP_CHECK(cond)                                                     \
   do {                                                                       \
     if (!(cond)) {                                                           \
-      std::fprintf(stderr, "TAMP_CHECK failed at %s:%d: %s\n", __FILE__,     \
-                   __LINE__, #cond);                                         \
-      std::abort();                                                          \
+      ::tamp::internal::CheckFail(__FILE__, __LINE__, "TAMP_CHECK", #cond,   \
+                                  nullptr);                                  \
     }                                                                        \
   } while (false)
 
 #define TAMP_CHECK_MSG(cond, msg)                                            \
   do {                                                                       \
     if (!(cond)) {                                                           \
-      std::fprintf(stderr, "TAMP_CHECK failed at %s:%d: %s (%s)\n",          \
-                   __FILE__, __LINE__, #cond, (msg));                        \
-      std::abort();                                                          \
+      ::tamp::internal::CheckFail(__FILE__, __LINE__, "TAMP_CHECK", #cond,   \
+                                  (msg));                                    \
     }                                                                        \
   } while (false)
 
-#endif  // TAMP_COMMON_CHECK_H_
+#ifdef NDEBUG
+#define TAMP_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define TAMP_DCHECK(cond)                                                    \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::tamp::internal::CheckFail(__FILE__, __LINE__, "TAMP_DCHECK", #cond,  \
+                                  nullptr);                                  \
+    }                                                                        \
+  } while (false)
+#endif
+
+/// Aborts if x is NaN or +/-Inf; otherwise evaluates to x.
+#define TAMP_CHECK_FINITE(x) \
+  (::tamp::internal::CheckedFinite((x), __FILE__, __LINE__, #x))
+
+/// Aborts unless 0 <= i < size; otherwise evaluates to i.
+#define TAMP_CHECK_INDEX(i, size) \
+  (::tamp::internal::CheckedIndex((i), (size), __FILE__, __LINE__, #i))

@@ -1,5 +1,4 @@
-#ifndef TAMP_COMMON_RNG_H_
-#define TAMP_COMMON_RNG_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -69,5 +68,3 @@ class Rng {
 };
 
 }  // namespace tamp
-
-#endif  // TAMP_COMMON_RNG_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_COMMON_STATISTICS_H_
-#define TAMP_COMMON_STATISTICS_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -47,5 +46,3 @@ double Mae(const std::vector<double>& predicted,
            const std::vector<double>& actual);
 
 }  // namespace tamp
-
-#endif  // TAMP_COMMON_STATISTICS_H_

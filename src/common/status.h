@@ -1,5 +1,4 @@
-#ifndef TAMP_COMMON_STATUS_H_
-#define TAMP_COMMON_STATUS_H_
+#pragma once
 
 #include <string>
 #include <utility>
@@ -101,5 +100,3 @@ class StatusOr {
     ::tamp::Status _tamp_status = (expr);      \
     if (!_tamp_status.ok()) return _tamp_status; \
   } while (false)
-
-#endif  // TAMP_COMMON_STATUS_H_

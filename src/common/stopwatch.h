@@ -1,5 +1,4 @@
-#ifndef TAMP_COMMON_STOPWATCH_H_
-#define TAMP_COMMON_STOPWATCH_H_
+#pragma once
 
 #include <chrono>
 
@@ -28,5 +27,3 @@ class Stopwatch {
 };
 
 }  // namespace tamp
-
-#endif  // TAMP_COMMON_STOPWATCH_H_

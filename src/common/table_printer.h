@@ -1,5 +1,4 @@
-#ifndef TAMP_COMMON_TABLE_PRINTER_H_
-#define TAMP_COMMON_TABLE_PRINTER_H_
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -41,5 +40,3 @@ std::string Fmt(double value, int precision);
 std::string Fmt(int64_t value);
 
 }  // namespace tamp
-
-#endif  // TAMP_COMMON_TABLE_PRINTER_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_CORE_PIPELINE_H_
-#define TAMP_CORE_PIPELINE_H_
+#pragma once
 
 #include <vector>
 
@@ -56,5 +55,3 @@ class TampPipeline {
 };
 
 }  // namespace tamp::core
-
-#endif  // TAMP_CORE_PIPELINE_H_

@@ -32,7 +32,7 @@ std::vector<geo::TimedPoint> RolloutPredict(
   const size_t window_size = window.size();
 
   std::vector<geo::TimedPoint> out;
-  out.reserve(horizon_steps);
+  out.reserve(static_cast<size_t>(horizon_steps));
   while (static_cast<int>(out.size()) < horizon_steps) {
     nn::Sequence pred = model.Predict(params, window);
     for (const auto& step : pred) {

@@ -1,5 +1,4 @@
-#ifndef TAMP_CORE_ROLLOUT_H_
-#define TAMP_CORE_ROLLOUT_H_
+#pragma once
 
 #include <vector>
 
@@ -22,5 +21,3 @@ std::vector<geo::TimedPoint> RolloutPredict(
     int horizon_steps, double now_min, double step_period_min);
 
 }  // namespace tamp::core
-
-#endif  // TAMP_CORE_ROLLOUT_H_

@@ -112,16 +112,17 @@ SimMetrics BatchSimulator::Run(
     double horizon_min =
         config_.prediction_horizon_steps * config_.sample_period_min;
     for (int w : available) {
-      const data::WorkerRecord& record = workers[w];
+      const size_t wi = static_cast<size_t>(w);
+      const data::WorkerRecord& record = workers[wi];
       assign::CandidateWorker cw;
       cw.id = record.id;
       cw.current_location = record.test.PositionAt(now);
       cw.detour_budget_km = record.detour_budget_km;
       cw.speed_kmpm = record.speed_kmpm;
-      cw.matching_rate = predictors[w].matching_rate;
+      cw.matching_rate = predictors[wi].matching_rate;
       if (method == AssignMethod::kKm || method == AssignMethod::kPpi ||
           method == AssignMethod::kGgpso) {
-        TAMP_CHECK(predictors[w].params != nullptr);
+        TAMP_CHECK(predictors[wi].params != nullptr);
         // Recent observed positions (platform-visible location reports).
         std::vector<geo::Point> recent;
         for (int s = observe_steps - 1; s >= 0; --s) {
@@ -129,7 +130,7 @@ SimMetrics BatchSimulator::Run(
               record.test.PositionAt(now - s * config_.sample_period_min));
         }
         cw.predicted = RolloutPredict(
-            model_, *predictors[w].params, recent, workload_.grid,
+            model_, *predictors[wi].params, recent, workload_.grid,
             config_.prediction_horizon_steps, now, config_.sample_period_min);
       }
       batch_workers.push_back(std::move(cw));
@@ -172,12 +173,14 @@ SimMetrics BatchSimulator::Run(
     std::vector<int> accepted_task_ids;
     for (const assign::AssignmentPair& pair : plan.pairs) {
       ++metrics.assignments;
-      const assign::SpatialTask& task = batch_tasks[pair.task_index];
-      int w = available[pair.worker_index];
-      const data::WorkerRecord& record = workers[w];
-      auto visit = geo::PlanTaskVisit(real_futures[pair.worker_index],
-                                      task.location, record.speed_kmpm,
-                                      task.deadline_min);
+      const assign::SpatialTask& task =
+          batch_tasks[static_cast<size_t>(pair.task_index)];
+      int w = available[static_cast<size_t>(pair.worker_index)];
+      const data::WorkerRecord& record = workers[static_cast<size_t>(w)];
+      auto visit =
+          geo::PlanTaskVisit(real_futures[static_cast<size_t>(pair.worker_index)],
+                             task.location, record.speed_kmpm,
+                             task.deadline_min);
       bool accepts = visit.has_value() &&
                      visit->detour_km <= record.detour_budget_km;
       if (!accepts) {
@@ -197,7 +200,7 @@ SimMetrics BatchSimulator::Run(
       ++metrics.accepted;
       ++metrics.completed;
       metrics.total_cost_km += visit->detour_km;
-      busy_until[w] = config_.busy_until_arrival
+      busy_until[static_cast<size_t>(w)] = config_.busy_until_arrival
                           ? visit->arrival_time_min + config_.service_time_min
                           : now + config_.service_time_min;
       accepted_task_ids.push_back(task.id);

@@ -1,5 +1,4 @@
-#ifndef TAMP_CORE_SIMULATOR_H_
-#define TAMP_CORE_SIMULATOR_H_
+#pragma once
 
 #include <vector>
 
@@ -106,5 +105,3 @@ class BatchSimulator {
 };
 
 }  // namespace tamp::core
-
-#endif  // TAMP_CORE_SIMULATOR_H_

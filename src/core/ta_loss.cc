@@ -49,7 +49,8 @@ TaskOrientedWeighter::TaskOrientedWeighter(
   // Bucket tasks by hour of day for the temporal extension.
   std::vector<std::vector<geo::Point>> buckets(24);
   for (const auto& task : historical_tasks) {
-    buckets[HourOfDay(task.time_min)].push_back(task.loc);
+    buckets[static_cast<size_t>(HourOfDay(task.time_min))].push_back(
+        task.loc);
   }
   hour_indexes_.reserve(24);
   for (const auto& bucket : buckets) {
@@ -80,8 +81,9 @@ double TaskOrientedWeighter::WeightAt(const geo::Point& location_km,
     double delta = std::fabs(mid - tod);
     delta = std::min(delta, 1440.0 - delta);  // Wrap-around distance.
     if (delta > params_.temporal_window_min) continue;
-    count += hour_indexes_[hour].CountWithin(location_km, params_.dq_km);
-    in_window_total += hour_indexes_[hour].num_points();
+    const size_t hi = static_cast<size_t>(hour);
+    count += hour_indexes_[hi].CountWithin(location_km, params_.dq_km);
+    in_window_total += hour_indexes_[hi].num_points();
   }
   // rho restricted to the in-window tasks so the ratio stays calibrated.
   double disk = M_PI * params_.dq_km * params_.dq_km;

@@ -1,5 +1,4 @@
-#ifndef TAMP_CORE_TA_LOSS_H_
-#define TAMP_CORE_TA_LOSS_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -79,5 +78,3 @@ class TaskOrientedWeighter {
 };
 
 }  // namespace tamp::core
-
-#endif  // TAMP_CORE_TA_LOSS_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_DATA_MOBILITY_H_
-#define TAMP_DATA_MOBILITY_H_
+#pragma once
 
 #include <vector>
 
@@ -65,5 +64,3 @@ geo::Trajectory GenerateDay(const MobilityProfile& profile,
                             const geo::GridSpec& grid, Rng& rng);
 
 }  // namespace tamp::data
-
-#endif  // TAMP_DATA_MOBILITY_H_

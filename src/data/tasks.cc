@@ -48,7 +48,7 @@ std::vector<assign::SpatialTask> GenerateTaskStream(
   // process conditioned on its count).
   double max_intensity = 1.0 + 2.0 * config.rush_amplitude;
   std::vector<double> arrivals;
-  arrivals.reserve(config.num_tasks);
+  arrivals.reserve(static_cast<size_t>(config.num_tasks));
   while (static_cast<int>(arrivals.size()) < config.num_tasks) {
     double t = rng.Uniform(config.horizon_start_min, config.horizon_end_min);
     double accept = Intensity(t, config.horizon_start_min,
@@ -59,11 +59,11 @@ std::vector<assign::SpatialTask> GenerateTaskStream(
   std::sort(arrivals.begin(), arrivals.end());
 
   std::vector<assign::SpatialTask> tasks;
-  tasks.reserve(config.num_tasks);
+  tasks.reserve(static_cast<size_t>(config.num_tasks));
   for (int i = 0; i < config.num_tasks; ++i) {
     assign::SpatialTask task;
     task.id = i;
-    task.release_time_min = arrivals[i];
+    task.release_time_min = arrivals[static_cast<size_t>(i)];
     task.location = SampleHotspotLocation(hotspots, grid, rng);
     double validity_units =
         rng.Uniform(config.valid_lo_units, config.valid_hi_units);
@@ -79,7 +79,7 @@ std::vector<geo::Point> SampleTaskLocations(
     const geo::GridSpec& grid, Rng& rng) {
   TAMP_CHECK(!hotspots.empty());
   std::vector<geo::Point> out;
-  out.reserve(count);
+  out.reserve(static_cast<size_t>(count));
   for (int i = 0; i < count; ++i) {
     out.push_back(SampleHotspotLocation(hotspots, grid, rng));
   }

@@ -1,5 +1,4 @@
-#ifndef TAMP_DATA_TASKS_H_
-#define TAMP_DATA_TASKS_H_
+#pragma once
 
 #include <vector>
 
@@ -50,5 +49,3 @@ std::vector<geo::Point> SampleTaskLocations(
     const geo::GridSpec& grid, Rng& rng);
 
 }  // namespace tamp::data
-
-#endif  // TAMP_DATA_TASKS_H_

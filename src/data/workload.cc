@@ -12,7 +12,7 @@ namespace {
 std::vector<geo::Point> MakeZoneCenters(int num_zones,
                                         const geo::GridSpec& grid, Rng& rng) {
   std::vector<geo::Point> centers;
-  centers.reserve(num_zones);
+  centers.reserve(static_cast<size_t>(num_zones));
   int cols = static_cast<int>(std::ceil(std::sqrt(num_zones)));
   int rows = (num_zones + cols - 1) / cols;
   for (int z = 0; z < num_zones; ++z) {
@@ -110,23 +110,25 @@ std::vector<meta::TrainingSample> ExtractSamples(const geo::Trajectory& traj,
   const auto& pts = traj.points();
   int window = seq_in + seq_out;
   if (static_cast<int>(pts.size()) < window) return samples;
-  for (size_t start = 0; start + window <= pts.size(); ++start) {
+  const size_t useq_in = static_cast<size_t>(seq_in);
+  const size_t uwindow = static_cast<size_t>(window);
+  for (size_t start = 0; start + uwindow <= pts.size(); ++start) {
     // Never span a day boundary: all points of the window must belong to
     // the same 1440-minute day.
     int day_first = static_cast<int>(pts[start].time_min / 1440.0);
     int day_last =
-        static_cast<int>(pts[start + window - 1].time_min / 1440.0);
+        static_cast<int>(pts[start + uwindow - 1].time_min / 1440.0);
     if (day_first != day_last) continue;
     meta::TrainingSample sample;
-    sample.input.reserve(seq_in);
-    for (int i = 0; i < seq_in; ++i) {
+    sample.input.reserve(useq_in);
+    for (size_t i = 0; i < useq_in; ++i) {
       geo::Point n = grid.Normalize(pts[start + i].loc);
       double tod = std::fmod(pts[start + i].time_min, 1440.0) / 1440.0;
       sample.input.push_back({n.x, n.y, tod});
     }
-    sample.target.reserve(seq_out);
-    for (int i = 0; i < seq_out; ++i) {
-      const geo::Point& km = pts[start + seq_in + i].loc;
+    sample.target.reserve(static_cast<size_t>(seq_out));
+    for (size_t i = 0; i < static_cast<size_t>(seq_out); ++i) {
+      const geo::Point& km = pts[start + useq_in + i].loc;
       geo::Point n = grid.Normalize(km);
       sample.target.push_back({n.x, n.y});
       sample.target_km.push_back(km);
@@ -170,12 +172,13 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
     record.speed_kmpm = config.speed_kmpm;
     record.is_newcomer = w < num_newcomers;
     int zone = static_cast<int>(rng.UniformInt(0, config.num_zones - 1));
+    const size_t zi = static_cast<size_t>(zone);
     record.profile = MakeProfile(PickArchetype(config.kind, rng), zone,
-                                 zones[zone], zone_radius, grid, rng);
+                                 zones[zi], zone_radius, grid, rng);
     if (config.kind == WorkloadKind::kGowallaFoursquare) {
       // Check-in style movement: the anchors are actual venues of the
       // worker's zone, shared with the task hotspot layer.
-      const auto& zone_venues = venues[zone];
+      const auto& zone_venues = venues[zi];
       size_t picks = std::min<size_t>(zone_venues.size(),
                                       record.profile.anchors.size());
       auto chosen = rng.SampleWithoutReplacement(zone_venues.size(), picks);

@@ -1,5 +1,4 @@
-#ifndef TAMP_DATA_WORKLOAD_H_
-#define TAMP_DATA_WORKLOAD_H_
+#pragma once
 
 #include <vector>
 
@@ -107,5 +106,3 @@ std::vector<meta::TrainingSample> ExtractSamples(const geo::Trajectory& traj,
                                                  const geo::GridSpec& grid);
 
 }  // namespace tamp::data
-
-#endif  // TAMP_DATA_WORKLOAD_H_

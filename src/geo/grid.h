@@ -1,5 +1,4 @@
-#ifndef TAMP_GEO_GRID_H_
-#define TAMP_GEO_GRID_H_
+#pragma once
 
 #include <cstdint>
 
@@ -59,5 +58,3 @@ class GridSpec {
 };
 
 }  // namespace tamp::geo
-
-#endif  // TAMP_GEO_GRID_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_GEO_POI_H_
-#define TAMP_GEO_POI_H_
+#pragma once
 
 #include <vector>
 
@@ -23,5 +22,3 @@ struct Poi {
 using PoiSequence = std::vector<Poi>;
 
 }  // namespace tamp::geo
-
-#endif  // TAMP_GEO_POI_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_GEO_POINT_H_
-#define TAMP_GEO_POINT_H_
+#pragma once
 
 #include <cmath>
 
@@ -48,5 +47,3 @@ struct TimedPoint {
 };
 
 }  // namespace tamp::geo
-
-#endif  // TAMP_GEO_POINT_H_

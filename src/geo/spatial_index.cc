@@ -7,10 +7,13 @@ namespace tamp::geo {
 
 SpatialCountIndex::SpatialCountIndex(const GridSpec& spec,
                                      const std::vector<Point>& points)
-    : spec_(spec), buckets_(spec.num_cells()), num_points_(points.size()) {
+    : spec_(spec),
+      buckets_(static_cast<size_t>(spec.num_cells())),
+      num_points_(points.size()) {
   for (const Point& p : points) {
     Point clamped = spec_.Clamp(p);
-    buckets_[spec_.FlatIndex(spec_.CellOf(clamped))].push_back(clamped);
+    buckets_[static_cast<size_t>(spec_.FlatIndex(spec_.CellOf(clamped)))]
+        .push_back(clamped);
   }
 }
 
@@ -31,7 +34,8 @@ int SpatialCountIndex::CountWithin(const Point& center,
       double dx = std::max({cx0 - center.x, 0.0, center.x - cx1});
       double dy = std::max({cy0 - center.y, 0.0, center.y - cy1});
       if (dx * dx + dy * dy > r2) continue;
-      for (const Point& p : buckets_[row * spec_.cols() + col]) {
+      for (const Point& p :
+           buckets_[static_cast<size_t>(row * spec_.cols() + col)]) {
         if (DistanceSquared(p, center) < r2) ++count;
       }
     }
@@ -48,7 +52,8 @@ std::vector<Point> SpatialCountIndex::QueryWithin(const Point& center,
   double r2 = radius_km * radius_km;
   for (int row = lo.row; row <= hi.row; ++row) {
     for (int col = lo.col; col <= hi.col; ++col) {
-      for (const Point& p : buckets_[row * spec_.cols() + col]) {
+      for (const Point& p :
+           buckets_[static_cast<size_t>(row * spec_.cols() + col)]) {
         if (DistanceSquared(p, center) < r2) out.push_back(p);
       }
     }

@@ -1,5 +1,4 @@
-#ifndef TAMP_GEO_SPATIAL_INDEX_H_
-#define TAMP_GEO_SPATIAL_INDEX_H_
+#pragma once
 
 #include <vector>
 
@@ -37,5 +36,3 @@ class SpatialCountIndex {
 };
 
 }  // namespace tamp::geo
-
-#endif  // TAMP_GEO_SPATIAL_INDEX_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_GEO_TRAJECTORY_H_
-#define TAMP_GEO_TRAJECTORY_H_
+#pragma once
 
 #include <optional>
 #include <vector>
@@ -83,5 +82,3 @@ std::optional<DetourPlan> PlanFromPoint(const Point& loc, double now_min,
                                         double deadline_min);
 
 }  // namespace tamp::geo
-
-#endif  // TAMP_GEO_TRAJECTORY_H_

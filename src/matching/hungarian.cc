@@ -14,29 +14,33 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 AssignmentResult MinCostAssignment(
     const std::vector<std::vector<double>>& cost) {
-  const int n = static_cast<int>(cost.size());
+  const size_t n = cost.size();
   TAMP_CHECK(n > 0);
-  const int m = static_cast<int>(cost[0].size());
+  const size_t m = cost[0].size();
   TAMP_CHECK_MSG(n <= m, "MinCostAssignment requires rows() <= cols()");
   for (const auto& row : cost) {
-    TAMP_CHECK(static_cast<int>(row.size()) == m);
+    TAMP_CHECK(row.size() == m);
+    // Trust boundary: a NaN/Inf cost breaks the shortest-path potentials
+    // silently (comparisons with NaN are all false), producing a plausible
+    // but wrong assignment instead of a crash.
+    for (double c : row) TAMP_CHECK_FINITE(c);
   }
 
   // Classic potentials formulation (1-indexed): p[j] is the row assigned to
   // column j; each outer iteration augments along a shortest path.
   std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
-  std::vector<int> p(m + 1, 0), way(m + 1, 0);
-  for (int i = 1; i <= n; ++i) {
+  std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
+  for (size_t i = 1; i <= n; ++i) {
     p[0] = i;
-    int j0 = 0;
+    size_t j0 = 0;
     std::vector<double> minv(m + 1, kInf);
     std::vector<char> used(m + 1, 0);
     do {
       used[j0] = 1;
-      int i0 = p[j0];
-      int j1 = 0;
+      size_t i0 = p[j0];
+      size_t j1 = 0;
       double delta = kInf;
-      for (int j = 1; j <= m; ++j) {
+      for (size_t j = 1; j <= m; ++j) {
         if (used[j]) continue;
         double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
         if (cur < minv[j]) {
@@ -48,7 +52,7 @@ AssignmentResult MinCostAssignment(
           j1 = j;
         }
       }
-      for (int j = 0; j <= m; ++j) {
+      for (size_t j = 0; j <= m; ++j) {
         if (used[j]) {
           u[p[j]] += delta;
           v[j] -= delta;
@@ -59,7 +63,7 @@ AssignmentResult MinCostAssignment(
       j0 = j1;
     } while (p[j0] != 0);
     do {
-      int j1 = way[j0];
+      size_t j1 = way[j0];
       p[j0] = p[j1];
       j0 = j1;
     } while (j0 != 0);
@@ -67,9 +71,9 @@ AssignmentResult MinCostAssignment(
 
   AssignmentResult result;
   result.col_of_row.assign(n, -1);
-  for (int j = 1; j <= m; ++j) {
+  for (size_t j = 1; j <= m; ++j) {
     if (p[j] == 0) continue;
-    result.col_of_row[p[j] - 1] = j - 1;
+    result.col_of_row[p[j] - 1] = static_cast<int>(j - 1);
     result.total_cost += cost[p[j] - 1][j - 1];
   }
   return result;
@@ -83,32 +87,37 @@ MatchResult MaxWeightMatching(int num_left, int num_right,
 
   // Pad to a square weight matrix; absent edges have weight 0 (matching to
   // them is equivalent to staying unmatched and costs nothing).
-  int n = std::max(num_left, num_right);
+  const size_t n = static_cast<size_t>(std::max(num_left, num_right));
   std::vector<std::vector<double>> weight(n, std::vector<double>(n, 0.0));
   double max_weight = 0.0;
   for (const Edge& e : edges) {
     TAMP_CHECK(e.left >= 0 && e.left < num_left);
     TAMP_CHECK(e.right >= 0 && e.right < num_right);
     if (e.weight <= 0.0) continue;
-    weight[e.left][e.right] = std::max(weight[e.left][e.right], e.weight);
+    auto& cell = weight[static_cast<size_t>(e.left)][static_cast<size_t>(
+        e.right)];
+    cell = std::max(cell, e.weight);
     max_weight = std::max(max_weight, e.weight);
   }
-  if (max_weight == 0.0) return result;
+  if (max_weight <= 0.0) return result;  // No positive-weight edges.
 
   // Convert to a min-cost assignment: cost = max_weight - weight >= 0.
   std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j < n; ++j) cost[i][j] = max_weight - weight[i][j];
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < n; ++j) cost[i][j] = max_weight - weight[i][j];
   }
   AssignmentResult assignment = MinCostAssignment(cost);
 
-  for (int left = 0; left < n; ++left) {
+  for (size_t left = 0; left < n; ++left) {
     int right = assignment.col_of_row[left];
     if (right < 0) continue;
-    if (left >= num_left || right >= num_right) continue;  // Padding.
-    if (weight[left][right] <= 0.0) continue;  // Dummy (unmatched) edge.
-    result.pairs.emplace_back(left, right);
-    result.total_weight += weight[left][right];
+    if (left >= static_cast<size_t>(num_left) || right >= num_right) {
+      continue;  // Padding.
+    }
+    const double w = weight[left][static_cast<size_t>(right)];
+    if (w <= 0.0) continue;  // Dummy (unmatched) edge.
+    result.pairs.emplace_back(static_cast<int>(left), right);
+    result.total_weight += w;
   }
   return result;
 }
@@ -127,12 +136,15 @@ MatchResult GreedyMatching(int num_left, int num_right,
                    [](const Edge& a, const Edge& b) {
                      return a.weight > b.weight;
                    });
-  std::vector<char> left_used(num_left, 0), right_used(num_right, 0);
+  std::vector<char> left_used(static_cast<size_t>(num_left), 0);
+  std::vector<char> right_used(static_cast<size_t>(num_right), 0);
   MatchResult result;
   for (const Edge& e : sorted) {
-    if (left_used[e.left] || right_used[e.right]) continue;
-    left_used[e.left] = 1;
-    right_used[e.right] = 1;
+    const size_t l = static_cast<size_t>(e.left);
+    const size_t r = static_cast<size_t>(e.right);
+    if (left_used[l] || right_used[r]) continue;
+    left_used[l] = 1;
+    right_used[r] = 1;
     result.pairs.emplace_back(e.left, e.right);
     result.total_weight += e.weight;
   }

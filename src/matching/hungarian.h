@@ -1,5 +1,4 @@
-#ifndef TAMP_MATCHING_HUNGARIAN_H_
-#define TAMP_MATCHING_HUNGARIAN_H_
+#pragma once
 
 #include <utility>
 #include <vector>
@@ -54,5 +53,3 @@ MatchResult GreedyMatching(int num_left, int num_right,
                            const std::vector<Edge>& edges);
 
 }  // namespace tamp::matching
-
-#endif  // TAMP_MATCHING_HUNGARIAN_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_META_LEARNING_TASK_H_
-#define TAMP_META_LEARNING_TASK_H_
+#pragma once
 
 #include <vector>
 
@@ -41,5 +40,3 @@ struct LearningTask {
 };
 
 }  // namespace tamp::meta
-
-#endif  // TAMP_META_LEARNING_TASK_H_

@@ -75,7 +75,7 @@ MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
     double loss_sum = 0.0;
     int contributing = 0;
     for (size_t pick : batch) {
-      const LearningTask& task = tasks[members[pick]];
+      const LearningTask& task = tasks[static_cast<size_t>(members[pick])];
       if (task.support.empty() || task.query.empty()) continue;
       // Alg. 3 lines 4-7: adapt k steps on the support set.
       std::vector<double> adapted =
@@ -139,7 +139,7 @@ similarity::GradientPath ComputeGradientPath(
   TAMP_CHECK(probe_theta.size() == model.param_count());
   TAMP_CHECK(projector.input_dim() == model.param_count());
   similarity::GradientPath path;
-  path.reserve(steps);
+  path.reserve(static_cast<size_t>(steps));
   MetaTrainConfig plain;  // Uniform weights for the probe.
   std::vector<double> theta = probe_theta;
   std::vector<double> grad(theta.size());

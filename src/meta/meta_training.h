@@ -1,5 +1,4 @@
-#ifndef TAMP_META_META_TRAINING_H_
-#define TAMP_META_META_TRAINING_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -97,5 +96,3 @@ similarity::GradientPath ComputeGradientPath(
     const similarity::RandomProjector& projector);
 
 }  // namespace tamp::meta
-
-#endif  // TAMP_META_META_TRAINING_H_

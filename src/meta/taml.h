@@ -1,5 +1,4 @@
-#ifndef TAMP_META_TAML_H_
-#define TAMP_META_TAML_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -51,5 +50,3 @@ const cluster::TaskTreeNode* FindMostSimilarNode(
     const std::function<double(int)>& similarity_to);
 
 }  // namespace tamp::meta
-
-#endif  // TAMP_META_TAML_H_

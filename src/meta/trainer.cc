@@ -42,17 +42,20 @@ similarity::PairwiseSimilarity MobilityTrainer::BuildFactor(
     case Factor::kDistribution:
       return similarity::PairwiseSimilarity(n, [this, &tasks](int i, int j) {
         return similarity::DistributionSimilarity(
-            tasks[i].location_cloud, tasks[j].location_cloud,
+            tasks[static_cast<size_t>(i)].location_cloud,
+            tasks[static_cast<size_t>(j)].location_cloud,
             config_.sliced_projections, config_.sim_d_scale_km);
       });
     case Factor::kSpatial:
       return similarity::PairwiseSimilarity(n, [this, &tasks](int i, int j) {
-        return similarity::SpatialSimilarity(tasks[i].pois, tasks[j].pois,
+        return similarity::SpatialSimilarity(tasks[static_cast<size_t>(i)].pois,
+                                             tasks[static_cast<size_t>(j)].pois,
                                              config_.kernel);
       });
     case Factor::kLearningPath:
       return similarity::PairwiseSimilarity(n, [&paths](int i, int j) {
-        return similarity::LearningPathSimilarity(paths[i], paths[j]);
+        return similarity::LearningPathSimilarity(paths[static_cast<size_t>(i)],
+                                                  paths[static_cast<size_t>(j)]);
       });
   }
   TAMP_CHECK_MSG(false, "unknown factor");
@@ -88,8 +91,8 @@ std::vector<double> CtmlFeatures(const LearningTask& task,
 
 std::unique_ptr<cluster::TaskTreeNode> SingleClusterTree(int n) {
   auto root = std::make_unique<cluster::TaskTreeNode>();
-  root->tasks.resize(n);
-  for (int i = 0; i < n; ++i) root->tasks[i] = i;
+  root->tasks.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) root->tasks[static_cast<size_t>(i)] = i;
   return root;
 }
 
@@ -133,7 +136,7 @@ TrainedModels MobilityTrainer::Train(const std::vector<LearningTask>& tasks,
         const auto& resp = soft.responsibilities[p];
         int best = static_cast<int>(
             std::max_element(resp.begin(), resp.end()) - resp.begin());
-        groups[best].push_back(static_cast<int>(p));
+        groups[static_cast<size_t>(best)].push_back(static_cast<int>(p));
       }
       for (auto& group : groups) {
         if (group.empty()) continue;
@@ -246,7 +249,8 @@ std::vector<double> MobilityTrainer::AdaptNewcomer(
   // may not have yet).
   auto similarity_to = [&](int task_id) {
     return similarity::DistributionSimilarity(
-        newcomer.location_cloud, existing_tasks[task_id].location_cloud,
+        newcomer.location_cloud,
+        existing_tasks[static_cast<size_t>(task_id)].location_cloud,
         config_.sliced_projections, config_.sim_d_scale_km);
   };
   const cluster::TaskTreeNode* best =

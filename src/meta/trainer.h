@@ -1,5 +1,4 @@
-#ifndef TAMP_META_TRAINER_H_
-#define TAMP_META_TRAINER_H_
+#pragma once
 
 #include <memory>
 #include <vector>
@@ -126,5 +125,3 @@ class MobilityTrainer {
 };
 
 }  // namespace tamp::meta
-
-#endif  // TAMP_META_TRAINER_H_

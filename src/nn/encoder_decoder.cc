@@ -35,7 +35,9 @@ Sequence EncoderDecoder::RunForward(
     TAMP_CHECK(static_cast<int>(step.size()) == config_.input_dim);
   }
 
-  const int hd = config_.hidden_dim;
+  const size_t hd = static_cast<size_t>(config_.hidden_dim);
+  const size_t seq_out = static_cast<size_t>(config_.seq_out);
+  const size_t out_dim = static_cast<size_t>(config_.output_dim);
   std::vector<double> h(hd, 0.0);
   std::vector<double> c(hd, 0.0);
 
@@ -47,26 +49,26 @@ Sequence EncoderDecoder::RunForward(
     encoder_.Forward(params, input_seq[t].data(), h, c, cache);
   }
 
-  if (dec_caches != nullptr) dec_caches->resize(config_.seq_out);
-  if (dec_hidden != nullptr) dec_hidden->resize(config_.seq_out);
+  if (dec_caches != nullptr) dec_caches->resize(seq_out);
+  if (dec_hidden != nullptr) dec_hidden->resize(seq_out);
 
-  Sequence outputs(config_.seq_out);
+  Sequence outputs(seq_out);
   // The decoder's first input is the most recent observed location; later
   // inputs are the previous ground truth (teacher forcing) or the previous
   // prediction (autoregressive inference).
   std::vector<double> dec_input = input_seq.back();
-  dec_input.resize(config_.output_dim, 0.0);
-  for (int t = 0; t < config_.seq_out; ++t) {
+  dec_input.resize(out_dim, 0.0);
+  for (size_t t = 0; t < seq_out; ++t) {
     LstmStepCache& cache =
         dec_caches != nullptr ? (*dec_caches)[t] : scratch;
     decoder_.Forward(params, dec_input.data(), h, c, cache);
     if (dec_hidden != nullptr) (*dec_hidden)[t] = h;
     readout_.Forward(params, h.data(), outputs[t]);
-    if (t + 1 < config_.seq_out) {
+    if (t + 1 < seq_out) {
       dec_input = teacher_targets != nullptr
                       ? (*teacher_targets)[t]
                       : outputs[t];
-      dec_input.resize(config_.output_dim, 0.0);
+      dec_input.resize(out_dim, 0.0);
     }
   }
   return outputs;
@@ -96,7 +98,7 @@ double EncoderDecoder::LossAndGradient(const std::vector<double>& params,
   double loss = WeightedMseLoss::Value(outputs, target_seq, step_weights);
   Sequence dout = WeightedMseLoss::Gradient(outputs, target_seq, step_weights);
 
-  const int hd = config_.hidden_dim;
+  const size_t hd = static_cast<size_t>(config_.hidden_dim);
   std::vector<double> dh(hd, 0.0);
   std::vector<double> dc(hd, 0.0);
   std::vector<double> dh_step(hd);
@@ -104,14 +106,14 @@ double EncoderDecoder::LossAndGradient(const std::vector<double>& params,
   // Backward through the decoder. Teacher forcing means decoder inputs are
   // constants, so no gradient flows through dx; the recurrent state carries
   // all credit back into the encoder.
-  for (int t = config_.seq_out - 1; t >= 0; --t) {
+  for (size_t t = static_cast<size_t>(config_.seq_out); t-- > 0;) {
     readout_.Backward(params, dec_hidden[t].data(), dout[t].data(), grad,
                       dh_step.data());
-    for (int k = 0; k < hd; ++k) dh[k] += dh_step[k];
+    for (size_t k = 0; k < hd; ++k) dh[k] += dh_step[k];
     decoder_.Backward(params, dec_caches[t], dh, dc, grad, /*dx=*/nullptr);
   }
   // Backward through the encoder; input gradients are not needed.
-  for (int t = static_cast<int>(enc_caches.size()) - 1; t >= 0; --t) {
+  for (size_t t = enc_caches.size(); t-- > 0;) {
     encoder_.Backward(params, enc_caches[t], dh, dc, grad, /*dx=*/nullptr);
   }
   return loss;

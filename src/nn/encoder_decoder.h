@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_ENCODER_DECODER_H_
-#define TAMP_NN_ENCODER_DECODER_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -81,5 +80,3 @@ class EncoderDecoder {
 };
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_ENCODER_DECODER_H_

@@ -19,48 +19,50 @@ GruCell::GruCell(int input_dim, int hidden_dim, size_t offset)
 
 void GruCell::InitParams(Rng& rng, std::vector<double>& params) const {
   TAMP_CHECK(params.size() >= offset_ + param_count());
-  const int h3 = 3 * hidden_dim_;
+  const size_t id = static_cast<size_t>(input_dim_);
+  const size_t hd = static_cast<size_t>(hidden_dim_);
+  const size_t h3 = 3 * hd;
   double* w = params.data() + offset_;
-  double* u = w + static_cast<size_t>(h3) * input_dim_;
-  double* b = u + static_cast<size_t>(h3) * hidden_dim_;
-  XavierUniform(rng, w, static_cast<size_t>(h3) * input_dim_, input_dim_,
-                hidden_dim_);
-  XavierUniform(rng, u, static_cast<size_t>(h3) * hidden_dim_, hidden_dim_,
-                hidden_dim_);
+  double* u = w + h3 * id;
+  double* b = u + h3 * hd;
+  XavierUniform(rng, w, h3 * id, input_dim_, hidden_dim_);
+  XavierUniform(rng, u, h3 * hd, hidden_dim_, hidden_dim_);
   Fill(b, h3, 0.0);
 }
 
 void GruCell::Forward(const std::vector<double>& params, const double* x,
                       std::vector<double>& h, GruStepCache& cache) const {
-  const int hd = hidden_dim_;
-  const int h3 = 3 * hd;
+  const size_t id = static_cast<size_t>(input_dim_);
+  const size_t hd = static_cast<size_t>(hidden_dim_);
+  const size_t h3 = 3 * hd;
   const double* w = params.data() + offset_;
-  const double* u = w + static_cast<size_t>(h3) * input_dim_;
-  const double* b = u + static_cast<size_t>(h3) * hd;
+  const double* u = w + h3 * id;
+  const double* b = u + h3 * hd;
 
-  cache.x.assign(x, x + input_dim_);
+  cache.x.assign(x, x + id);
   cache.h_prev = h;
 
   // Pre-activations: a = W x + b for all three blocks; uh = U h per block.
   std::vector<double> a(h3);
   std::vector<double> uh(h3);
-  for (int row = 0; row < h3; ++row) {
+  for (size_t row = 0; row < h3; ++row) {
     double acc = b[row];
-    const double* wr = w + static_cast<size_t>(row) * input_dim_;
-    for (int k = 0; k < input_dim_; ++k) acc += wr[k] * x[k];
+    const double* wr = w + row * id;
+    for (size_t k = 0; k < id; ++k) acc += wr[k] * x[k];
     a[row] = acc;
-    const double* ur = u + static_cast<size_t>(row) * hd;
+    const double* ur = u + row * hd;
     double acc_u = 0.0;
-    for (int k = 0; k < hd; ++k) acc_u += ur[k] * cache.h_prev[k];
+    for (size_t k = 0; k < hd; ++k) acc_u += ur[k] * cache.h_prev[k];
     uh[row] = acc_u;
   }
 
   cache.z.resize(hd);
   cache.r.resize(hd);
   cache.n.resize(hd);
-  cache.uh.assign(uh.begin() + 2 * hd, uh.end());  // U_n h block only.
+  cache.uh.assign(uh.begin() + static_cast<ptrdiff_t>(2 * hd),
+                  uh.end());  // U_n h block only.
   h.resize(hd);
-  for (int k = 0; k < hd; ++k) {
+  for (size_t k = 0; k < hd; ++k) {
     cache.z[k] = Sigmoid(a[k] + uh[k]);
     cache.r[k] = Sigmoid(a[hd + k] + uh[hd + k]);
     cache.n[k] = std::tanh(a[2 * hd + k] + cache.r[k] * cache.uh[k]);
@@ -72,19 +74,20 @@ void GruCell::Backward(const std::vector<double>& params,
                        const GruStepCache& cache, std::vector<double>& dh,
                        std::vector<double>& grad, double* dx) const {
   TAMP_CHECK(grad.size() == params.size());
-  const int hd = hidden_dim_;
-  const int h3 = 3 * hd;
+  const size_t id = static_cast<size_t>(input_dim_);
+  const size_t hd = static_cast<size_t>(hidden_dim_);
+  const size_t h3 = 3 * hd;
   const double* w = params.data() + offset_;
-  const double* u = w + static_cast<size_t>(h3) * input_dim_;
+  const double* u = w + h3 * id;
   double* dw = grad.data() + offset_;
-  double* du = dw + static_cast<size_t>(h3) * input_dim_;
-  double* db = du + static_cast<size_t>(h3) * hd;
+  double* du = dw + h3 * id;
+  double* db = du + h3 * hd;
 
   // Pre-activation gradients, blocks [z r n]. The n-block's U-product is
   // gated by r, handled separately below.
   std::vector<double> dpre(h3);
   std::vector<double> dh_prev(hd, 0.0);
-  for (int k = 0; k < hd; ++k) {
+  for (size_t k = 0; k < hd; ++k) {
     double z = cache.z[k], r = cache.r[k], n = cache.n[k];
     double d_out = dh[k];
     double d_z = d_out * (cache.h_prev[k] - n);
@@ -98,25 +101,25 @@ void GruCell::Backward(const std::vector<double>& params,
   }
 
   if (dx != nullptr) {
-    for (int k = 0; k < input_dim_; ++k) dx[k] = 0.0;
+    for (size_t k = 0; k < id; ++k) dx[k] = 0.0;
   }
-  for (int row = 0; row < h3; ++row) {
-    int k = row % hd;
+  for (size_t row = 0; row < h3; ++row) {
+    size_t k = row % hd;
     bool n_block = row >= 2 * hd;
     double g = dpre[row];
     db[row] += g;
-    const double* wr = w + static_cast<size_t>(row) * input_dim_;
-    double* dwr = dw + static_cast<size_t>(row) * input_dim_;
-    for (int c = 0; c < input_dim_; ++c) {
+    const double* wr = w + row * id;
+    double* dwr = dw + row * id;
+    for (size_t c = 0; c < id; ++c) {
       dwr[c] += g * cache.x[c];
       if (dx != nullptr) dx[c] += g * wr[c];
     }
     // U-path: for z/r blocks dL/d(U h) = g; for the n block the product
     // is gated by r, so dL/d(U_n h) = g * r.
     double gu = n_block ? g * cache.r[k] : g;
-    const double* ur = u + static_cast<size_t>(row) * hd;
-    double* dur = du + static_cast<size_t>(row) * hd;
-    for (int c = 0; c < hd; ++c) {
+    const double* ur = u + row * hd;
+    double* dur = du + row * hd;
+    for (size_t c = 0; c < hd; ++c) {
       dur[c] += gu * cache.h_prev[c];
       dh_prev[c] += gu * ur[c];
     }

@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_GRU_CELL_H_
-#define TAMP_NN_GRU_CELL_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -41,8 +40,9 @@ class GruCell {
   int hidden_dim() const { return hidden_dim_; }
   size_t offset() const { return offset_; }
   size_t param_count() const {
-    size_t h3 = static_cast<size_t>(3) * hidden_dim_;
-    return h3 * input_dim_ + h3 * hidden_dim_ + h3;
+    size_t h = static_cast<size_t>(hidden_dim_);
+    size_t h3 = 3 * h;
+    return h3 * static_cast<size_t>(input_dim_) + h3 * h + h3;
   }
 
   /// Xavier weights, zero biases.
@@ -67,5 +67,3 @@ class GruCell {
 };
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_GRU_CELL_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_INIT_H_
-#define TAMP_NN_INIT_H_
+#pragma once
 
 #include <cstddef>
 
@@ -17,5 +16,3 @@ void XavierUniform(Rng& rng, double* data, size_t count, int fan_in,
 void Fill(double* data, size_t count, double value);
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_INIT_H_

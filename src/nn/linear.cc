@@ -12,20 +12,22 @@ Linear::Linear(int in_dim, int out_dim, size_t offset)
 
 void Linear::InitParams(Rng& rng, std::vector<double>& params) const {
   TAMP_CHECK(params.size() >= offset_ + param_count());
-  size_t w_count = static_cast<size_t>(out_dim_) * in_dim_;
+  size_t w_count = static_cast<size_t>(out_dim_) * static_cast<size_t>(in_dim_);
   XavierUniform(rng, params.data() + offset_, w_count, in_dim_, out_dim_);
-  Fill(params.data() + offset_ + w_count, out_dim_, 0.0);
+  Fill(params.data() + offset_ + w_count, static_cast<size_t>(out_dim_), 0.0);
 }
 
 void Linear::Forward(const std::vector<double>& params, const double* x,
                      std::vector<double>& y) const {
+  const size_t in = static_cast<size_t>(in_dim_);
+  const size_t out = static_cast<size_t>(out_dim_);
   const double* w = params.data() + offset_;
-  const double* b = w + static_cast<size_t>(out_dim_) * in_dim_;
-  y.assign(out_dim_, 0.0);
-  for (int r = 0; r < out_dim_; ++r) {
+  const double* b = w + out * in;
+  y.assign(out, 0.0);
+  for (size_t r = 0; r < out; ++r) {
     double acc = b[r];
-    const double* wr = w + static_cast<size_t>(r) * in_dim_;
-    for (int c = 0; c < in_dim_; ++c) acc += wr[c] * x[c];
+    const double* wr = w + r * in;
+    for (size_t c = 0; c < in; ++c) acc += wr[c] * x[c];
     y[r] = acc;
   }
 }
@@ -34,18 +36,20 @@ void Linear::Backward(const std::vector<double>& params, const double* x,
                       const double* dy, std::vector<double>& grad,
                       double* dx) const {
   TAMP_CHECK(grad.size() == params.size());
+  const size_t in = static_cast<size_t>(in_dim_);
+  const size_t out = static_cast<size_t>(out_dim_);
   const double* w = params.data() + offset_;
   double* dw = grad.data() + offset_;
-  double* db = dw + static_cast<size_t>(out_dim_) * in_dim_;
+  double* db = dw + out * in;
   if (dx != nullptr) {
-    for (int c = 0; c < in_dim_; ++c) dx[c] = 0.0;
+    for (size_t c = 0; c < in; ++c) dx[c] = 0.0;
   }
-  for (int r = 0; r < out_dim_; ++r) {
+  for (size_t r = 0; r < out; ++r) {
     double g = dy[r];
     db[r] += g;
-    const double* wr = w + static_cast<size_t>(r) * in_dim_;
-    double* dwr = dw + static_cast<size_t>(r) * in_dim_;
-    for (int c = 0; c < in_dim_; ++c) {
+    const double* wr = w + r * in;
+    double* dwr = dw + r * in;
+    for (size_t c = 0; c < in; ++c) {
       dwr[c] += g * x[c];
       if (dx != nullptr) dx[c] += g * wr[c];
     }

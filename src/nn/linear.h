@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_LINEAR_H_
-#define TAMP_NN_LINEAR_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -22,7 +21,8 @@ class Linear {
   int out_dim() const { return out_dim_; }
   size_t offset() const { return offset_; }
   size_t param_count() const {
-    return static_cast<size_t>(out_dim_) * in_dim_ + out_dim_;
+    return static_cast<size_t>(out_dim_) * static_cast<size_t>(in_dim_) +
+           static_cast<size_t>(out_dim_);
   }
 
   /// Xavier-initializes this layer's slice of `params`.
@@ -46,5 +46,3 @@ class Linear {
 };
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_LINEAR_H_

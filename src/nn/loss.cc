@@ -32,7 +32,8 @@ double WeightedMseLoss::Value(const Sequence& predicted,
     }
     terms += predicted[t].size();
   }
-  return acc / static_cast<double>(terms);
+  // Trust boundary: a NaN/Inf loss silently corrupts meta-training curves.
+  return TAMP_CHECK_FINITE(acc / static_cast<double>(terms));
 }
 
 Sequence WeightedMseLoss::Gradient(const Sequence& predicted,
@@ -47,7 +48,8 @@ Sequence WeightedMseLoss::Gradient(const Sequence& predicted,
     double w = weights.empty() ? 1.0 : weights[t];
     grad[t].resize(predicted[t].size());
     for (size_t d = 0; d < predicted[t].size(); ++d) {
-      grad[t][d] = scale * w * (predicted[t][d] - target[t][d]);
+      grad[t][d] = TAMP_CHECK_FINITE(scale * w *
+                                     (predicted[t][d] - target[t][d]));
     }
   }
   return grad;

@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_LOSS_H_
-#define TAMP_NN_LOSS_H_
+#pragma once
 
 #include <vector>
 
@@ -27,5 +26,3 @@ class WeightedMseLoss {
 };
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_LOSS_H_

@@ -19,40 +19,41 @@ LstmCell::LstmCell(int input_dim, int hidden_dim, size_t offset)
 
 void LstmCell::InitParams(Rng& rng, std::vector<double>& params) const {
   TAMP_CHECK(params.size() >= offset_ + param_count());
-  const int h4 = 4 * hidden_dim_;
+  const size_t id = static_cast<size_t>(input_dim_);
+  const size_t hd = static_cast<size_t>(hidden_dim_);
+  const size_t h4 = 4 * hd;
   double* wx = params.data() + offset_;
-  double* wh = wx + static_cast<size_t>(h4) * input_dim_;
-  double* b = wh + static_cast<size_t>(h4) * hidden_dim_;
-  XavierUniform(rng, wx, static_cast<size_t>(h4) * input_dim_, input_dim_,
-                hidden_dim_);
-  XavierUniform(rng, wh, static_cast<size_t>(h4) * hidden_dim_, hidden_dim_,
-                hidden_dim_);
+  double* wh = wx + h4 * id;
+  double* b = wh + h4 * hd;
+  XavierUniform(rng, wx, h4 * id, input_dim_, hidden_dim_);
+  XavierUniform(rng, wh, h4 * hd, hidden_dim_, hidden_dim_);
   Fill(b, h4, 0.0);
   // Forget-gate bias block (second of four) starts open.
-  Fill(b + hidden_dim_, hidden_dim_, 1.0);
+  Fill(b + hd, hd, 1.0);
 }
 
 void LstmCell::Forward(const std::vector<double>& params, const double* x,
                        std::vector<double>& h, std::vector<double>& c,
                        LstmStepCache& cache) const {
-  const int hd = hidden_dim_;
-  const int h4 = 4 * hd;
+  const size_t id = static_cast<size_t>(input_dim_);
+  const size_t hd = static_cast<size_t>(hidden_dim_);
+  const size_t h4 = 4 * hd;
   const double* wx = params.data() + offset_;
-  const double* wh = wx + static_cast<size_t>(h4) * input_dim_;
-  const double* b = wh + static_cast<size_t>(h4) * hd;
+  const double* wh = wx + h4 * id;
+  const double* b = wh + h4 * hd;
 
-  cache.x.assign(x, x + input_dim_);
+  cache.x.assign(x, x + id);
   cache.h_prev = h;
   cache.c_prev = c;
 
   // z = W_x x + W_h h_prev + b, gate blocks [i f g o].
   std::vector<double> z(h4);
-  for (int r = 0; r < h4; ++r) {
+  for (size_t r = 0; r < h4; ++r) {
     double acc = b[r];
-    const double* wxr = wx + static_cast<size_t>(r) * input_dim_;
-    for (int k = 0; k < input_dim_; ++k) acc += wxr[k] * x[k];
-    const double* whr = wh + static_cast<size_t>(r) * hd;
-    for (int k = 0; k < hd; ++k) acc += whr[k] * cache.h_prev[k];
+    const double* wxr = wx + r * id;
+    for (size_t k = 0; k < id; ++k) acc += wxr[k] * x[k];
+    const double* whr = wh + r * hd;
+    for (size_t k = 0; k < hd; ++k) acc += whr[k] * cache.h_prev[k];
     z[r] = acc;
   }
 
@@ -62,7 +63,7 @@ void LstmCell::Forward(const std::vector<double>& params, const double* x,
   cache.o.resize(hd);
   cache.c.resize(hd);
   cache.tanh_c.resize(hd);
-  for (int k = 0; k < hd; ++k) {
+  for (size_t k = 0; k < hd; ++k) {
     cache.i[k] = Sigmoid(z[k]);
     cache.f[k] = Sigmoid(z[hd + k]);
     cache.g[k] = std::tanh(z[2 * hd + k]);
@@ -72,7 +73,7 @@ void LstmCell::Forward(const std::vector<double>& params, const double* x,
   }
   c = cache.c;
   h.resize(hd);
-  for (int k = 0; k < hd; ++k) h[k] = cache.o[k] * cache.tanh_c[k];
+  for (size_t k = 0; k < hd; ++k) h[k] = cache.o[k] * cache.tanh_c[k];
 }
 
 void LstmCell::Backward(const std::vector<double>& params,
@@ -80,18 +81,19 @@ void LstmCell::Backward(const std::vector<double>& params,
                         std::vector<double>& dc, std::vector<double>& grad,
                         double* dx) const {
   TAMP_CHECK(grad.size() == params.size());
-  const int hd = hidden_dim_;
-  const int h4 = 4 * hd;
+  const size_t id = static_cast<size_t>(input_dim_);
+  const size_t hd = static_cast<size_t>(hidden_dim_);
+  const size_t h4 = 4 * hd;
   const double* wx = params.data() + offset_;
-  const double* wh = wx + static_cast<size_t>(h4) * input_dim_;
+  const double* wh = wx + h4 * id;
   double* dwx = grad.data() + offset_;
-  double* dwh = dwx + static_cast<size_t>(h4) * input_dim_;
-  double* db = dwh + static_cast<size_t>(h4) * hd;
+  double* dwh = dwx + h4 * id;
+  double* db = dwh + h4 * hd;
 
   // Gate pre-activation gradients dz, blocks [i f g o].
   std::vector<double> dz(h4);
   std::vector<double> dc_prev(hd);
-  for (int k = 0; k < hd; ++k) {
+  for (size_t k = 0; k < hd; ++k) {
     double i = cache.i[k], f = cache.f[k], g = cache.g[k], o = cache.o[k];
     double tc = cache.tanh_c[k];
     double d_o = dh[k] * tc;
@@ -108,20 +110,20 @@ void LstmCell::Backward(const std::vector<double>& params,
 
   std::vector<double> dh_prev(hd, 0.0);
   if (dx != nullptr) {
-    for (int k = 0; k < input_dim_; ++k) dx[k] = 0.0;
+    for (size_t k = 0; k < id; ++k) dx[k] = 0.0;
   }
-  for (int r = 0; r < h4; ++r) {
+  for (size_t r = 0; r < h4; ++r) {
     double gz = dz[r];
     db[r] += gz;
-    const double* wxr = wx + static_cast<size_t>(r) * input_dim_;
-    double* dwxr = dwx + static_cast<size_t>(r) * input_dim_;
-    for (int k = 0; k < input_dim_; ++k) {
+    const double* wxr = wx + r * id;
+    double* dwxr = dwx + r * id;
+    for (size_t k = 0; k < id; ++k) {
       dwxr[k] += gz * cache.x[k];
       if (dx != nullptr) dx[k] += gz * wxr[k];
     }
-    const double* whr = wh + static_cast<size_t>(r) * hd;
-    double* dwhr = dwh + static_cast<size_t>(r) * hd;
-    for (int k = 0; k < hd; ++k) {
+    const double* whr = wh + r * hd;
+    double* dwhr = dwh + r * hd;
+    for (size_t k = 0; k < hd; ++k) {
       dwhr[k] += gz * cache.h_prev[k];
       dh_prev[k] += gz * whr[k];
     }

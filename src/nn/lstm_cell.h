@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_LSTM_CELL_H_
-#define TAMP_NN_LSTM_CELL_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -38,8 +37,9 @@ class LstmCell {
   int hidden_dim() const { return hidden_dim_; }
   size_t offset() const { return offset_; }
   size_t param_count() const {
-    size_t h4 = static_cast<size_t>(4) * hidden_dim_;
-    return h4 * input_dim_ + h4 * hidden_dim_ + h4;
+    size_t h = static_cast<size_t>(hidden_dim_);
+    size_t h4 = 4 * h;
+    return h4 * static_cast<size_t>(input_dim_) + h4 * h + h4;
   }
 
   /// Xavier weights; forget-gate bias initialized to 1.
@@ -67,5 +67,3 @@ class LstmCell {
 };
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_LSTM_CELL_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_OPTIMIZER_H_
-#define TAMP_NN_OPTIMIZER_H_
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -49,5 +48,3 @@ class Adam {
 double ClipGradientNorm(std::vector<double>& grad, double max_norm);
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_OPTIMIZER_H_

@@ -1,5 +1,4 @@
-#ifndef TAMP_NN_SERIALIZATION_H_
-#define TAMP_NN_SERIALIZATION_H_
+#pragma once
 
 #include <string>
 #include <vector>
@@ -28,5 +27,3 @@ Status SaveModelBundle(const std::string& path, const ModelBundle& bundle);
 StatusOr<ModelBundle> LoadModelBundle(const std::string& path);
 
 }  // namespace tamp::nn
-
-#endif  // TAMP_NN_SERIALIZATION_H_

@@ -7,7 +7,7 @@ namespace tamp::similarity {
 PairwiseSimilarity::PairwiseSimilarity(int n, SimilarityFn fn)
     : n_(n), fn_(std::move(fn)) {
   TAMP_CHECK(n >= 0);
-  size_t pairs = static_cast<size_t>(n) * (n + 1) / 2;
+  size_t pairs = static_cast<size_t>(n) * static_cast<size_t>(n + 1) / 2;
   cache_.assign(pairs, 0.0);
   computed_.assign(pairs, 0);
 }
@@ -16,7 +16,7 @@ size_t PairwiseSimilarity::PackIndex(int i, int j) const {
   TAMP_CHECK(i >= 0 && i < n_ && j >= 0 && j < n_);
   if (i > j) std::swap(i, j);
   // Row-major upper triangle: offset of row i plus column displacement.
-  return static_cast<size_t>(i) * (2 * n_ - i + 1) / 2 +
+  return static_cast<size_t>(i) * static_cast<size_t>(2 * n_ - i + 1) / 2 +
          static_cast<size_t>(j - i);
 }
 
@@ -50,7 +50,8 @@ double ClusterQuality(const PairwiseSimilarity& sim,
   }
   // Eq. 4 sums ordered pairs (i, j != i); the unordered sum counts each
   // pair once, so double it before normalizing by |G|(|G|-1).
-  return 2.0 * sum / (static_cast<double>(size) * (size - 1));
+  return 2.0 * sum /
+         (static_cast<double>(size) * static_cast<double>(size - 1));
 }
 
 double JoinUtility(const PairwiseSimilarity& sim,
@@ -74,7 +75,7 @@ double JoinUtility(const PairwiseSimilarity& sim,
   double q_old = old_size == 1
                      ? gamma_singleton
                      : 2.0 * old_sum / (static_cast<double>(old_size) *
-                                        (old_size - 1.0));
+                                        (static_cast<double>(old_size) - 1.0));
   return q_new - q_old;
 }
 

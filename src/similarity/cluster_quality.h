@@ -1,5 +1,4 @@
-#ifndef TAMP_SIMILARITY_CLUSTER_QUALITY_H_
-#define TAMP_SIMILARITY_CLUSTER_QUALITY_H_
+#pragma once
 
 #include <functional>
 #include <vector>
@@ -48,5 +47,3 @@ double JoinUtility(const PairwiseSimilarity& sim,
                    double gamma_singleton);
 
 }  // namespace tamp::similarity
-
-#endif  // TAMP_SIMILARITY_CLUSTER_QUALITY_H_

@@ -14,7 +14,7 @@ double PoiKernel(const geo::Poi& a, const geo::Poi& b,
   double h2 = params.bandwidth_km * params.bandwidth_km;
   double spatial = std::exp(-d2 / (2.0 * h2));
   double type_factor = a.type == b.type ? 1.0 : params.type_mismatch_factor;
-  return spatial * type_factor;
+  return TAMP_CHECK_FINITE(spatial * type_factor);
 }
 
 double SpatialSimilarity(const geo::PoiSequence& a, const geo::PoiSequence& b,
@@ -24,8 +24,9 @@ double SpatialSimilarity(const geo::PoiSequence& a, const geo::PoiSequence& b,
   for (const auto& va : a) {
     for (const auto& vb : b) acc += PoiKernel(va, vb, params);
   }
-  double mean = acc / (static_cast<double>(a.size()) * b.size());
-  return std::clamp(mean, 0.0, 1.0);
+  double mean =
+      acc / (static_cast<double>(a.size()) * static_cast<double>(b.size()));
+  return std::clamp(TAMP_CHECK_FINITE(mean), 0.0, 1.0);
 }
 
 }  // namespace tamp::similarity

@@ -1,5 +1,4 @@
-#ifndef TAMP_SIMILARITY_KERNEL_H_
-#define TAMP_SIMILARITY_KERNEL_H_
+#pragma once
 
 #include "geo/poi.h"
 
@@ -28,5 +27,3 @@ double SpatialSimilarity(const geo::PoiSequence& a, const geo::PoiSequence& b,
                          const SpatialKernelParams& params);
 
 }  // namespace tamp::similarity
-
-#endif  // TAMP_SIMILARITY_KERNEL_H_

@@ -29,7 +29,7 @@ double LearningPathSimilarity(const GradientPath& a, const GradientPath& b) {
   }
   double mean_cos = acc / static_cast<double>(a.size());
   // Map [-1, 1] -> [0, 1] so Sim_l composes with Sim_s / Sim_d in Q(G).
-  return 0.5 * (mean_cos + 1.0);
+  return TAMP_CHECK_FINITE(0.5 * (mean_cos + 1.0));
 }
 
 RandomProjector::RandomProjector(size_t input_dim, size_t output_dim,

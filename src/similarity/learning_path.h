@@ -1,5 +1,4 @@
-#ifndef TAMP_SIMILARITY_LEARNING_PATH_H_
-#define TAMP_SIMILARITY_LEARNING_PATH_H_
+#pragma once
 
 #include <cstddef>
 #include <cstdint>
@@ -46,5 +45,3 @@ class RandomProjector {
 };
 
 }  // namespace tamp::similarity
-
-#endif  // TAMP_SIMILARITY_LEARNING_PATH_H_

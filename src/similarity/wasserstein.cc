@@ -79,7 +79,7 @@ double DistributionSimilarity(const std::vector<geo::Point>& a,
   double w = SlicedWasserstein2D(a, b, num_projections);
   // Monotone transform of Eq. 3's 1/W into [0, 1]: preserves the ordering
   // 1/W induces while staying finite for identical distributions.
-  return scale_km / (scale_km + w);
+  return TAMP_CHECK_FINITE(scale_km / (scale_km + w));
 }
 
 }  // namespace tamp::similarity

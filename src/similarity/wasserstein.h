@@ -1,5 +1,4 @@
-#ifndef TAMP_SIMILARITY_WASSERSTEIN_H_
-#define TAMP_SIMILARITY_WASSERSTEIN_H_
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -36,5 +35,3 @@ double DistributionSimilarity(const std::vector<geo::Point>& a,
                               int num_projections, double scale_km);
 
 }  // namespace tamp::similarity
-
-#endif  // TAMP_SIMILARITY_WASSERSTEIN_H_

@@ -1,0 +1,95 @@
+#include "common/check.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(CheckTest, PassingCheckIsSilent) {
+  TAMP_CHECK(1 + 1 == 2);
+  TAMP_CHECK_MSG(true, "never printed");
+  SUCCEED();
+}
+
+TEST(CheckDeathTest, FailingCheckAbortsWithFileLineAndExpression) {
+  EXPECT_DEATH(TAMP_CHECK(2 < 1),
+               "TAMP_CHECK failed at .*common_check_test\\.cc:[0-9]+: 2 < 1");
+}
+
+TEST(CheckDeathTest, FailingCheckMsgIncludesContextString) {
+  EXPECT_DEATH(TAMP_CHECK_MSG(false, "worker count mismatch"),
+               "TAMP_CHECK failed at .*:[0-9]+: false \\(worker count "
+               "mismatch\\)");
+}
+
+TEST(CheckTest, DcheckPassesOnTrueCondition) {
+  TAMP_DCHECK(3 > 2);
+  SUCCEED();
+}
+
+#ifdef NDEBUG
+TEST(CheckTest, DcheckCompiledOutInReleaseBuilds) {
+  TAMP_DCHECK(false);  // Must not abort when NDEBUG is defined.
+  SUCCEED();
+}
+#else
+TEST(CheckDeathTest, DcheckAbortsInDebugBuilds) {
+  EXPECT_DEATH(TAMP_DCHECK(false), "TAMP_DCHECK failed at .*:[0-9]+: false");
+}
+#endif
+
+TEST(CheckFiniteTest, PassesThroughFiniteValues) {
+  EXPECT_DOUBLE_EQ(TAMP_CHECK_FINITE(1.5), 1.5);
+  EXPECT_DOUBLE_EQ(TAMP_CHECK_FINITE(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(TAMP_CHECK_FINITE(-273.15), -273.15);
+  EXPECT_FLOAT_EQ(TAMP_CHECK_FINITE(2.5f), 2.5f);
+}
+
+TEST(CheckFiniteDeathTest, RejectsNan) {
+  const double nan = std::nan("");
+  EXPECT_DEATH(TAMP_CHECK_FINITE(nan),
+               "TAMP_CHECK_FINITE failed at .*:[0-9]+: nan is not finite "
+               "\\(value: nan\\)");
+}
+
+TEST(CheckFiniteDeathTest, RejectsPositiveAndNegativeInfinity) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DEATH(TAMP_CHECK_FINITE(inf), "inf is not finite \\(value: inf\\)");
+  EXPECT_DEATH(TAMP_CHECK_FINITE(-inf),
+               "-inf is not finite \\(value: -inf\\)");
+}
+
+TEST(CheckFiniteTest, WorksInsideExpressions) {
+  const double x = 2.0;
+  EXPECT_DOUBLE_EQ(TAMP_CHECK_FINITE(x * 3.0) + 1.0, 7.0);
+}
+
+TEST(CheckIndexTest, ReturnsIndexWhenInBounds) {
+  std::vector<int> v = {10, 20, 30};
+  EXPECT_EQ(v[TAMP_CHECK_INDEX(0u, v.size())], 10);
+  EXPECT_EQ(v[TAMP_CHECK_INDEX(2u, v.size())], 30);
+  const int signed_index = 1;
+  EXPECT_EQ(v[static_cast<size_t>(TAMP_CHECK_INDEX(signed_index, 3))], 20);
+}
+
+TEST(CheckIndexDeathTest, RejectsOutOfRangeIndex) {
+  std::vector<int> v = {1, 2, 3};
+  EXPECT_DEATH(
+      TAMP_CHECK_INDEX(3u, v.size()),
+      "TAMP_CHECK_INDEX failed at .*:[0-9]+: 3u \\(index 3 out of range "
+      "\\[0, 3\\)\\)");
+}
+
+TEST(CheckIndexDeathTest, RejectsNegativeIndex) {
+  EXPECT_DEATH(TAMP_CHECK_INDEX(-1, 5),
+               "-1 \\(index -1 out of range \\[0, 5\\)\\)");
+}
+
+TEST(CheckIndexDeathTest, RejectsAnyIndexIntoEmptyRange) {
+  EXPECT_DEATH(TAMP_CHECK_INDEX(0, 0), "index 0 out of range \\[0, 0\\)");
+}
+
+}  // namespace

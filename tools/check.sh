@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# One-command pre-merge gate for the TAMP repo.
+#
+#   tools/check.sh              Release build + ctest, ASan+UBSan build +
+#                               ctest, and the repo lint gate. Exits nonzero
+#                               on the first failure.
+#   tools/check.sh --lint-only  Only the lint gate (and its self-test).
+#
+# Options:
+#   --lint-binary PATH   Use an already-built tamp_lint instead of building
+#                        one (used by the ctest smoke entry).
+#   --jobs N             Parallel build jobs (default: nproc).
+#
+# When clang-tidy is on PATH, the Release stage also runs it with the repo
+# .clang-tidy config over the library sources (advisory unless
+# TAMP_TIDY_WERROR=1).
+
+set -u -o pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+LINT_ONLY=0
+LINT_BINARY=""
+
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --lint-only) LINT_ONLY=1 ;;
+    --lint-binary) LINT_BINARY="$2"; shift ;;
+    --jobs) JOBS="$2"; shift ;;
+    *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+FAILURES=0
+
+run_stage() {
+  local name="$1"; shift
+  echo "==> [$name] $*"
+  if "$@"; then
+    echo "==> [$name] OK"
+  else
+    echo "==> [$name] FAILED" >&2
+    FAILURES=$((FAILURES + 1))
+    return 1
+  fi
+}
+
+build_lint_binary() {
+  local dir="$REPO_ROOT/build-check-lint"
+  cmake -B "$dir" -S "$REPO_ROOT" \
+        -DTAMP_BUILD_TESTS=OFF -DTAMP_BUILD_BENCHMARKS=OFF \
+        -DTAMP_BUILD_EXAMPLES=OFF >/dev/null \
+    && cmake --build "$dir" --target tamp_lint -j "$JOBS" >/dev/null \
+    && LINT_BINARY="$dir/tools/tamp_lint"
+}
+
+lint_stage() {
+  if [ -z "$LINT_BINARY" ]; then
+    run_stage "lint-build" build_lint_binary || return 1
+  fi
+  run_stage "lint" "$LINT_BINARY" "$REPO_ROOT" || return 1
+  run_stage "lint-self-test" "$LINT_BINARY" --expect-violations \
+            "$REPO_ROOT" tools/lint/testdata || return 1
+}
+
+full_build_stage() {
+  local name="$1" dir="$2"; shift 2
+  run_stage "$name-configure" cmake -B "$dir" -S "$REPO_ROOT" \
+            -DTAMP_WERROR=ON "$@" || return 1
+  run_stage "$name-build" cmake --build "$dir" -j "$JOBS" || return 1
+  run_stage "$name-ctest" ctest --test-dir "$dir" --output-on-failure \
+            -j "$JOBS" || return 1
+}
+
+clang_tidy_stage() {
+  command -v clang-tidy >/dev/null 2>&1 || {
+    echo "==> [clang-tidy] not installed, skipping (advisory)"; return 0;
+  }
+  local dir="$REPO_ROOT/build-check-release"
+  local files
+  files=$(find "$REPO_ROOT/src" -name '*.cc' | sort)
+  echo "==> [clang-tidy] running over src/"
+  # shellcheck disable=SC2086
+  if clang-tidy -p "$dir" $files --quiet; then
+    echo "==> [clang-tidy] OK"
+  else
+    echo "==> [clang-tidy] findings reported" >&2
+    if [ "${TAMP_TIDY_WERROR:-0}" = "1" ]; then
+      FAILURES=$((FAILURES + 1))
+    fi
+  fi
+}
+
+if [ "$LINT_ONLY" = "1" ]; then
+  lint_stage
+else
+  full_build_stage "release" "$REPO_ROOT/build-check-release" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  clang_tidy_stage
+  full_build_stage "asan-ubsan" "$REPO_ROOT/build-check-asan" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTAMP_SANITIZE=address,undefined
+  lint_stage
+fi
+
+if [ "$FAILURES" -gt 0 ]; then
+  echo "check.sh: $FAILURES stage(s) failed" >&2
+  exit 1
+fi
+echo "check.sh: all stages passed"

@@ -1,0 +1,263 @@
+// Dependency-free repo lint gate. Enforces TAMP source conventions:
+//
+//   1. Every header (.h) starts with #pragma once.
+//   2. No using-directives ("using namespace") in headers.
+//   3. No raw ==/!= against floating-point literals (use a tolerance).
+//   4. No rand()/srand()/unseeded std RNG outside src/common/rng.
+//
+// Usage:
+//   tamp_lint <repo_root> [subdir...]         lint subdirs (default: src
+//                                             tests tools bench examples)
+//   tamp_lint --expect-violations <root> ...  invert exit code (self-test)
+//
+// Exit code 0 when clean, 1 when violations were found (inverted under
+// --expect-violations), 2 on usage/IO errors.
+//
+// The rules are lexical by design: no compiler, no AST, no third-party
+// dependencies, so the gate runs anywhere the toolchain runs. Lines can be
+// exempted with a trailing "lint:allow" comment when an exact float compare
+// or similar is deliberate.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Violation {
+  std::string file;
+  std::size_t line;
+  std::string rule;
+  std::string detail;
+};
+
+// Rule needles are assembled at runtime so the lint binary's own source does
+// not trip the rules it enforces.
+const std::string kUsingNamespace = std::string("using ") + "namespace";
+const std::string kPragmaOnce = std::string("#pragma") + " once";
+const std::string kAllowMarker = std::string("lint:") + "allow";
+
+/// Strips // and /* */ comments and the contents of string/char literals,
+/// preserving line structure so reported line numbers stay correct.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = (i + 1 < text.size()) ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back(c);
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(c);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out.push_back(c);
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out.push_back(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          state = State::kCode;  // unterminated; recover per line
+          out.push_back(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          state = State::kCode;
+          out.push_back(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool IsHeader(const fs::path& p) { return p.extension() == ".h"; }
+
+bool IsSource(const fs::path& p) {
+  const auto ext = p.extension();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+// Float literal: 1.0, .5, 2., 1e-3, 1.5e+2f — with optional f/F/l/L suffix.
+const char* kFloatLit =
+    R"((?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)(?:[eE][-+]?\d+)?[fFlL]?)";
+
+const std::regex& FloatEqRegex() {
+  // ==/!= with a float literal on either side. Negative lookbehind is not
+  // available in std::regex, so <=/>= are excluded by requiring the char
+  // before == to not be <, >, !, or = when the literal is on the right.
+  static const std::regex re(
+      std::string(R"((?:^|[^<>!=])(==|!=)\s*[-+]?)") + kFloatLit +
+      std::string(R"(|)") + kFloatLit + std::string(R"(\s*(==|!=)[^=])"));
+  return re;
+}
+
+const std::regex& RawRandRegex() {
+  // rand( / srand( / random_shuffle as standalone tokens, plus the
+  // implementation-defined default_random_engine.
+  static const std::regex re(
+      R"((^|[^\w:])(s?rand\s*\(|random_shuffle|default_random_engine))");
+  return re;
+}
+
+bool LineAllowed(const std::string& raw_line) {
+  return raw_line.find(kAllowMarker) != std::string::npos;
+}
+
+void LintFile(const fs::path& path, const std::string& rel,
+              std::vector<Violation>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out->push_back({rel, 0, "io", "could not read file"});
+    return;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+  const std::string code = StripCommentsAndStrings(text);
+  const std::vector<std::string> raw_lines = SplitLines(text);
+  const std::vector<std::string> code_lines = SplitLines(code);
+
+  const bool header = IsHeader(path);
+  // Exemption: the RNG wrapper module is the one place allowed to touch raw
+  // generators; its job is to seed them.
+  const bool rng_module = rel.find("src/common/rng") != std::string::npos;
+
+  if (header && code.find(kPragmaOnce) == std::string::npos) {
+    out->push_back({rel, 1, "pragma-once",
+                    std::string("header missing '") + kPragmaOnce + "'"});
+  }
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    const std::string& raw =
+        (i < raw_lines.size()) ? raw_lines[i] : code_lines[i];
+    if (LineAllowed(raw)) continue;
+
+    if (header && line.find(kUsingNamespace) != std::string::npos) {
+      out->push_back({rel, i + 1, "using-namespace-in-header",
+                      "using-directive in a header leaks into every "
+                      "includer; use explicit qualification"});
+    }
+    if (std::regex_search(line, FloatEqRegex())) {
+      out->push_back({rel, i + 1, "float-equality",
+                      "raw ==/!= against a floating-point literal; compare "
+                      "with a tolerance or mark the line lint" +
+                          std::string(":allow")});
+    }
+    if (!rng_module && std::regex_search(line, RawRandRegex())) {
+      out->push_back({rel, i + 1, "raw-rng",
+                      "raw/unseeded RNG outside src/common/rng; use "
+                      "tamp::common::Rng for reproducibility"});
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool expect_violations = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--expect-violations") {
+      expect_violations = true;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: tamp_lint [--expect-violations] <root> [subdir...]\n");
+    return 2;
+  }
+
+  const fs::path root = args[0];
+  std::vector<std::string> subdirs(args.begin() + 1, args.end());
+  if (subdirs.empty()) {
+    subdirs = {"src", "tests", "tools", "bench", "examples"};
+  }
+
+  std::vector<Violation> violations;
+  std::size_t files_scanned = 0;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !IsSource(entry.path())) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      // The lint self-test corpus is deliberately full of violations.
+      if (!expect_violations &&
+          rel.find("tools/lint/testdata") != std::string::npos) {
+        continue;
+      }
+      ++files_scanned;
+      LintFile(entry.path(), rel, &violations);
+    }
+  }
+
+  for (const Violation& v : violations) {
+    std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
+                 v.rule.c_str(), v.detail.c_str());
+  }
+  std::fprintf(stderr, "tamp_lint: scanned %zu files, %zu violation(s)\n",
+               files_scanned, violations.size());
+
+  if (files_scanned == 0) {
+    std::fprintf(stderr, "tamp_lint: no files scanned (bad root?)\n");
+    return 2;
+  }
+  const bool failed = !violations.empty();
+  if (expect_violations) return failed ? 0 : 1;
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,21 @@
+// Seeded-violation corpus for the lint self-test. Every rule the lint gate
+// enforces is deliberately violated below; the self-test asserts the gate
+// still catches them. This directory is skipped by normal lint runs.
+
+// violation: header does not contain a pragma-once line.
+
+#include <cstdlib>
+
+using namespace std;  // violation: using-directive in a header.
+
+namespace tamp_testdata {
+
+inline bool ExactCompare(double x) {
+  return x == 0.0;  // violation: raw float equality.
+}
+
+inline int UnseededDraw() {
+  return rand();  // violation: raw RNG outside src/common/rng.
+}
+
+}  // namespace tamp_testdata
