@@ -1,13 +1,47 @@
 #include "bench_common.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
+#include "common/parallel.h"
+#include "common/stopwatch.h"
 #include "common/table_printer.h"
 #include "data/tasks.h"
 
 namespace tamp::bench {
 namespace {
+
+JsonReport* g_active_report = nullptr;
+
+/// JSON string escaping for the restricted key space we emit (metric names
+/// built from algorithm/method labels and numbers).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+void WriteJsonSection(std::ofstream& os, const char* name,
+                      const std::map<std::string, double>& values,
+                      bool trailing_comma) {
+  os << "  \"" << name << "\": {";
+  bool first = true;
+  for (const auto& [key, value] : values) {
+    if (!first) os << ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << "\n    \"" << JsonEscape(key) << "\": " << buf;
+  }
+  if (!values.empty()) os << "\n  ";
+  os << "}" << (trailing_comma ? "," : "") << "\n";
+}
 
 /// Assignment methods in presentation order, with the loss variant used
 /// to train the models each consumes (per Section IV-A: KM/PPI use the
@@ -43,7 +77,65 @@ std::string FactorTicks(const std::vector<meta::Factor>& factors) {
   return out;
 }
 
+/// Compact factor-subset slug for metric keys: {Sim_d, Sim_l} -> "dl".
+std::string FactorSlug(const std::vector<meta::Factor>& factors) {
+  std::string slug;
+  auto has = [&](meta::Factor f) {
+    for (meta::Factor g : factors) {
+      if (g == f) return true;
+    }
+    return false;
+  };
+  if (has(meta::Factor::kDistribution)) slug += 'd';
+  if (has(meta::Factor::kSpatial)) slug += 's';
+  if (has(meta::Factor::kLearningPath)) slug += 'l';
+  return slug.empty() ? "none" : slug;
+}
+
+void RecordPredRow(const std::string& prefix, const PredRow& row) {
+  JsonReport* report = JsonReport::active();
+  if (report == nullptr) return;
+  report->AddMetric(prefix + ".rmse_km", row.rmse);
+  report->AddMetric(prefix + ".mae_km", row.mae);
+  report->AddMetric(prefix + ".mr", row.mr);
+  report->AddMetric(prefix + ".tt_s", row.tt);
+}
+
 }  // namespace
+
+JsonReport::JsonReport(std::string target) : target_(std::move(target)) {
+  g_active_report = this;
+}
+
+JsonReport::~JsonReport() {
+  if (g_active_report == this) g_active_report = nullptr;
+  const char* dir = std::getenv("TAMP_BENCH_JSON_DIR");
+  std::string path = (dir != nullptr && *dir != '\0')
+                         ? std::string(dir) + "/BENCH_" + target_ + ".json"
+                         : "BENCH_" + target_ + ".json";
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "bench: could not write " << path << "\n";
+    return;
+  }
+  os << "{\n";
+  os << "  \"target\": \"" << JsonEscape(target_) << "\",\n";
+  os << "  \"threads\": " << ParallelThreadCount() << ",\n";
+  WriteJsonSection(os, "stages", stages_, /*trailing_comma=*/true);
+  WriteJsonSection(os, "metrics", metrics_, /*trailing_comma=*/false);
+  os << "}\n";
+  std::cout << "\nJSON: " << path << "\n";
+}
+
+void JsonReport::AddMetric(const std::string& key, double value) {
+  metrics_[key] = value;
+}
+
+void JsonReport::AddStage(const std::string& stage, double seconds) {
+  stages_[stage] = seconds;
+}
+
+JsonReport* JsonReport::active() { return g_active_report; }
 
 data::WorkloadConfig BaseWorkloadConfig(data::WorkloadKind kind,
                                         const BenchScale& scale) {
@@ -117,6 +209,8 @@ PredRow RunPredictionExperiment(const data::WorkloadConfig& workload_config,
 void RunClusterAblation(data::WorkloadKind kind, const std::string& title) {
   BenchScale scale;
   data::WorkloadConfig workload = BaseWorkloadConfig(kind, scale);
+  Stopwatch total_watch;
+  double tt_sum = 0.0;
 
   const std::vector<std::vector<meta::Factor>> factor_subsets = {
       {meta::Factor::kDistribution},
@@ -138,10 +232,18 @@ void RunClusterAblation(data::WorkloadKind kind, const std::string& title) {
       table.AddRow({use_game ? "GTMC" : "k-means", FactorTicks(factors),
                     Fmt(row.rmse, 4), Fmt(row.mae, 4), Fmt(row.mr, 4),
                     Fmt(row.tt, 1)});
+      RecordPredRow(std::string(use_game ? "GTMC" : "k-means") + "." +
+                        FactorSlug(factors),
+                    row);
+      tt_sum += row.tt;
       std::cout << "." << std::flush;
     }
   }
   std::cout << "\n";
+  if (JsonReport* report = JsonReport::active()) {
+    report->AddStage("meta_train_tt_s", tt_sum);
+    report->AddStage("total_s", total_watch.ElapsedSeconds());
+  }
   table.Print(std::cout);
   std::cout << "\nCSV:\n";
   table.PrintCsv(std::cout);
@@ -149,6 +251,8 @@ void RunClusterAblation(data::WorkloadKind kind, const std::string& title) {
 
 void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title) {
   BenchScale scale;
+  Stopwatch total_watch;
+  double tt_sum = 0.0;
 
   struct Setting {
     int seq_in;
@@ -183,10 +287,19 @@ void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title) {
                     Fmt(static_cast<int64_t>(setting.seq_out)), name,
                     Fmt(row.rmse, 4), Fmt(row.mae, 4), Fmt(row.mr, 4),
                     Fmt(row.tt, 1)});
+      RecordPredRow(std::string(name) + ".in" +
+                        Fmt(static_cast<int64_t>(setting.seq_in)) + ".out" +
+                        Fmt(static_cast<int64_t>(setting.seq_out)),
+                    row);
+      tt_sum += row.tt;
       std::cout << "." << std::flush;
     }
   }
   std::cout << "\n";
+  if (JsonReport* report = JsonReport::active()) {
+    report->AddStage("meta_train_tt_s", tt_sum);
+    report->AddStage("total_s", total_watch.ElapsedSeconds());
+  }
   table.Print(std::cout);
   std::cout << "\nCSV:\n";
   table.PrintCsv(std::cout);
@@ -198,6 +311,7 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
   BenchScale scale;
   data::WorkloadConfig workload_config = BaseWorkloadConfig(kind, scale);
   data::Workload workload = data::GenerateWorkload(workload_config);
+  Stopwatch total_watch;
 
   // Train once per loss variant; the sweep only perturbs the online stage.
   core::PipelineConfig base = BasePipelineConfig(scale);
@@ -216,6 +330,10 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
   std::cout << " done (MR "
             << Fmt(mse_offline.eval.aggregate.matching_rate, 3) << ", "
             << Fmt(mse_offline.models.train_seconds, 1) << "s)\n";
+  if (JsonReport* report = JsonReport::active()) {
+    report->AddStage("train_ta_s", ta_offline.models.train_seconds);
+    report->AddStage("train_mse_s", mse_offline.models.train_seconds);
+  }
 
   TablePrinter completion({"method"}), rejection({"method"}),
       cost({"method"}), runtime({"method"});
@@ -272,6 +390,13 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
       rej_row.push_back(Fmt(metrics.RejectionRatio(), 3));
       cost_row.push_back(Fmt(metrics.AvgCostKm(), 3));
       time_row.push_back(Fmt(metrics.assign_seconds, 3));
+      if (JsonReport* report = JsonReport::active()) {
+        std::string prefix = std::string(spec.name) + ".v" + Fmt(v, 1);
+        report->AddMetric(prefix + ".completion", metrics.CompletionRatio());
+        report->AddMetric(prefix + ".rejection", metrics.RejectionRatio());
+        report->AddMetric(prefix + ".cost_km", metrics.AvgCostKm());
+        report->AddMetric(prefix + ".assign_s", metrics.assign_seconds);
+      }
       std::cout << "." << std::flush;
     }
     completion.AddRow(std::move(comp_row));
@@ -291,6 +416,9 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
   print_panel("rejection ratio", rejection);
   print_panel("worker cost (km)", cost);
   print_panel("assignment running time (s)", runtime);
+  if (JsonReport* report = JsonReport::active()) {
+    report->AddStage("total_s", total_watch.ElapsedSeconds());
+  }
 }
 
 }  // namespace tamp::bench

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <string>
 #include <vector>
 
@@ -8,6 +9,37 @@
 #include "meta/trainer.h"
 
 namespace tamp::bench {
+
+/// Machine-readable bench output. A bench main opens one JsonReport for
+/// its target; the Run* harness functions below record every table cell
+/// (metric name -> value) and per-stage wall-clock into it, and the
+/// destructor writes `BENCH_<target>.json` (into TAMP_BENCH_JSON_DIR, or
+/// the working directory) next to the human-readable table/CSV on stdout.
+/// The file also records the thread count the run used, so perf
+/// trajectories (tools/bench_compare) compare like with like.
+class JsonReport {
+ public:
+  explicit JsonReport(std::string target);
+  ~JsonReport();  // Writes the JSON file; never throws (best effort).
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  /// Records one table cell, e.g. ("GTMC.dsl.rmse_km", 2.0107).
+  void AddMetric(const std::string& key, double value);
+
+  /// Records one stage wall-clock in seconds, e.g. ("total_s", 51.6).
+  void AddStage(const std::string& stage, double seconds);
+
+  /// The report opened by the currently running bench target, or nullptr
+  /// (harness functions are no-op recorders without an open report).
+  static JsonReport* active();
+
+ private:
+  std::string target_;
+  std::map<std::string, double> metrics_;  // Ordered: deterministic output.
+  std::map<std::string, double> stages_;
+};
 
 /// Scaled-down experiment sizes (the paper's testbed trains for thousands
 /// of seconds on a GPU; this harness runs the full sweep on one CPU core).

@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("fig10_tasks_gowalla");
   tamp::bench::RunAssignmentSweep(
       tamp::data::WorkloadKind::kGowallaFoursquare,
       tamp::bench::SweepVar::kNumTasks,

@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("fig7_tasks_porto");
   tamp::bench::RunAssignmentSweep(
       tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kNumTasks,
       {300.0, 500.0, 700.0, 900.0, 1100.0},

@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("fig8_validtime_porto");
   tamp::bench::RunAssignmentSweep(
       tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kValidTime,
       {1.0, 2.0, 3.0, 4.0, 5.0},

@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("fig9_detour_gowalla");
   tamp::bench::RunAssignmentSweep(
       tamp::data::WorkloadKind::kGowallaFoursquare,
       tamp::bench::SweepVar::kDetour, {2.0, 4.0, 6.0, 8.0, 10.0},

@@ -5,6 +5,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("table4_cluster_ablation");
   tamp::bench::RunClusterAblation(
       tamp::data::WorkloadKind::kPortoDidi,
       "Table IV: clustering algorithm & factor ablation (Porto-like)");

@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("table5_seqlen_porto");
   tamp::bench::RunSeqLenSweep(
       tamp::data::WorkloadKind::kPortoDidi,
       "Table V: effect of seq_in / seq_out (Porto-like)");

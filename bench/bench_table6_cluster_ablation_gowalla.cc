@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("table6_cluster_ablation_gowalla");
   tamp::bench::RunClusterAblation(
       tamp::data::WorkloadKind::kGowallaFoursquare,
       "Table VI: clustering algorithm & factor ablation (Gowalla-like)");

@@ -3,6 +3,7 @@
 #include "bench_common.h"
 
 int main() {
+  tamp::bench::JsonReport report("table7_seqlen_gowalla");
   tamp::bench::RunSeqLenSweep(
       tamp::data::WorkloadKind::kGowallaFoursquare,
       "Table VII: effect of seq_in / seq_out (Gowalla-like)");

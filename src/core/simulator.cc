@@ -6,6 +6,7 @@
 #include "assign/bounds.h"
 #include "assign/km_assigner.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/rollout.h"
 #include "geo/trajectory.h"
@@ -105,14 +106,21 @@ SimMetrics BatchSimulator::Run(
     }
     if (available.empty()) continue;
 
-    // Build the batch views.
+    // Build the batch views. The per-worker autoregressive forecast
+    // (RolloutPredict) dominates this block and touches only the worker's
+    // own record and output slots, so the batch fans out over the pool;
+    // slot-indexed writes keep the batch order (and thus the assignment
+    // input) identical to the serial loop.
     std::vector<assign::SpatialTask> batch_tasks(pool.begin(), pool.end());
-    std::vector<assign::CandidateWorker> batch_workers;
-    std::vector<geo::Trajectory> real_futures;
+    std::vector<assign::CandidateWorker> batch_workers(available.size());
+    std::vector<geo::Trajectory> real_futures(available.size());
     double horizon_min =
         config_.prediction_horizon_steps * config_.sample_period_min;
-    for (int w : available) {
-      const size_t wi = static_cast<size_t>(w);
+    const bool predicts = method == AssignMethod::kKm ||
+                          method == AssignMethod::kPpi ||
+                          method == AssignMethod::kGgpso;
+    ParallelFor(available.size(), [&](size_t a) {
+      const size_t wi = static_cast<size_t>(available[a]);
       const data::WorkerRecord& record = workers[wi];
       assign::CandidateWorker cw;
       cw.id = record.id;
@@ -120,8 +128,7 @@ SimMetrics BatchSimulator::Run(
       cw.detour_budget_km = record.detour_budget_km;
       cw.speed_kmpm = record.speed_kmpm;
       cw.matching_rate = predictors[wi].matching_rate;
-      if (method == AssignMethod::kKm || method == AssignMethod::kPpi ||
-          method == AssignMethod::kGgpso) {
+      if (predicts) {
         TAMP_CHECK(predictors[wi].params != nullptr);
         // Recent observed positions (platform-visible location reports).
         std::vector<geo::Point> recent;
@@ -133,10 +140,10 @@ SimMetrics BatchSimulator::Run(
             model_, *predictors[wi].params, recent, workload_.grid,
             config_.prediction_horizon_steps, now, config_.sample_period_min);
       }
-      batch_workers.push_back(std::move(cw));
+      batch_workers[a] = std::move(cw);
       // The oracle's and the acceptance test's view of reality.
-      real_futures.push_back(record.test.Slice(now, now + horizon_min));
-    }
+      real_futures[a] = record.test.Slice(now, now + horizon_min);
+    });
 
     // Run the assignment algorithm (timed: this is the reported runtime).
     Stopwatch watch;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/parallel.h"
 #include "nn/optimizer.h"
 
 namespace tamp::meta {
@@ -16,24 +17,49 @@ std::vector<double> SampleWeights(const MetaTrainConfig& config,
   return weights;
 }
 
+std::vector<std::vector<double>> BatchSampleWeights(
+    const MetaTrainConfig& config, const std::vector<TrainingSample>& samples) {
+  std::vector<std::vector<double>> weights;
+  if (!config.weight_fn) return weights;  // Empty: uniform for every sample.
+  weights.reserve(samples.size());
+  for (const TrainingSample& sample : samples) {
+    weights.push_back(SampleWeights(config, sample));
+  }
+  return weights;
+}
+
+double BatchLossAndGradient(const nn::EncoderDecoder& model,
+                            const std::vector<double>& params,
+                            const std::vector<TrainingSample>& samples,
+                            const std::vector<std::vector<double>>& weights,
+                            std::vector<double>& grad) {
+  TAMP_CHECK(!samples.empty());
+  TAMP_CHECK(grad.size() == params.size());
+  TAMP_CHECK(weights.empty() || weights.size() == samples.size());
+  static const std::vector<double> kUniform;
+  std::vector<double> sample_grad(params.size(), 0.0);
+  double loss_sum = 0.0;
+  double inv = 1.0 / static_cast<double>(samples.size());
+  for (size_t s = 0; s < samples.size(); ++s) {
+    const TrainingSample& sample = samples[s];
+    std::fill(sample_grad.begin(), sample_grad.end(), 0.0);
+    loss_sum += model.LossAndGradient(params, sample.input, sample.target,
+                                      weights.empty() ? kUniform : weights[s],
+                                      sample_grad);
+    for (size_t i = 0; i < grad.size(); ++i) grad[i] += sample_grad[i] * inv;
+  }
+  // Plain division (not * inv) keeps the loss bit-identical to the
+  // pre-optimization code path.
+  return loss_sum / static_cast<double>(samples.size());
+}
+
 double BatchLossAndGradient(const nn::EncoderDecoder& model,
                             const std::vector<double>& params,
                             const std::vector<TrainingSample>& samples,
                             const MetaTrainConfig& config,
                             std::vector<double>& grad) {
-  TAMP_CHECK(!samples.empty());
-  TAMP_CHECK(grad.size() == params.size());
-  std::vector<double> sample_grad(params.size(), 0.0);
-  double loss_sum = 0.0;
-  for (const TrainingSample& sample : samples) {
-    std::fill(sample_grad.begin(), sample_grad.end(), 0.0);
-    loss_sum += model.LossAndGradient(params, sample.input, sample.target,
-                                      SampleWeights(config, sample),
-                                      sample_grad);
-    double inv = 1.0 / static_cast<double>(samples.size());
-    for (size_t i = 0; i < grad.size(); ++i) grad[i] += sample_grad[i] * inv;
-  }
-  return loss_sum / static_cast<double>(samples.size());
+  return BatchLossAndGradient(model, params, samples,
+                              BatchSampleWeights(config, samples), grad);
 }
 
 std::vector<double> AdaptKSteps(const nn::EncoderDecoder& model,
@@ -43,10 +69,14 @@ std::vector<double> AdaptKSteps(const nn::EncoderDecoder& model,
                                 const MetaTrainConfig& config) {
   std::vector<double> adapted = theta;
   if (samples.empty()) return adapted;
+  // f_w only depends on the sample targets: evaluate it once per sample
+  // here instead of once per sample per step inside the loop.
+  std::vector<std::vector<double>> weights =
+      BatchSampleWeights(config, samples);
   std::vector<double> grad(theta.size());
   for (int s = 0; s < steps; ++s) {
     std::fill(grad.begin(), grad.end(), 0.0);
-    BatchLossAndGradient(model, adapted, samples, config, grad);
+    BatchLossAndGradient(model, adapted, samples, weights, grad);
     nn::ClipGradientNorm(grad, config.grad_clip);
     for (size_t i = 0; i < adapted.size(); ++i) adapted[i] -= beta * grad[i];
   }
@@ -63,42 +93,67 @@ MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
 
   MetaTrainResult result;
   result.meta_gradient.assign(theta.size(), 0.0);
-  std::vector<double> query_grad(theta.size());
+
+  // One sampled pick's adapt + query-loss result. Computed independently
+  // per pick (Alg. 3 lines 4-8 touch only theta, the task's own data, and
+  // pick-local buffers), so the batch fans out over the thread pool.
+  struct PickResult {
+    double query_loss = 0.0;
+    bool contributing = false;
+    std::vector<double> contribution;  // This pick's meta-gradient term.
+  };
 
   for (int iter = 0; iter < config.iterations; ++iter) {
-    // Alg. 3 line 2: sample a batch of m member tasks.
+    // Alg. 3 line 2: sample a batch of m member tasks. The shared rng is
+    // consumed only here, on the calling thread, before the fan-out; the
+    // per-pick work below is RNG-free, so no sub-Rng derivation is needed
+    // and 1-thread and N-thread runs are bit-identical.
     int m = std::min<int>(config.batch_size, static_cast<int>(members.size()));
     std::vector<size_t> batch = rng.SampleWithoutReplacement(
         members.size(), static_cast<size_t>(m));
 
+    std::vector<PickResult> picks = ParallelMap<PickResult>(
+        batch.size(), [&](size_t b) {
+          PickResult out;
+          const LearningTask& task =
+              tasks[static_cast<size_t>(members[batch[b]])];
+          if (task.support.empty() || task.query.empty()) return out;
+          // Alg. 3 lines 4-7: adapt k steps on the support set.
+          std::vector<double> adapted =
+              AdaptKSteps(model, theta, task.support, config.adapt_steps,
+                          config.beta, config);
+          // Alg. 3 line 8: query loss at the adapted parameters.
+          std::vector<double> query_grad(theta.size(), 0.0);
+          out.query_loss = BatchLossAndGradient(model, adapted, task.query,
+                                                config, query_grad);
+          if (config.update_rule == MetaUpdateRule::kFomaml) {
+            // First-order MAML: the query gradient at theta_i is this
+            // task's contribution to the meta-gradient.
+            out.contribution = std::move(query_grad);
+          } else {
+            // Reptile: move toward the adapted parameters; expressed as a
+            // gradient so the same meta step applies.
+            double inv_beta = 1.0 / config.beta;
+            out.contribution.resize(theta.size());
+            for (size_t i = 0; i < theta.size(); ++i) {
+              out.contribution[i] = (theta[i] - adapted[i]) * inv_beta;
+            }
+          }
+          out.contributing = true;
+          return out;
+        });
+
+    // Ordered reduction: accumulate in pick order, exactly as the serial
+    // loop did, so the meta step is bit-identical at any thread count.
     std::fill(result.meta_gradient.begin(), result.meta_gradient.end(), 0.0);
     double loss_sum = 0.0;
     int contributing = 0;
-    for (size_t pick : batch) {
-      const LearningTask& task = tasks[static_cast<size_t>(members[pick])];
-      if (task.support.empty() || task.query.empty()) continue;
-      // Alg. 3 lines 4-7: adapt k steps on the support set.
-      std::vector<double> adapted =
-          AdaptKSteps(model, theta, task.support, config.adapt_steps,
-                      config.beta, config);
-      // Alg. 3 line 8: query loss at the adapted parameters.
-      std::fill(query_grad.begin(), query_grad.end(), 0.0);
-      loss_sum += BatchLossAndGradient(model, adapted, task.query, config,
-                                       query_grad);
-      if (config.update_rule == MetaUpdateRule::kFomaml) {
-        // First-order MAML: the query gradient at theta_i is this task's
-        // contribution to the meta-gradient.
-        for (size_t i = 0; i < theta.size(); ++i) {
-          result.meta_gradient[i] += query_grad[i];
-        }
-      } else {
-        // Reptile: move toward the adapted parameters; expressed as a
-        // gradient so the same meta step applies.
-        double inv_beta = 1.0 / config.beta;
-        for (size_t i = 0; i < theta.size(); ++i) {
-          result.meta_gradient[i] += (theta[i] - adapted[i]) * inv_beta;
-        }
+    for (const PickResult& pick : picks) {
+      if (!pick.contributing) continue;
+      for (size_t i = 0; i < theta.size(); ++i) {
+        result.meta_gradient[i] += pick.contribution[i];
       }
+      loss_sum += pick.query_loss;
       ++contributing;
     }
     if (contributing == 0) continue;
@@ -120,12 +175,15 @@ double FineTune(const nn::EncoderDecoder& model, const LearningTask& task,
   std::vector<TrainingSample> samples = task.support;
   samples.insert(samples.end(), task.query.begin(), task.query.end());
   if (samples.empty() || steps <= 0) return 0.0;
+  // As in AdaptKSteps: sample weights are step-invariant, compute once.
+  std::vector<std::vector<double>> weights =
+      BatchSampleWeights(config, samples);
   nn::Adam optimizer(theta.size(), learning_rate);
   std::vector<double> grad(theta.size());
   double loss = 0.0;
   for (int s = 0; s < steps; ++s) {
     std::fill(grad.begin(), grad.end(), 0.0);
-    loss = BatchLossAndGradient(model, theta, samples, config, grad);
+    loss = BatchLossAndGradient(model, theta, samples, weights, grad);
     nn::ClipGradientNorm(grad, config.grad_clip);
     optimizer.Step(theta, grad);
   }

@@ -52,6 +52,13 @@ struct MetaTrainResult {
 std::vector<double> SampleWeights(const MetaTrainConfig& config,
                                   const TrainingSample& sample);
 
+/// SampleWeights for every sample of a batch, evaluated once. Returns an
+/// empty outer vector when no weight function is configured (uniform).
+/// Weights only depend on the sample targets, so multi-step loops (inner
+/// adaptation, fine-tuning) compute them once instead of per step.
+std::vector<std::vector<double>> BatchSampleWeights(
+    const MetaTrainConfig& config, const std::vector<TrainingSample>& samples);
+
 /// Average training loss and (accumulated) gradient of `params` over a set
 /// of samples. Returns the mean loss; the mean gradient is *added* into
 /// `grad` (which must be zeroed by the caller if desired).
@@ -59,6 +66,14 @@ double BatchLossAndGradient(const nn::EncoderDecoder& model,
                             const std::vector<double>& params,
                             const std::vector<TrainingSample>& samples,
                             const MetaTrainConfig& config,
+                            std::vector<double>& grad);
+
+/// Same, with the per-sample weights precomputed via BatchSampleWeights
+/// (the hot path for multi-step loops).
+double BatchLossAndGradient(const nn::EncoderDecoder& model,
+                            const std::vector<double>& params,
+                            const std::vector<TrainingSample>& samples,
+                            const std::vector<std::vector<double>>& weights,
                             std::vector<double>& grad);
 
 /// Adapts `theta` for `steps` SGD steps of rate `beta` on the samples,

@@ -5,6 +5,7 @@
 
 #include "cluster/kmeans.h"
 #include "common/check.h"
+#include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "meta/taml.h"
 #include "similarity/learning_path.h"
@@ -24,14 +25,14 @@ std::vector<similarity::GradientPath> MobilityTrainer::ComputePaths(
   similarity::RandomProjector projector(
       model_.param_count(), static_cast<size_t>(config_.projection_dim),
       config_.seed ^ 0x5A5A5A5AULL);
-  std::vector<similarity::GradientPath> paths;
-  paths.reserve(tasks.size());
-  for (const LearningTask& task : tasks) {
-    paths.push_back(ComputeGradientPath(model_, task, probe,
-                                        config_.path_steps,
-                                        config_.meta.beta, projector));
-  }
-  return paths;
+  // Each task's probe path only reads the shared probe/projector, so the
+  // per-task loop fans out; results land at their task index.
+  return ParallelMap<similarity::GradientPath>(
+      tasks.size(), [&](size_t t) {
+        return ComputeGradientPath(model_, tasks[t], probe,
+                                   config_.path_steps, config_.meta.beta,
+                                   projector);
+      });
 }
 
 similarity::PairwiseSimilarity MobilityTrainer::BuildFactor(
@@ -173,16 +174,18 @@ TrainedModels MobilityTrainer::Train(const std::vector<LearningTask>& tasks,
   out.avg_query_loss = taml.avg_loss;
   out.num_leaves = cluster::CountLeaves(*out.tree);
 
-  // Stage 3: per-worker fine-tuning from the covering leaf's theta.
+  // Stage 3: per-worker fine-tuning from the covering leaf's theta. The
+  // tree is read-only here and each worker owns its params slot, so the
+  // loop fans out per worker.
   out.worker_params.resize(tasks.size());
-  for (size_t i = 0; i < tasks.size(); ++i) {
+  ParallelFor(tasks.size(), [&](size_t i) {
     const cluster::TaskTreeNode* leaf =
         FindLeafForTask(*out.tree, static_cast<int>(i));
     TAMP_CHECK(leaf != nullptr);
     out.worker_params[i] = leaf->theta;
     FineTune(model_, tasks[i], out.worker_params[i], config_.fine_tune_steps,
              config_.fine_tune_lr, config_.meta);
-  }
+  });
 
   out.train_seconds = watch.ElapsedSeconds();
   return out;
@@ -195,10 +198,16 @@ EvalResult MobilityTrainer::Evaluate(const TrainedModels& models,
   TAMP_CHECK(models.worker_params.size() == tasks.size());
   EvalResult result;
   result.per_worker.resize(tasks.size());
-  double se_sum = 0.0, ae_sum = 0.0;
-  int matched_total = 0, points_total = 0;
 
-  for (size_t w = 0; w < tasks.size(); ++w) {
+  // Per-worker matching-rate / error estimation is independent across
+  // workers: fan out, keeping per-worker partial sums, then aggregate them
+  // serially in worker order (bit-identical to the serial loop).
+  struct WorkerSums {
+    double se = 0.0, ae = 0.0;
+    int matched = 0, points = 0;
+  };
+  std::vector<WorkerSums> sums(tasks.size());
+  ParallelFor(tasks.size(), [&](size_t w) {
     double worker_se = 0.0, worker_ae = 0.0;
     int worker_matched = 0, worker_points = 0;
     for (const TrainingSample& sample : tasks[w].eval) {
@@ -223,10 +232,16 @@ EvalResult MobilityTrainer::Evaluate(const TrainedModels& models,
       pm.matching_rate =
           static_cast<double>(worker_matched) / worker_points;
     }
-    se_sum += worker_se;
-    ae_sum += worker_ae;
-    matched_total += worker_matched;
-    points_total += worker_points;
+    sums[w] = {worker_se, worker_ae, worker_matched, worker_points};
+  });
+
+  double se_sum = 0.0, ae_sum = 0.0;
+  int matched_total = 0, points_total = 0;
+  for (const WorkerSums& s : sums) {
+    se_sum += s.se;
+    ae_sum += s.ae;
+    matched_total += s.matched;
+    points_total += s.points;
   }
 
   result.aggregate.num_points = points_total;

@@ -1,6 +1,10 @@
 #include "similarity/cluster_quality.h"
 
+#include <atomic>
+#include <utility>
+
 #include "common/check.h"
+#include "common/parallel.h"
 
 namespace tamp::similarity {
 
@@ -23,17 +27,31 @@ size_t PairwiseSimilarity::PackIndex(int i, int j) const {
 double PairwiseSimilarity::operator()(int i, int j) const {
   if (i == j) return 1.0;
   size_t idx = PackIndex(i, j);
-  if (!computed_[idx]) {
+  // Release/acquire on the per-entry flag orders the cache_ write before
+  // any reader that observes the flag set, so reads racing a *different*
+  // entry's fill (and all reads after Materialize()) are data-race-free.
+  std::atomic_ref<char> flag(computed_[idx]);
+  if (!flag.load(std::memory_order_acquire)) {
     cache_[idx] = fn_(i, j);
-    computed_[idx] = 1;
+    flag.store(1, std::memory_order_release);
   }
   return cache_[idx];
 }
 
 void PairwiseSimilarity::Materialize() const {
+  if (materialized_) return;
+  // Flatten the strict upper triangle so the fan-out is load-balanced at
+  // pair granularity (row lengths shrink linearly); each worker fills
+  // disjoint entries, which is exactly the single-writer contract.
+  std::vector<std::pair<int, int>> pairs;
+  pairs.reserve(static_cast<size_t>(n_) * static_cast<size_t>(n_) / 2);
   for (int i = 0; i < n_; ++i) {
-    for (int j = i + 1; j < n_; ++j) (*this)(i, j);
+    for (int j = i + 1; j < n_; ++j) pairs.emplace_back(i, j);
   }
+  ParallelFor(pairs.size(), [&](size_t p) {
+    (*this)(pairs[p].first, pairs[p].second);
+  });
+  materialized_ = true;
 }
 
 double ClusterQuality(const PairwiseSimilarity& sim,

@@ -8,11 +8,20 @@ namespace tamp::similarity {
 /// Pairwise similarity over a fixed set of n learning tasks, evaluated
 /// lazily and cached. The clustering game queries the same pairs many times
 /// during best-response iteration, so values are computed at most once.
+///
+/// Threading contract: Materialize() fills the whole triangle with a
+/// parallel pass (distinct pairs on distinct threads); afterwards
+/// operator() is a pure read and safe to call concurrently. Before
+/// materialization, lazy fills are single-writer only: concurrent
+/// operator() calls are safe for *distinct* pairs (per-entry release /
+/// acquire flags), but two threads must not fault in the same pair — call
+/// Materialize() up front whenever readers run in parallel.
 class PairwiseSimilarity {
  public:
   using SimilarityFn = std::function<double(int, int)>;
 
-  /// `fn(i, j)` must be symmetric and is only called for i != j.
+  /// `fn(i, j)` must be symmetric, deterministic, and thread-safe for
+  /// concurrent distinct pairs; it is only called for i != j.
   PairwiseSimilarity(int n, SimilarityFn fn);
 
   int size() const { return n_; }
@@ -20,14 +29,17 @@ class PairwiseSimilarity {
   /// Similarity of tasks i and j (cached); Sim(i, i) is defined as 1.
   double operator()(int i, int j) const;
 
-  /// Forces computation of all pairs (useful before timing-sensitive code).
+  /// Computes all pairs up front, fanning the triangle out over the thread
+  /// pool (pair order does not matter: entries are independent and exact).
+  /// Idempotent; after it returns, concurrent reads are data-race-free.
   void Materialize() const;
 
  private:
   int n_;
   SimilarityFn fn_;
   mutable std::vector<double> cache_;    // Upper-triangular, packed.
-  mutable std::vector<char> computed_;
+  mutable std::vector<char> computed_;   // Per-entry flags (atomic_ref'd).
+  mutable bool materialized_ = false;
   size_t PackIndex(int i, int j) const;
 };
 

@@ -1,0 +1,173 @@
+// Tests of the deterministic parallel runtime (src/common/parallel):
+// pool reuse across regions, exception propagation, nested-call safety,
+// and the 1-thread == serial contract.
+#include "common/parallel.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tamp {
+namespace {
+
+/// Restores the configured thread count on scope exit so tests compose.
+class ScopedThreads {
+ public:
+  explicit ScopedThreads(int threads) { SetParallelThreadCount(threads); }
+  ~ScopedThreads() { SetParallelThreadCount(0); }
+};
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ScopedThreads threads(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ParallelForTest, ZeroAndOneElementBatches) {
+  ScopedThreads threads(4);
+  ParallelFor(0, [](size_t) { FAIL() << "fn called for n = 0"; });
+  int calls = 0;
+  ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelForTest, PoolIsReusedAcrossManyRegions) {
+  ScopedThreads threads(4);
+  // Many back-to-back regions through the same lazily-started pool; a
+  // pool that leaked workers or deadlocked on reuse would hang or die.
+  for (int round = 0; round < 200; ++round) {
+    std::atomic<long> sum{0};
+    ParallelFor(64, [&](size_t i) {
+      sum.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(sum.load(), 64L * 63L / 2L);
+  }
+}
+
+TEST(ParallelForTest, ExceptionPropagatesToCaller) {
+  ScopedThreads threads(4);
+  EXPECT_THROW(
+      ParallelFor(128,
+                  [&](size_t i) {
+                    if (i == 77) throw std::runtime_error("worker failure");
+                  }),
+      std::runtime_error);
+  try {
+    ParallelFor(128, [&](size_t i) {
+      if (i == 5) throw std::runtime_error("first of many");
+    });
+    FAIL() << "expected the worker exception to be rethrown";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "first of many");
+  }
+}
+
+TEST(ParallelForTest, PoolSurvivesAnExceptionRegion) {
+  ScopedThreads threads(4);
+  EXPECT_THROW(ParallelFor(32, [](size_t) { throw std::logic_error("boom"); }),
+               std::logic_error);
+  // The pool must remain usable after a failed region.
+  std::atomic<int> count{0};
+  ParallelFor(32, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 32);
+}
+
+TEST(ParallelForTest, NestedCallsRunSeriallyInline) {
+  ScopedThreads threads(4);
+  EXPECT_FALSE(InParallelRegion());
+  std::atomic<int> inner_total{0};
+  ParallelFor(8, [&](size_t) {
+    EXPECT_TRUE(InParallelRegion());
+    // A nested region must not dispatch to the (busy) pool: it runs
+    // inline on this thread, so it cannot deadlock.
+    int local = 0;
+    ParallelFor(16, [&](size_t) {
+      EXPECT_TRUE(InParallelRegion());
+      ++local;  // Serial inline: plain int is safe.
+    });
+    EXPECT_EQ(local, 16);
+    inner_total.fetch_add(local, std::memory_order_relaxed);
+  });
+  EXPECT_FALSE(InParallelRegion());
+  EXPECT_EQ(inner_total.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, OneThreadTakesTheSerialPath) {
+  ScopedThreads threads(1);
+  // Serial contract: runs on the calling thread, in index order, with no
+  // pool involvement — observable as strictly increasing indices and no
+  // InParallelRegion flag (the pool path would set it).
+  std::vector<size_t> order;
+  ParallelFor(64, [&](size_t i) {
+    EXPECT_FALSE(InParallelRegion());
+    order.push_back(i);
+  });
+  std::vector<size_t> expected(64);
+  std::iota(expected.begin(), expected.end(), 0u);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ParallelThreadCountTest, OverrideWinsAndResetRestoresEnv) {
+  SetParallelThreadCount(3);
+  EXPECT_EQ(ParallelThreadCount(), 3);
+  SetParallelThreadCount(0);
+  EXPECT_GE(ParallelThreadCount(), 1);  // env / hardware fallback
+}
+
+TEST(ParallelThreadCountTest, ReadsTampThreadsEnv) {
+  SetParallelThreadCount(0);
+  ASSERT_EQ(setenv("TAMP_THREADS", "7", 1), 0);
+  EXPECT_EQ(ParallelThreadCount(), 7);
+  ASSERT_EQ(setenv("TAMP_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(ParallelThreadCount(), 1);  // garbage ignored, fallback
+  ASSERT_EQ(unsetenv("TAMP_THREADS"), 0);
+}
+
+TEST(ParallelMapTest, ResultsLandAtTheirIndex) {
+  ScopedThreads threads(4);
+  std::vector<int> out =
+      ParallelMap<int>(257, [](size_t i) { return static_cast<int>(i * i); });
+  ASSERT_EQ(out.size(), 257u);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(ParallelOrderedReduceTest, BitIdenticalToSerialAtAnyThreadCount) {
+  // A reduction whose value depends on accumulation order: summing
+  // magnitudes of very different scale. The ordered reduce must give the
+  // exact serial result for every thread count.
+  auto map_fn = [](size_t i) {
+    return (i % 3 == 0) ? 1e-9 * static_cast<double>(i)
+                        : 1e6 / (static_cast<double>(i) + 1.0);
+  };
+  auto reduce_fn = [](double acc, double part) { return acc + part; };
+  constexpr size_t kN = 2048;
+
+  double serial = 0.0;
+  for (size_t i = 0; i < kN; ++i) serial = reduce_fn(serial, map_fn(i));
+
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedThreads scoped(threads);
+    double parallel = ParallelOrderedReduce<double, double>(
+        kN, 0.0, map_fn, reduce_fn);
+    EXPECT_EQ(parallel, serial) << "threads = " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace tamp

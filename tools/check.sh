@@ -2,8 +2,10 @@
 # One-command pre-merge gate for the TAMP repo.
 #
 #   tools/check.sh              Release build + ctest, ASan+UBSan build +
-#                               ctest, and the repo lint gate. Exits nonzero
-#                               on the first failure.
+#                               ctest, a TSan build + ctest over the
+#                               concurrency tests at TAMP_THREADS=4, and the
+#                               repo lint gate. Exits nonzero on the first
+#                               failure.
 #   tools/check.sh --lint-only  Only the lint gate (and its self-test).
 #
 # Options:
@@ -73,6 +75,19 @@ full_build_stage() {
             -j "$JOBS" || return 1
 }
 
+tsan_stage() {
+  local dir="$REPO_ROOT/build-check-tsan"
+  run_stage "tsan-configure" cmake -B "$dir" -S "$REPO_ROOT" \
+            -DTAMP_WERROR=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+            -DTAMP_SANITIZE=thread || return 1
+  run_stage "tsan-build" cmake --build "$dir" -j "$JOBS" || return 1
+  # Force a multi-threaded pool so TSan actually observes interleavings;
+  # with the default TAMP_THREADS the single-core CI box would take the
+  # serial path and the stage would vacuously pass.
+  run_stage "tsan-ctest" env TAMP_THREADS=4 ctest --test-dir "$dir" \
+            --output-on-failure -j "$JOBS" || return 1
+}
+
 clang_tidy_stage() {
   command -v clang-tidy >/dev/null 2>&1 || {
     echo "==> [clang-tidy] not installed, skipping (advisory)"; return 0;
@@ -102,6 +117,7 @@ else
   full_build_stage "asan-ubsan" "$REPO_ROOT/build-check-asan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTAMP_SANITIZE=address,undefined
+  tsan_stage
   lint_stage
 fi
 

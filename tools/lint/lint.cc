@@ -4,6 +4,8 @@
 //   2. No using-directives ("using namespace") in headers.
 //   3. No raw ==/!= against floating-point literals (use a tolerance).
 //   4. No rand()/srand()/unseeded std RNG outside src/common/rng.
+//   5. No raw std::thread / std::jthread / std::async outside
+//      src/common/parallel (the deterministic runtime owns all threads).
 //
 // Usage:
 //   tamp_lint <repo_root> [subdir...]         lint subdirs (default: src
@@ -149,6 +151,15 @@ const std::regex& RawRandRegex() {
   return re;
 }
 
+const std::regex& RawThreadRegex() {
+  // std::thread / std::jthread objects and std::async launches. Matching
+  // the qualified names keeps `std::this_thread::` (sleep/yield) and the
+  // <thread> include legal; only thread *creation* is restricted.
+  static const std::regex re(
+      R"((^|[^\w:])std\s*::\s*(j?thread\b|async\s*\())");
+  return re;
+}
+
 bool LineAllowed(const std::string& raw_line) {
   return raw_line.find(kAllowMarker) != std::string::npos;
 }
@@ -171,6 +182,10 @@ void LintFile(const fs::path& path, const std::string& rel,
   // Exemption: the RNG wrapper module is the one place allowed to touch raw
   // generators; its job is to seed them.
   const bool rng_module = rel.find("src/common/rng") != std::string::npos;
+  // Exemption: the deterministic parallel runtime is the one place allowed
+  // to create threads; everything else goes through ParallelFor/Map.
+  const bool parallel_module =
+      rel.find("src/common/parallel") != std::string::npos;
 
   if (header && code.find(kPragmaOnce) == std::string::npos) {
     out->push_back({rel, 1, "pragma-once",
@@ -198,6 +213,12 @@ void LintFile(const fs::path& path, const std::string& rel,
       out->push_back({rel, i + 1, "raw-rng",
                       "raw/unseeded RNG outside src/common/rng; use "
                       "tamp::common::Rng for reproducibility"});
+    }
+    if (!parallel_module && std::regex_search(line, RawThreadRegex())) {
+      out->push_back({rel, i + 1, "raw-thread",
+                      "raw std::thread/std::async outside "
+                      "src/common/parallel; use tamp::ParallelFor so runs "
+                      "stay deterministic and TAMP_THREADS-controlled"});
     }
   }
 }

@@ -1,0 +1,17 @@
+// Lint self-test corpus: every line below must trip the raw-thread rule.
+// (Not compiled; scanned by the lint_self_test ctest entry.)
+#include <future>
+#include <thread>
+
+void SpawnsRawThreads() {
+  std::thread t([] {});               // violation: raw-thread
+  std::jthread jt([] {});             // violation: raw-thread
+  auto f = std::async([] { return 1; });  // violation: raw-thread
+  t.join();
+  (void)f;
+}
+
+void AllowedUses() {
+  std::this_thread::yield();  // legal: not thread creation
+  // A mention of std::thread inside a comment is legal too.
+}
