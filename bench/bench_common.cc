@@ -1,10 +1,12 @@
 #include "bench_common.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 
+#include "common/obs/metrics.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "common/table_printer.h"
@@ -101,18 +103,40 @@ void RecordPredRow(const std::string& prefix, const PredRow& row) {
   report->AddMetric(prefix + ".tt_s", row.tt);
 }
 
+/// The bench workload for the run: the calibrated base for the dataset,
+/// with the seed overridden when the caller passed --seed.
+data::WorkloadConfig RunWorkloadConfig(const core::RunOptions& options,
+                                       const BenchScale& scale) {
+  data::WorkloadConfig workload = BaseWorkloadConfig(options.dataset, scale);
+  if (options.seed != 0) workload.seed = options.seed;
+  return workload;
+}
+
+/// The bench pipeline for the run: the calibrated base with the caller's
+/// simulator block (threads and sinks are applied by BenchMain).
+core::PipelineConfig RunPipelineConfig(const core::RunOptions& options,
+                                       const BenchScale& scale) {
+  core::PipelineConfig config = BasePipelineConfig(scale);
+  config.sim = options.sim;
+  return config;
+}
+
 }  // namespace
 
-JsonReport::JsonReport(std::string target) : target_(std::move(target)) {
+JsonReport::JsonReport(std::string target, std::string json_dir)
+    : target_(std::move(target)), json_dir_(std::move(json_dir)) {
   g_active_report = this;
 }
 
 JsonReport::~JsonReport() {
   if (g_active_report == this) g_active_report = nullptr;
-  const char* dir = std::getenv("TAMP_BENCH_JSON_DIR");
-  std::string path = (dir != nullptr && *dir != '\0')
-                         ? std::string(dir) + "/BENCH_" + target_ + ".json"
-                         : "BENCH_" + target_ + ".json";
+  std::string dir = json_dir_;
+  if (dir.empty()) {
+    const char* env = std::getenv("TAMP_BENCH_JSON_DIR");
+    if (env != nullptr) dir = env;
+  }
+  std::string path = dir.empty() ? "BENCH_" + target_ + ".json"
+                                 : dir + "/BENCH_" + target_ + ".json";
   std::ofstream os(path);
   if (!os) {
     std::cerr << "bench: could not write " << path << "\n";
@@ -122,6 +146,11 @@ JsonReport::~JsonReport() {
   os << "  \"target\": \"" << JsonEscape(target_) << "\",\n";
   os << "  \"threads\": " << ParallelThreadCount() << ",\n";
   WriteJsonSection(os, "stages", stages_, /*trailing_comma=*/true);
+  // The observability registry snapshot (DESIGN.md §4e). Keys with an
+  // `_s` component are wall-clock-derived and advisory in bench_compare;
+  // the rest are deterministic work counts.
+  WriteJsonSection(os, "obs", obs::MetricsRegistry::Global().Snapshot(),
+                   /*trailing_comma=*/true);
   WriteJsonSection(os, "metrics", metrics_, /*trailing_comma=*/false);
   os << "}\n";
   std::cout << "\nJSON: " << path << "\n";
@@ -170,13 +199,59 @@ core::PipelineConfig BasePipelineConfig(const BenchScale& scale) {
   return config;
 }
 
+core::RunOptions DefaultRunOptions(const BenchSpec& spec) {
+  core::RunOptions options;
+  options.dataset = spec.dataset;
+  BenchScale scale;
+  options.sim = BasePipelineConfig(scale).sim;
+  return options;
+}
+
+int BenchMain(const BenchSpec& spec, int argc, char** argv) {
+  core::RunOptions options = DefaultRunOptions(spec);
+  Status status = core::ParseRunFlags(argc, argv, &options);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    // --help: the message carries the flags text.
+    std::cout << spec.target << ": " << spec.title << "\n\nflags:\n"
+              << status.message();
+    return 0;
+  }
+  if (status.ok()) status = options.Validate();
+  if (!status.ok()) {
+    std::cerr << spec.target << ": " << status.ToString() << "\n";
+    return 1;
+  }
+  core::ApplyRunOptions(options);
+  {
+    JsonReport report(spec.target, options.sinks.bench_json_dir);
+    switch (spec.experiment) {
+      case Experiment::kClusterAblation:
+        RunClusterAblation(spec, options);
+        break;
+      case Experiment::kSeqLenSweep:
+        RunSeqLenSweep(spec, options);
+        break;
+      case Experiment::kAssignmentSweep:
+        RunAssignmentSweep(spec, options);
+        break;
+    }
+  }
+  status = core::WriteRunArtifacts(options);
+  if (!status.ok()) {
+    std::cerr << spec.target << ": " << status.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
 PredRow RunPredictionExperiment(const data::WorkloadConfig& workload_config,
                                 meta::MetaAlgorithm algorithm,
                                 const std::vector<meta::Factor>& factors,
-                                bool use_game, const BenchScale& scale) {
+                                bool use_game, const BenchScale& scale,
+                                const core::RunOptions& options) {
   data::Workload workload = data::GenerateWorkload(workload_config);
 
-  core::PipelineConfig pipeline_config = BasePipelineConfig(scale);
+  core::PipelineConfig pipeline_config = RunPipelineConfig(options, scale);
   // The model must emit exactly the workload's seq_out points per sample.
   pipeline_config.trainer.model.seq_out = workload_config.seq_out;
   // Light fine-tuning so the quality of the *meta-initialization* — what
@@ -206,9 +281,10 @@ PredRow RunPredictionExperiment(const data::WorkloadConfig& workload_config,
   return row;
 }
 
-void RunClusterAblation(data::WorkloadKind kind, const std::string& title) {
+void RunClusterAblation(const BenchSpec& spec,
+                        const core::RunOptions& options) {
   BenchScale scale;
-  data::WorkloadConfig workload = BaseWorkloadConfig(kind, scale);
+  data::WorkloadConfig workload = RunWorkloadConfig(options, scale);
   Stopwatch total_watch;
   double tt_sum = 0.0;
 
@@ -221,14 +297,15 @@ void RunClusterAblation(data::WorkloadKind kind, const std::string& title) {
        meta::Factor::kLearningPath},
   };
 
-  std::cout << "=== " << title << " ===\n";
+  std::cout << "=== " << spec.title << " ===\n";
   TablePrinter table({"cluster algorithm", "factors (Sim_d Sim_s Sim_l)",
                       "RMSE(km)", "MAE(km)", "MR", "TT(s)"});
   for (bool use_game : {true, false}) {
     for (const auto& factors : factor_subsets) {
       // GTMC vs plain multi-level k-medoids (the paper's "k-means" row).
-      PredRow row = RunPredictionExperiment(
-          workload, meta::MetaAlgorithm::kGttaml, factors, use_game, scale);
+      PredRow row =
+          RunPredictionExperiment(workload, meta::MetaAlgorithm::kGttaml,
+                                  factors, use_game, scale, options);
       table.AddRow({use_game ? "GTMC" : "k-means", FactorTicks(factors),
                     Fmt(row.rmse, 4), Fmt(row.mae, 4), Fmt(row.mr, 4),
                     Fmt(row.tt, 1)});
@@ -249,7 +326,7 @@ void RunClusterAblation(data::WorkloadKind kind, const std::string& title) {
   table.PrintCsv(std::cout);
 }
 
-void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title) {
+void RunSeqLenSweep(const BenchSpec& spec, const core::RunOptions& options) {
   BenchScale scale;
   Stopwatch total_watch;
   double tt_sum = 0.0;
@@ -269,11 +346,11 @@ void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title) {
       {"GTTAML", meta::MetaAlgorithm::kGttaml},
   };
 
-  std::cout << "=== " << title << " ===\n";
+  std::cout << "=== " << spec.title << " ===\n";
   TablePrinter table({"seq_in", "seq_out", "algorithm", "RMSE(km)", "MAE(km)",
                       "MR", "TT(s)"});
   for (const Setting& setting : settings) {
-    data::WorkloadConfig workload = BaseWorkloadConfig(kind, scale);
+    data::WorkloadConfig workload = RunWorkloadConfig(options, scale);
     workload.seq_in = setting.seq_in;
     workload.seq_out = setting.seq_out;
     for (const auto& [name, algorithm] : algorithms) {
@@ -282,7 +359,7 @@ void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title) {
           per_run, algorithm,
           {meta::Factor::kDistribution, meta::Factor::kSpatial,
            meta::Factor::kLearningPath},
-          /*use_game=*/true, scale);
+          /*use_game=*/true, scale, options);
       table.AddRow({Fmt(static_cast<int64_t>(setting.seq_in)),
                     Fmt(static_cast<int64_t>(setting.seq_out)), name,
                     Fmt(row.rmse, 4), Fmt(row.mae, 4), Fmt(row.mr, 4),
@@ -305,16 +382,18 @@ void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title) {
   table.PrintCsv(std::cout);
 }
 
-void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
-                        const std::vector<double>& values,
-                        const std::string& title) {
+void RunAssignmentSweep(const BenchSpec& spec,
+                        const core::RunOptions& options) {
   BenchScale scale;
-  data::WorkloadConfig workload_config = BaseWorkloadConfig(kind, scale);
+  data::WorkloadConfig workload_config = RunWorkloadConfig(options, scale);
   data::Workload workload = data::GenerateWorkload(workload_config);
+  const std::vector<double>& values = spec.sweep_values;
+  const std::vector<core::AssignMethod>& enabled =
+      core::EffectiveMethods(options);
   Stopwatch total_watch;
 
   // Train once per loss variant; the sweep only perturbs the online stage.
-  core::PipelineConfig base = BasePipelineConfig(scale);
+  core::PipelineConfig base = RunPipelineConfig(options, scale);
   base.use_ta_loss = true;
   core::TampPipeline ta_pipeline(base);
   std::cout << "training (task-assignment-oriented loss) ..." << std::flush;
@@ -344,22 +423,26 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
   cost = TablePrinter(header);
   runtime = TablePrinter(header);
 
-  for (const MethodSpec& spec : kMethods) {
-    std::vector<std::string> comp_row = {spec.name};
-    std::vector<std::string> rej_row = {spec.name};
-    std::vector<std::string> cost_row = {spec.name};
-    std::vector<std::string> time_row = {spec.name};
+  for (const MethodSpec& method_spec : kMethods) {
+    if (std::find(enabled.begin(), enabled.end(), method_spec.method) ==
+        enabled.end()) {
+      continue;
+    }
+    std::vector<std::string> comp_row = {method_spec.name};
+    std::vector<std::string> rej_row = {method_spec.name};
+    std::vector<std::string> cost_row = {method_spec.name};
+    std::vector<std::string> time_row = {method_spec.name};
     for (double v : values) {
       // Perturb the workload along the sweep axis.
       data::Workload run = workload;
-      switch (var) {
+      switch (spec.sweep_var) {
         case SweepVar::kDetour:
           for (auto& worker : run.workers) worker.detour_budget_km = v;
           break;
         case SweepVar::kNumTasks:
         case SweepVar::kValidTime: {
           data::TaskStreamConfig stream;
-          stream.num_tasks = var == SweepVar::kNumTasks
+          stream.num_tasks = spec.sweep_var == SweepVar::kNumTasks
                                  ? static_cast<int>(v)
                                  : workload_config.num_tasks;
           double test_day_offset = 1440.0 * workload_config.num_train_days;
@@ -367,10 +450,10 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
               test_day_offset + workload_config.day.day_start_min;
           stream.horizon_end_min =
               test_day_offset + workload_config.day.day_end_min;
-          stream.valid_lo_units = var == SweepVar::kValidTime
+          stream.valid_lo_units = spec.sweep_var == SweepVar::kValidTime
                                       ? v
                                       : workload_config.task_valid_lo_units;
-          stream.valid_hi_units = var == SweepVar::kValidTime
+          stream.valid_hi_units = spec.sweep_var == SweepVar::kValidTime
                                       ? v + 1.0
                                       : workload_config.task_valid_hi_units;
           stream.time_unit_min = workload_config.time_unit_min;
@@ -381,17 +464,17 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
         }
       }
       core::TampPipeline& pipeline =
-          spec.use_ta_loss_models ? ta_pipeline : mse_pipeline;
+          method_spec.use_ta_loss_models ? ta_pipeline : mse_pipeline;
       core::OfflineResult& offline =
-          spec.use_ta_loss_models ? ta_offline : mse_offline;
+          method_spec.use_ta_loss_models ? ta_offline : mse_offline;
       core::SimMetrics metrics =
-          pipeline.RunOnline(run, offline, spec.method);
+          pipeline.RunOnline(run, offline, method_spec.method);
       comp_row.push_back(Fmt(metrics.CompletionRatio(), 3));
       rej_row.push_back(Fmt(metrics.RejectionRatio(), 3));
       cost_row.push_back(Fmt(metrics.AvgCostKm(), 3));
       time_row.push_back(Fmt(metrics.assign_seconds, 3));
       if (JsonReport* report = JsonReport::active()) {
-        std::string prefix = std::string(spec.name) + ".v" + Fmt(v, 1);
+        std::string prefix = std::string(method_spec.name) + ".v" + Fmt(v, 1);
         report->AddMetric(prefix + ".completion", metrics.CompletionRatio());
         report->AddMetric(prefix + ".rejection", metrics.RejectionRatio());
         report->AddMetric(prefix + ".cost_km", metrics.AvgCostKm());
@@ -407,7 +490,7 @@ void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
   std::cout << "\n";
 
   auto print_panel = [&](const char* panel, TablePrinter& table) {
-    std::cout << "\n--- " << title << ": " << panel << " ---\n";
+    std::cout << "\n--- " << spec.title << ": " << panel << " ---\n";
     table.Print(std::cout);
     std::cout << "CSV:\n";
     table.PrintCsv(std::cout);

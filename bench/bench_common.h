@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "core/run_options.h"
 #include "data/workload.h"
 #include "meta/trainer.h"
 
@@ -13,13 +14,16 @@ namespace tamp::bench {
 /// Machine-readable bench output. A bench main opens one JsonReport for
 /// its target; the Run* harness functions below record every table cell
 /// (metric name -> value) and per-stage wall-clock into it, and the
-/// destructor writes `BENCH_<target>.json` (into TAMP_BENCH_JSON_DIR, or
-/// the working directory) next to the human-readable table/CSV on stdout.
-/// The file also records the thread count the run used, so perf
-/// trajectories (tools/bench_compare) compare like with like.
+/// destructor writes `BENCH_<target>.json` (into the configured directory,
+/// TAMP_BENCH_JSON_DIR, or the working directory) next to the
+/// human-readable table/CSV on stdout. The file also records the thread
+/// count the run used and a snapshot of the observability registry
+/// (DESIGN.md §4e), so perf trajectories (tools/bench_compare) compare
+/// like with like.
 class JsonReport {
  public:
-  explicit JsonReport(std::string target);
+  /// `json_dir` overrides TAMP_BENCH_JSON_DIR when non-empty.
+  explicit JsonReport(std::string target, std::string json_dir = "");
   ~JsonReport();  // Writes the JSON file; never throws (best effort).
 
   JsonReport(const JsonReport&) = delete;
@@ -37,6 +41,7 @@ class JsonReport {
 
  private:
   std::string target_;
+  std::string json_dir_;
   std::map<std::string, double> metrics_;  // Ordered: deterministic output.
   std::map<std::string, double> stages_;
 };
@@ -64,6 +69,47 @@ data::WorkloadConfig BaseWorkloadConfig(data::WorkloadKind kind,
 core::PipelineConfig BasePipelineConfig(const BenchScale& scale);
 
 // ---------------------------------------------------------------------
+// Bench target description + shared main.
+// ---------------------------------------------------------------------
+
+/// Which x-axis an assignment sweep varies.
+enum class SweepVar {
+  kDetour,     // Worker detour budget d (km). Fig. 6 / Fig. 9.
+  kNumTasks,   // Number of spatial tasks.     Fig. 7 / Fig. 10.
+  kValidTime,  // Valid-time lower bound (time units; upper = lo + 1).
+               //                              Fig. 8 / Fig. 11.
+};
+
+/// Which experiment family a bench target reproduces.
+enum class Experiment {
+  kClusterAblation,  // Tables IV/VI: clustering algorithm x factor subset.
+  kSeqLenSweep,      // Tables V/VII: seq_in / seq_out over four algorithms.
+  kAssignmentSweep,  // Figs. 6-11: assignment methods over a sweep axis.
+};
+
+/// A declarative description of one bench target. Each bench main builds
+/// one of these and delegates to BenchMain.
+struct BenchSpec {
+  const char* target;  // BENCH_<target>.json stem.
+  const char* title;   // Paper-style table/figure caption.
+  Experiment experiment;
+  data::WorkloadKind dataset;
+  SweepVar sweep_var = SweepVar::kDetour;  // kAssignmentSweep only.
+  std::vector<double> sweep_values;        // kAssignmentSweep only.
+};
+
+/// The calibrated core::RunOptions for a bench target: the dataset pair
+/// plus BasePipelineConfig's simulator block. Command-line flags
+/// (core::ParseRunFlags) override individual fields.
+core::RunOptions DefaultRunOptions(const BenchSpec& spec);
+
+/// Shared bench entry point: parse --flags over DefaultRunOptions(spec),
+/// validate, apply (threads/tracing), open the JsonReport, dispatch the
+/// experiment, and write the trace/metrics artifacts. Returns the process
+/// exit code.
+int BenchMain(const BenchSpec& spec, int argc, char** argv);
+
+// ---------------------------------------------------------------------
 // Prediction-side experiments (Tables IV-VII).
 // ---------------------------------------------------------------------
 
@@ -78,37 +124,31 @@ struct PredRow {
 /// Trains the given meta-learning algorithm on the workload (MSE loss, as
 /// the paper's prediction tables prescribe) and evaluates on held-out data.
 /// `factors`/`use_game` configure the GTMC ablation axes; they are ignored
-/// by MAML/CTML.
+/// by MAML/CTML. `options.sim` seeds the pipeline's simulator block (the
+/// table experiments then pin match_radius_km to the Def. 7 table radius).
 PredRow RunPredictionExperiment(const data::WorkloadConfig& workload_config,
                                 meta::MetaAlgorithm algorithm,
                                 const std::vector<meta::Factor>& factors,
-                                bool use_game, const BenchScale& scale);
+                                bool use_game, const BenchScale& scale,
+                                const core::RunOptions& options);
 
-/// Table IV/VI: the clustering-algorithm x factor-subset ablation for one
-/// workload kind. Prints the table and its CSV.
-void RunClusterAblation(data::WorkloadKind kind, const std::string& title);
+/// Table IV/VI: the clustering-algorithm x factor-subset ablation.
+/// Prints the table and its CSV.
+void RunClusterAblation(const BenchSpec& spec,
+                        const core::RunOptions& options);
 
 /// Table V/VII: the seq_in / seq_out sweep over the four algorithms.
-void RunSeqLenSweep(data::WorkloadKind kind, const std::string& title);
+void RunSeqLenSweep(const BenchSpec& spec, const core::RunOptions& options);
 
 // ---------------------------------------------------------------------
 // Assignment-side experiments (Figs. 6-11).
 // ---------------------------------------------------------------------
 
-/// Which x-axis the sweep varies.
-enum class SweepVar {
-  kDetour,     // Worker detour budget d (km). Fig. 6 / Fig. 9.
-  kNumTasks,   // Number of spatial tasks.     Fig. 7 / Fig. 10.
-  kValidTime,  // Valid-time lower bound (time units; upper = lo + 1).
-               //                              Fig. 8 / Fig. 11.
-};
-
 /// Runs the full assignment comparison (UB, LB, KM-loss, KM, PPI-loss,
-/// PPI, GGPSO) over the sweep values, printing the four metric panels
-/// (completion ratio, rejection ratio, worker cost, running time) the
-/// paper's figures plot.
-void RunAssignmentSweep(data::WorkloadKind kind, SweepVar var,
-                        const std::vector<double>& values,
-                        const std::string& title);
+/// PPI, GGPSO, filtered by options.methods) over spec.sweep_values,
+/// printing the four metric panels (completion ratio, rejection ratio,
+/// worker cost, running time) the paper's figures plot.
+void RunAssignmentSweep(const BenchSpec& spec,
+                        const core::RunOptions& options);
 
 }  // namespace tamp::bench

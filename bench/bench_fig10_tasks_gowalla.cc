@@ -2,12 +2,13 @@
 // Gowalla/Foursquare-like.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("fig10_tasks_gowalla");
-  tamp::bench::RunAssignmentSweep(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "fig10_tasks_gowalla",
+      "Fig. 10: effect of the number of spatial tasks (Gowalla-like)",
+      tamp::bench::Experiment::kAssignmentSweep,
       tamp::data::WorkloadKind::kGowallaFoursquare,
       tamp::bench::SweepVar::kNumTasks,
-      {300.0, 500.0, 700.0, 900.0, 1100.0},
-      "Fig. 10: effect of the number of spatial tasks (Gowalla-like)");
-  return 0;
+      {300.0, 500.0, 700.0, 900.0, 1100.0}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

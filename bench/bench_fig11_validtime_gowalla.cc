@@ -2,11 +2,13 @@
 // Gowalla/Foursquare-like.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("fig11_validtime_gowalla");
-  tamp::bench::RunAssignmentSweep(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "fig11_validtime_gowalla",
+      "Fig. 11: effect of task valid time (Gowalla-like)",
+      tamp::bench::Experiment::kAssignmentSweep,
       tamp::data::WorkloadKind::kGowallaFoursquare,
-      tamp::bench::SweepVar::kValidTime, {1.0, 2.0, 3.0, 4.0, 5.0},
-      "Fig. 11: effect of task valid time (Gowalla-like)");
-  return 0;
+      tamp::bench::SweepVar::kValidTime,
+      {1.0, 2.0, 3.0, 4.0, 5.0}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

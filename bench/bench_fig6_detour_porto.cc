@@ -2,11 +2,13 @@
 // ratio, rejection ratio, worker cost, and running time, Porto/Didi-like.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("fig6_detour_porto");
-  tamp::bench::RunAssignmentSweep(
-      tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kDetour,
-      {2.0, 4.0, 6.0, 8.0, 10.0},
-      "Fig. 6: effect of worker detour d (Porto-like)");
-  return 0;
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "fig6_detour_porto",
+      "Fig. 6: effect of worker detour d (Porto-like)",
+      tamp::bench::Experiment::kAssignmentSweep,
+      tamp::data::WorkloadKind::kPortoDidi,
+      tamp::bench::SweepVar::kDetour,
+      {2.0, 4.0, 6.0, 8.0, 10.0}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

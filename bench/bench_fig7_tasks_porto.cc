@@ -2,11 +2,13 @@
 // 1K..5K scaled to this harness's worker count), Porto/Didi-like.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("fig7_tasks_porto");
-  tamp::bench::RunAssignmentSweep(
-      tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kNumTasks,
-      {300.0, 500.0, 700.0, 900.0, 1100.0},
-      "Fig. 7: effect of the number of spatial tasks (Porto-like)");
-  return 0;
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "fig7_tasks_porto",
+      "Fig. 7: effect of the number of spatial tasks (Porto-like)",
+      tamp::bench::Experiment::kAssignmentSweep,
+      tamp::data::WorkloadKind::kPortoDidi,
+      tamp::bench::SweepVar::kNumTasks,
+      {300.0, 500.0, 700.0, 900.0, 1100.0}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

@@ -2,11 +2,13 @@
 // ([1,2] .. [5,6] time units of 10 minutes), Porto/Didi-like.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("fig8_validtime_porto");
-  tamp::bench::RunAssignmentSweep(
-      tamp::data::WorkloadKind::kPortoDidi, tamp::bench::SweepVar::kValidTime,
-      {1.0, 2.0, 3.0, 4.0, 5.0},
-      "Fig. 8: effect of task valid time (Porto-like)");
-  return 0;
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "fig8_validtime_porto",
+      "Fig. 8: effect of task valid time (Porto-like)",
+      tamp::bench::Experiment::kAssignmentSweep,
+      tamp::data::WorkloadKind::kPortoDidi,
+      tamp::bench::SweepVar::kValidTime,
+      {1.0, 2.0, 3.0, 4.0, 5.0}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

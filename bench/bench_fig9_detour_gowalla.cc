@@ -2,11 +2,13 @@
 // Gowalla/Foursquare-like.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("fig9_detour_gowalla");
-  tamp::bench::RunAssignmentSweep(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "fig9_detour_gowalla",
+      "Fig. 9: effect of worker detour d (Gowalla-like)",
+      tamp::bench::Experiment::kAssignmentSweep,
       tamp::data::WorkloadKind::kGowallaFoursquare,
-      tamp::bench::SweepVar::kDetour, {2.0, 4.0, 6.0, 8.0, 10.0},
-      "Fig. 9: effect of worker detour d (Gowalla-like)");
-  return 0;
+      tamp::bench::SweepVar::kDetour,
+      {2.0, 4.0, 6.0, 8.0, 10.0}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

@@ -4,10 +4,13 @@
 // Porto/Didi-like workload.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("table4_cluster_ablation");
-  tamp::bench::RunClusterAblation(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "table4_cluster_ablation",
+      "Table IV: clustering algorithm & factor ablation (Porto-like)",
+      tamp::bench::Experiment::kClusterAblation,
       tamp::data::WorkloadKind::kPortoDidi,
-      "Table IV: clustering algorithm & factor ablation (Porto-like)");
-  return 0;
+      tamp::bench::SweepVar::kDetour,
+      {}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

@@ -2,10 +2,13 @@
 // GTTAML-GT, and GTTAML, on the Porto/Didi-like workload.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("table5_seqlen_porto");
-  tamp::bench::RunSeqLenSweep(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "table5_seqlen_porto",
+      "Table V: effect of seq_in / seq_out (Porto-like)",
+      tamp::bench::Experiment::kSeqLenSweep,
       tamp::data::WorkloadKind::kPortoDidi,
-      "Table V: effect of seq_in / seq_out (Porto-like)");
-  return 0;
+      tamp::bench::SweepVar::kDetour,
+      {}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

@@ -2,10 +2,13 @@
 // Gowalla/Foursquare-like workload.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("table6_cluster_ablation_gowalla");
-  tamp::bench::RunClusterAblation(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "table6_cluster_ablation_gowalla",
+      "Table VI: clustering algorithm & factor ablation (Gowalla-like)",
+      tamp::bench::Experiment::kClusterAblation,
       tamp::data::WorkloadKind::kGowallaFoursquare,
-      "Table VI: clustering algorithm & factor ablation (Gowalla-like)");
-  return 0;
+      tamp::bench::SweepVar::kDetour,
+      {}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

@@ -2,10 +2,13 @@
 // meta-learning algorithms, on the Gowalla/Foursquare-like workload.
 #include "bench_common.h"
 
-int main() {
-  tamp::bench::JsonReport report("table7_seqlen_gowalla");
-  tamp::bench::RunSeqLenSweep(
+int main(int argc, char** argv) {
+  const tamp::bench::BenchSpec spec = {
+      "table7_seqlen_gowalla",
+      "Table VII: effect of seq_in / seq_out (Gowalla-like)",
+      tamp::bench::Experiment::kSeqLenSweep,
       tamp::data::WorkloadKind::kGowallaFoursquare,
-      "Table VII: effect of seq_in / seq_out (Gowalla-like)");
-  return 0;
+      tamp::bench::SweepVar::kDetour,
+      {}};
+  return tamp::bench::BenchMain(spec, argc, argv);
 }

@@ -3,23 +3,43 @@
 //     tasks cluster, delta elsewhere.
 //  2. Train the same model under plain MSE and under the weighted loss and
 //     compare prediction error *near tasks* vs *away from tasks*.
+//
+// Accepts the shared run flags (core::RunFlagsHelp), e.g.
+//   loss_function_ablation --dataset=gowalla --seed=56
 #include <iostream>
 
 #include "common/table_printer.h"
 #include "core/pipeline.h"
+#include "core/run_options.h"
 #include "core/ta_loss.h"
 #include "data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tamp;
 
+  core::RunOptions options;
+  options.seed = 55;  // The example's default workload seed.
+  Status status = core::ParseRunFlags(argc, argv, &options);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    std::cout << "loss_function_ablation: the task-assignment-oriented loss "
+                 "vs plain MSE\n\nflags:\n"
+              << status.message();
+    return 0;
+  }
+  if (status.ok()) status = options.Validate();
+  if (!status.ok()) {
+    std::cerr << "loss_function_ablation: " << status.ToString() << "\n";
+    return 1;
+  }
+  core::ApplyRunOptions(options);
+
   data::WorkloadConfig workload_config;
-  workload_config.kind = data::WorkloadKind::kPortoDidi;
+  workload_config.kind = options.dataset;
   workload_config.num_workers = 14;
   workload_config.num_train_days = 3;
   workload_config.num_tasks = 200;
   workload_config.num_historical_tasks = 2000;
-  workload_config.seed = 55;
+  workload_config.seed = options.seed;
   data::Workload workload = data::GenerateWorkload(workload_config);
 
   // --- Part 1: the weight field. ---
@@ -43,6 +63,7 @@ int main() {
     config.use_ta_loss = use_ta_loss;
     config.trainer.meta.iterations = 15;
     config.trainer.fine_tune_steps = 40;
+    config.sim = options.sim;
     core::TampPipeline pipeline(config);
     return pipeline.TrainOffline(workload);
   };
@@ -91,5 +112,11 @@ int main() {
   table.Print(std::cout);
   std::cout << "\nThe weighted loss shifts accuracy toward task-dense areas "
                "— exactly where assignment decisions happen.\n";
+
+  status = core::WriteRunArtifacts(options);
+  if (!status.ok()) {
+    std::cerr << "loss_function_ablation: " << status.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

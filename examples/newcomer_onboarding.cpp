@@ -3,25 +3,45 @@
 // (a) the most similar learning-task-tree node (the paper's newcomer
 // strategy) against (b) a fresh random initialization, after the same
 // small number of fine-tuning steps.
+//
+// Accepts the shared run flags (core::RunFlagsHelp), e.g.
+//   newcomer_onboarding --threads=4 --metrics=newcomer_metrics.json
 #include <iostream>
 
 #include "common/rng.h"
 #include "common/table_printer.h"
+#include "core/run_options.h"
 #include "data/workload.h"
 #include "meta/meta_training.h"
 #include "meta/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tamp;
+
+  core::RunOptions options;
+  options.seed = 31;  // The example's default workload seed.
+  Status status = core::ParseRunFlags(argc, argv, &options);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    std::cout << "newcomer_onboarding: few-shot cold start from the "
+                 "learning-task tree\n\nflags:\n"
+              << status.message();
+    return 0;
+  }
+  if (status.ok()) status = options.Validate();
+  if (!status.ok()) {
+    std::cerr << "newcomer_onboarding: " << status.ToString() << "\n";
+    return 1;
+  }
+  core::ApplyRunOptions(options);
 
   // Veterans: full history. One extra worker plays the newcomer.
   data::WorkloadConfig workload_config;
-  workload_config.kind = data::WorkloadKind::kPortoDidi;
+  workload_config.kind = options.dataset;
   workload_config.num_workers = 17;
   workload_config.num_train_days = 4;
   workload_config.newcomer_fraction = 0.06;  // Exactly one newcomer.
   workload_config.num_tasks = 100;
-  workload_config.seed = 31;
+  workload_config.seed = options.seed;
   data::Workload workload = data::GenerateWorkload(workload_config);
 
   // Separate the newcomer from the veterans.
@@ -87,5 +107,11 @@ int main() {
   std::cout << "\nThe tree initialization transfers the mobility patterns of "
                "the newcomer's most similar cluster, which is what makes "
                "few-shot onboarding work.\n";
+
+  status = core::WriteRunArtifacts(options);
+  if (!status.ok()) {
+    std::cerr << "newcomer_onboarding: " << status.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

@@ -5,22 +5,42 @@
 //    loss, then per-worker fine-tuning and matching-rate estimation.
 // 3. Online stage: replay the day in 2-minute batches with the PPI
 //    assignment algorithm.
+//
+// Accepts the shared run flags (core::RunFlagsHelp): try
+//   quickstart --trace=quickstart_trace.json
+// and load the file in a chrome://tracing / Perfetto viewer.
 #include <iostream>
 
 #include "common/table_printer.h"
 #include "core/pipeline.h"
+#include "core/run_options.h"
 #include "data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tamp;
+
+  core::RunOptions options;
+  options.seed = 1;  // The example's default workload seed.
+  Status status = core::ParseRunFlags(argc, argv, &options);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    std::cout << "quickstart: the full TAMP loop\n\nflags:\n"
+              << status.message();
+    return 0;
+  }
+  if (status.ok()) status = options.Validate();
+  if (!status.ok()) {
+    std::cerr << "quickstart: " << status.ToString() << "\n";
+    return 1;
+  }
+  core::ApplyRunOptions(options);
 
   // A small workload so the example finishes in seconds.
   data::WorkloadConfig workload_config;
-  workload_config.kind = data::WorkloadKind::kPortoDidi;
+  workload_config.kind = options.dataset;
   workload_config.num_workers = 12;
   workload_config.num_train_days = 3;
   workload_config.num_tasks = 300;
-  workload_config.seed = 1;
+  workload_config.seed = options.seed;
   data::Workload workload = data::GenerateWorkload(workload_config);
   std::cout << "Generated " << workload.workers.size() << " workers and "
             << workload.task_stream.size() << " tasks on a "
@@ -34,6 +54,7 @@ int main() {
   config.use_ta_loss = true;
   config.trainer.meta.iterations = 15;
   config.trainer.fine_tune_steps = 30;
+  config.sim = options.sim;
   core::TampPipeline pipeline(config);
   core::OfflineResult offline = pipeline.TrainOffline(workload);
   std::cout << "Offline stage: " << offline.models.num_leaves
@@ -50,5 +71,11 @@ int main() {
             << Fmt(metrics.CompletionRatio(), 3) << "), rejection ratio "
             << Fmt(metrics.RejectionRatio(), 3) << ", average worker detour "
             << Fmt(metrics.AvgCostKm(), 2) << " km.\n";
+
+  status = core::WriteRunArtifacts(options);
+  if (!status.ok()) {
+    std::cerr << "quickstart: " << status.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

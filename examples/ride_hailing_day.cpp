@@ -2,22 +2,42 @@
 // comparing every assignment strategy on the same trained models — the
 // comparison behind the intro's motivating application (taxi drivers
 // performing check-in-style tasks along their shifts).
+//
+// Accepts the shared run flags (core::RunFlagsHelp), e.g.
+//   ride_hailing_day --methods=KM,PPI --trace=day_trace.json
 #include <iostream>
 
 #include "common/table_printer.h"
 #include "core/pipeline.h"
+#include "core/run_options.h"
 #include "data/workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tamp;
 
+  core::RunOptions options;
+  options.seed = 99;  // The example's default workload seed.
+  Status status = core::ParseRunFlags(argc, argv, &options);
+  if (status.code() == StatusCode::kFailedPrecondition) {
+    std::cout << "ride_hailing_day: one simulated day, every assignment "
+                 "strategy\n\nflags:\n"
+              << status.message();
+    return 0;
+  }
+  if (status.ok()) status = options.Validate();
+  if (!status.ok()) {
+    std::cerr << "ride_hailing_day: " << status.ToString() << "\n";
+    return 1;
+  }
+  core::ApplyRunOptions(options);
+
   data::WorkloadConfig workload_config;
-  workload_config.kind = data::WorkloadKind::kPortoDidi;
+  workload_config.kind = options.dataset;
   workload_config.num_workers = 20;
   workload_config.num_train_days = 3;
   workload_config.num_tasks = 500;
   workload_config.detour_budget_km = 4.0;
-  workload_config.seed = 99;
+  workload_config.seed = options.seed;
   data::Workload workload = data::GenerateWorkload(workload_config);
 
   core::PipelineConfig config;
@@ -25,6 +45,7 @@ int main() {
   config.use_ta_loss = true;
   config.trainer.meta.iterations = 20;
   config.trainer.fine_tune_steps = 40;
+  config.sim = options.sim;
   core::TampPipeline pipeline(config);
 
   std::cout << "Training per-worker mobility models (GTTAML + "
@@ -45,12 +66,9 @@ int main() {
 
   TablePrinter table({"method", "completed", "completion", "rejection",
                       "avg detour (km)", "assign time (s)"});
-  for (core::AssignMethod method :
-       {core::AssignMethod::kUpperBound, core::AssignMethod::kLowerBound,
-        core::AssignMethod::kKm, core::AssignMethod::kPpi,
-        core::AssignMethod::kGgpso}) {
+  for (core::AssignMethod method : core::EffectiveMethods(options)) {
     core::SimMetrics metrics = pipeline.RunOnline(workload, offline, method);
-    table.AddRow({core::AssignMethodName(method),
+    table.AddRow({std::string(core::AssignMethodName(method)),
                   Fmt(static_cast<int64_t>(metrics.completed)),
                   Fmt(metrics.CompletionRatio(), 3),
                   Fmt(metrics.RejectionRatio(), 3),
@@ -63,5 +81,11 @@ int main() {
   std::cout << "\nUB sees real trajectories (oracle); LB only current "
                "locations; KM/PPI use the predicted routines; PPI "
                "additionally weighs prediction confidence (Theorem 2).\n";
+
+  status = core::WriteRunArtifacts(options);
+  if (!status.ok()) {
+    std::cerr << "ride_hailing_day: " << status.ToString() << "\n";
+    return 1;
+  }
   return 0;
 }

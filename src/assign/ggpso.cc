@@ -5,6 +5,9 @@
 
 #include "assign/candidates.h"
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+#include "common/stopwatch.h"
 
 namespace tamp::assign {
 namespace {
@@ -128,9 +131,21 @@ void Mutate(Individual& ind, const FeasibilityTable& table, int num_workers,
 AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
                            const std::vector<CandidateWorker>& workers,
                            double now_min, const GgpsoConfig& config) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& solves_counter = registry.GetCounter("ggpso.solves");
+  static obs::Counter& generations_counter =
+      registry.GetCounter("ggpso.generations");
+  static obs::Histogram& solve_hist =
+      registry.GetHistogram("ggpso.solve_s", obs::DurationEdgesSeconds());
+
   AssignmentPlan plan;
   if (tasks.empty() || workers.empty()) return plan;
   TAMP_CHECK(config.population > 1 && config.generations > 0);
+
+  solves_counter.Increment();
+  generations_counter.Increment(config.generations);
+  Stopwatch solve_watch;
+  obs::TraceSpan solve_span("ggpso.solve");
 
   FeasibilityTable table =
       BuildTable(tasks, workers, config.match_radius_km, now_min);
@@ -179,6 +194,7 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
     if (w < 0) continue;
     plan.pairs.push_back({static_cast<int>(t), w, MinDisOf(table, t, w)});
   }
+  solve_hist.Record(solve_watch.ElapsedSeconds());
   return plan;
 }
 

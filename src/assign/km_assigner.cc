@@ -1,6 +1,9 @@
 #include "assign/km_assigner.h"
 
 #include "assign/candidates.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+#include "common/stopwatch.h"
 #include "matching/hungarian.h"
 
 namespace tamp::assign {
@@ -9,6 +12,12 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
                         double weight_floor_km) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& solves_counter = registry.GetCounter("km.solves");
+  static obs::Counter& edges_counter = registry.GetCounter("km.edges");
+  static obs::Histogram& solve_hist =
+      registry.GetHistogram("km.solve_s", obs::DurationEdgesSeconds());
+
   AssignmentPlan plan;
   if (tasks.empty() || workers.empty()) return plan;
 
@@ -25,8 +34,13 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                        1.0 / (info.min_dis + weight_floor_km)});
     }
   }
+  solves_counter.Increment();
+  edges_counter.Increment(static_cast<int64_t>(edges.size()));
+  Stopwatch solve_watch;
+  obs::TraceSpan solve_span("km.solve");
   matching::MatchResult result = matching::MaxWeightMatching(
       static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
+  solve_hist.Record(solve_watch.ElapsedSeconds());
   for (auto [t, w] : result.pairs) {
     plan.pairs.push_back(
         {t, w, min_dis[static_cast<size_t>(t)][static_cast<size_t>(w)]});

@@ -1,10 +1,13 @@
 #include "assign/ppi.h"
 
 #include <algorithm>
+#include <optional>
 #include <vector>
 
 #include "assign/candidates.h"
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "matching/hungarian.h"
 
 namespace tamp::assign {
@@ -26,6 +29,7 @@ void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
                     std::vector<char>& task_done,
                     std::vector<char>& worker_done, AssignmentPlan& plan) {
   if (edges.empty()) return;
+  obs::TraceSpan match_span("ppi.match");
   std::vector<matching::Edge> km_edges;
   km_edges.reserve(edges.size());
   for (const PpiCandidate& c : edges) {
@@ -56,6 +60,17 @@ void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
 AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
                          const std::vector<CandidateWorker>& workers,
                          double now_min, const PpiConfig& config) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& calls_counter = registry.GetCounter("ppi.calls");
+  static obs::Counter& certain_counter =
+      registry.GetCounter("ppi.stage1_certain_edges");
+  static obs::Counter& pending_counter =
+      registry.GetCounter("ppi.stage2_pending_edges");
+  static obs::Counter& fallback_counter =
+      registry.GetCounter("ppi.stage3_fallback_edges");
+
+  obs::TraceSpan ppi_span("ppi.assign");
+  calls_counter.Increment();
   const int num_tasks = static_cast<int>(tasks.size());
   const int num_workers = static_cast<int>(workers.size());
   AssignmentPlan plan;
@@ -65,6 +80,7 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   std::vector<char> worker_done(static_cast<size_t>(num_workers), 0);
 
   // ---- Stage 1 (Alg. 4 lines 1-12): certain pairs (|B| * MR >= 1). ----
+  std::optional<obs::TraceSpan> stage1_span(std::in_place, "ppi.stage1");
   std::vector<PpiCandidate> certain;
   std::vector<PpiCandidate> pending;  // The B-set of lines 10-11.
   for (size_t t = 0; t < tasks.size(); ++t) {
@@ -85,11 +101,15 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
       }
     }
   }
+  certain_counter.Increment(static_cast<int64_t>(certain.size()));
+  pending_counter.Increment(static_cast<int64_t>(pending.size()));
   MatchAndCommit(certain, num_tasks, num_workers, config.weight_floor_km,
                  task_done, worker_done, plan);
+  stage1_span.reset();
 
   // ---- Stage 2 (lines 13-27): drain pending pairs in descending |B|*MR,
   // epsilon at a time. ----
+  std::optional<obs::TraceSpan> stage2_span(std::in_place, "ppi.stage2");
   std::stable_sort(pending.begin(), pending.end(),
                    [](const PpiCandidate& a, const PpiCandidate& b) {
                      return a.score > b.score;
@@ -118,8 +138,10 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
     if (static_cast<int>(batch.size()) == config.epsilon) flush_batch();
   }
   flush_batch();  // Lines 25-27: the final partial batch.
+  stage2_span.reset();
 
   // ---- Stage 3 (lines 28-34): leftovers matched on dis^min only. ----
+  obs::TraceSpan stage3_span("ppi.stage3");
   std::vector<PpiCandidate> fallback;
   for (size_t t = 0; t < tasks.size(); ++t) {
     if (task_done[t]) continue;
@@ -132,6 +154,7 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
           {static_cast<int>(t), static_cast<int>(w), info.min_dis, 0.0});
     }
   }
+  fallback_counter.Increment(static_cast<int64_t>(fallback.size()));
   MatchAndCommit(fallback, num_tasks, num_workers, config.weight_floor_km,
                  task_done, worker_done, plan);
   return plan;

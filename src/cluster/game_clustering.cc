@@ -5,6 +5,8 @@
 
 #include "cluster/kmedoids.h"
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 
 namespace tamp::cluster {
 namespace {
@@ -147,6 +149,15 @@ GameClusteringResult Collect(const GameState& state,
 GameClusteringResult GameTheoreticCluster(
     const similarity::PairwiseSimilarity& sim, const std::vector<int>& items,
     const GameClusteringConfig& config, Rng& rng) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& runs_counter = registry.GetCounter("cluster.game_runs");
+  static obs::Counter& rounds_counter =
+      registry.GetCounter("cluster.br_rounds");
+  static obs::Histogram& rounds_hist =
+      registry.GetHistogram("cluster.br_rounds_per_run", obs::CountEdges());
+
+  obs::TraceSpan game_span("cluster.game");
+  runs_counter.Increment();
   TAMP_CHECK(!items.empty());
   TAMP_CHECK(config.k > 0);
   TAMP_CHECK(config.gamma > 0.0 && config.gamma < 1.0);
@@ -184,6 +195,9 @@ GameClusteringResult GameTheoreticCluster(
     partial.potential_history.push_back(state.Potential());
     converged = !moved;
   }
+
+  rounds_counter.Increment(rounds);
+  rounds_hist.Record(static_cast<double>(rounds));
 
   GameClusteringResult result = Collect(state, items);
   result.potential_history = std::move(partial.potential_history);

@@ -1,0 +1,165 @@
+#include "common/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace tamp::obs {
+
+namespace {
+
+/// Relaxed atomic add for doubles (fetch_add on atomic<double> needs
+/// hardware support; the CAS loop is portable and the path is not hot
+/// enough to care).
+void AtomicAdd(std::atomic<double>& target, double v) {
+  double current = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(current, current + v,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> edges)
+    : edges_(std::move(edges)), buckets_(edges_.size() + 1) {
+  TAMP_CHECK_MSG(!edges_.empty(), "histogram needs at least one bucket edge");
+  TAMP_CHECK_MSG(std::is_sorted(edges_.begin(), edges_.end()),
+                 "histogram edges must be sorted");
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    TAMP_CHECK_MSG(edges_[i] > edges_[i - 1],
+                   "histogram edges must be strictly increasing");
+  }
+}
+
+void Histogram::Record(double v) {
+  // First edge >= v; values above every edge go to the overflow slot.
+  size_t b = static_cast<size_t>(
+      std::lower_bound(edges_.begin(), edges_.end(), v) - edges_.begin());
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAdd(sum_, v);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+const std::vector<double>& DurationEdgesSeconds() {
+  static const std::vector<double> kEdges = {
+      1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2,
+      3e-2, 0.1,  0.3,  1.0,  3.0,  10.0, 30.0};
+  return kEdges;
+}
+
+const std::vector<double>& CountEdges() {
+  static const std::vector<double> kEdges = {0.0,  1.0,   2.0,   5.0,  10.0,
+                                             20.0, 50.0,  100.0, 200.0, 500.0};
+  return kEdges;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TAMP_CHECK_MSG(gauges_.find(name) == gauges_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric name already registered as a different kind");
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TAMP_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                     histograms_.find(name) == histograms_.end(),
+                 "metric name already registered as a different kind");
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         const std::vector<double>& edges) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TAMP_CHECK_MSG(counters_.find(name) == counters_.end() &&
+                     gauges_.find(name) == gauges_.end(),
+                 "metric name already registered as a different kind");
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(edges))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string FormatEdge(double edge) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", edge);
+  return buf;
+}
+
+std::map<std::string, double> MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, double> out;
+  for (const auto& [name, counter] : counters_) {
+    out[name] = static_cast<double>(counter->value());
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    out[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const int64_t count = hist->count();
+    out[name + ".count"] = static_cast<double>(count);
+    out[name + ".sum"] = hist->sum();
+    out[name + ".avg"] = count > 0 ? hist->sum() / static_cast<double>(count)
+                                   : 0.0;
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < hist->edges().size(); ++i) {
+      cumulative += hist->bucket(i);
+      out[name + ".le_" + FormatEdge(hist->edges()[i])] =
+          static_cast<double>(cumulative);
+    }
+    cumulative += hist->bucket(hist->edges().size());
+    out[name + ".le_inf"] = static_cast<double>(cumulative);
+  }
+  return out;
+}
+
+Status MetricsRegistry::WriteJson(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::Internal("could not write " + path);
+  os << "{\n  \"metrics\": {";
+  bool first = true;
+  for (const auto& [key, value] : Snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    os << "\n    \"" << key << "\": " << buf;
+  }
+  os << "\n  }\n}\n";
+  return Status::Ok();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+}  // namespace tamp::obs

@@ -1,0 +1,132 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+///
+/// Design goals (DESIGN.md §4e):
+///   - Dependency-free and cheap enough to leave on: recording is one
+///     relaxed atomic RMW (counter/gauge) or one bucket search plus two
+///     RMWs (histogram). No locks on the record path.
+///   - Thread-safe under the src/common/parallel pool: instruments may be
+///     hit from worker lambdas; totals are exact regardless of
+///     interleaving, so deterministic quantities (batch counts, adapt
+///     steps) snapshot bit-identically at any thread count.
+///   - Stable handles: Get* returns a reference that lives for the
+///     process; hot paths cache it (typically in a function-local static)
+///     and never pay the registry lookup again.
+///
+/// Naming scheme: `<area>.<what>[_<unit>]`, areas matching the library
+/// layout (sim, ppi, km, ggpso, cluster, meta, eval). Wall-clock metrics
+/// carry the `_s` suffix so tools/bench_compare treats them as advisory;
+/// everything else is expected to be machine-independent and is compared
+/// strictly.
+namespace tamp::obs {
+
+/// Monotonically increasing integer metric.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-value metric (e.g. a loss reported at the end of a stage).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket edges are inclusive upper bounds given
+/// at registration; values above the last edge land in the overflow
+/// bucket. Snapshots export cumulative counts (`le_<edge>` = observations
+/// <= edge, Prometheus-style) plus `count` and `sum`.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> edges);
+
+  void Record(double v);
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& edges() const { return edges_; }
+  /// Raw (non-cumulative) count of bucket i; index edges().size() is the
+  /// overflow bucket.
+  int64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void Reset();
+
+ private:
+  std::vector<double> edges_;  // Sorted, strictly increasing.
+  std::vector<std::atomic<int64_t>> buckets_;  // edges_.size() + 1 slots.
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Exponential bucket edges for durations in seconds: 1e-5 .. 30s in
+/// roughly x3 steps. The shared default for `*_s` histograms.
+const std::vector<double>& DurationEdgesSeconds();
+
+/// Small-count bucket edges (queue depths, candidate counts):
+/// {0, 1, 2, 5, 10, 20, 50, 100, 200, 500}.
+const std::vector<double>& CountEdges();
+
+/// The process-wide instrument registry.
+///
+/// Get* registers on first use and returns the same instrument for the
+/// same name forever after (a name is permanently one kind; requesting it
+/// as another kind aborts). Snapshot() flattens every instrument into an
+/// ordered name -> value map, which is what bench JSON embedding and the
+/// --metrics sink serialize.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  /// `edges` is consulted only on first registration.
+  Histogram& GetHistogram(std::string_view name, const std::vector<double>& edges);
+
+  /// Flattened view: counters/gauges as `<name>`, histograms as
+  /// `<name>.count`, `<name>.sum`, `<name>.avg`, `<name>.le_<edge>` and
+  /// `<name>.le_inf` (cumulative). Deterministic ordering (std::map).
+  std::map<std::string, double> Snapshot() const;
+
+  /// Writes the snapshot as a flat JSON object ({"metrics": {...}}).
+  Status WriteJson(const std::string& path) const;
+
+  /// Zeroes every registered instrument (tests and long-lived embedders;
+  /// instruments stay registered so cached references remain valid).
+  void ResetAll();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;  // Guards the maps, not the instruments.
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Formats a bucket edge the way Snapshot() names it ("le_0.001"): %g, so
+/// keys are short and stable.
+std::string FormatEdge(double edge);
+
+}  // namespace tamp::obs

@@ -1,0 +1,155 @@
+#include "common/obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "common/obs/metrics.h"
+
+namespace tamp::obs {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+SteadyClock::time_point TraceEpoch() {
+  static const SteadyClock::time_point epoch = SteadyClock::now();
+  return epoch;
+}
+
+/// Small stable per-thread ids: the main thread (first to record) is 0,
+/// pool workers get 1, 2, ... in first-use order.
+int ThreadTraceId() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local int t_span_depth = 0;
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+TraceRecorder& TraceRecorder::Global() {
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+double TraceRecorder::NowMicros() {
+  return std::chrono::duration<double, std::micro>(SteadyClock::now() -
+                                                   TraceEpoch())
+      .count();
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (events_.size() >= kMaxEvents) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceRecorder::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+std::map<std::string, SpanStats> TraceRecorder::AggregateStats() const {
+  std::map<std::string, SpanStats> stats;
+  for (const TraceEvent& e : Snapshot()) {
+    SpanStats& s = stats[e.name];
+    s.count += 1;
+    s.total_s += e.dur_us * 1e-6;
+  }
+  return stats;
+}
+
+Status TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return Status::Internal("could not write " + path);
+  os << "{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : Snapshot()) {
+    if (!first) os << ",";
+    first = false;
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "\n    {\"name\": \"%s\", \"cat\": \"tamp\", \"ph\": \"X\", "
+                  "\"pid\": 0, \"tid\": %d, \"ts\": %.3f, \"dur\": %.3f, "
+                  "\"args\": {\"depth\": %d}}",
+                  JsonEscape(e.name).c_str(), e.tid, e.ts_us, e.dur_us,
+                  e.depth);
+    os << buf;
+  }
+  os << "\n  ]\n}\n";
+  return Status::Ok();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+Status WriteStatsJson(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::Internal("could not write " + path);
+  auto write_section = [&os](const char* name,
+                             const std::map<std::string, double>& values,
+                             bool trailing_comma) {
+    os << "  \"" << name << "\": {";
+    bool first = true;
+    for (const auto& [key, value] : values) {
+      if (!first) os << ",";
+      first = false;
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", value);
+      os << "\n    \"" << JsonEscape(key) << "\": " << buf;
+    }
+    if (!values.empty()) os << "\n  ";
+    os << "}" << (trailing_comma ? "," : "") << "\n";
+  };
+  std::map<std::string, double> spans;
+  for (const auto& [name, stats] : TraceRecorder::Global().AggregateStats()) {
+    spans[name + ".count"] = static_cast<double>(stats.count);
+    spans[name + ".total_s"] = stats.total_s;
+  }
+  os << "{\n";
+  write_section("metrics", MetricsRegistry::Global().Snapshot(),
+                /*trailing_comma=*/!spans.empty());
+  if (!spans.empty()) write_section("spans", spans, /*trailing_comma=*/false);
+  os << "}\n";
+  return Status::Ok();
+}
+
+TraceSpan::TraceSpan(std::string_view name)
+    : active_(TraceRecorder::Global().enabled()) {
+  if (!active_) return;
+  name_ = name;
+  depth_ = t_span_depth++;
+  start_us_ = TraceRecorder::NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --t_span_depth;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.tid = ThreadTraceId();
+  event.ts_us = start_us_;
+  event.dur_us = TraceRecorder::NowMicros() - start_us_;
+  event.depth = depth_;
+  TraceRecorder::Global().Record(std::move(event));
+}
+
+}  // namespace tamp::obs

@@ -1,0 +1,108 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+/// Trace spans: nested, RAII-scoped duration events exported as a Chrome
+/// `trace_event` timeline (chrome://tracing, Perfetto, speedscope all load
+/// it) plus flat per-span-name aggregates.
+///
+/// Recording is off by default: a disabled TraceSpan constructor is one
+/// relaxed atomic load and nothing else (no clock read, no allocation), so
+/// instrumented hot paths stay on their PR-2 performance. Enable with
+/// TraceRecorder::Global().Enable() — the bench/example harness does this
+/// when the user passes --trace=out.json (core::ApplyRunOptions).
+///
+/// Spans may start and end on pool worker threads; nesting depth is
+/// tracked per thread, and the exported timeline groups events by a small
+/// stable per-thread id, so Chrome renders the fan-out lanes under the
+/// main lane.
+namespace tamp::obs {
+
+/// One completed span. Timestamps are microseconds since the recorder's
+/// process-wide epoch (first use).
+struct TraceEvent {
+  std::string name;
+  int tid = 0;       // Small per-thread id (0 = first thread seen).
+  double ts_us = 0;  // Start.
+  double dur_us = 0;
+  int depth = 0;     // Nesting depth on that thread at start (0 = root).
+};
+
+/// Aggregate of every completed span with one name.
+struct SpanStats {
+  int64_t count = 0;
+  double total_s = 0.0;
+};
+
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Appends a completed event (called by ~TraceSpan). Events beyond the
+  /// safety cap are counted but dropped.
+  void Record(TraceEvent event);
+
+  /// Completed events so far, in completion order. Sort by (tid, ts_us)
+  /// for a per-thread timeline view.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Per-name aggregates of the recorded events.
+  std::map<std::string, SpanStats> AggregateStats() const;
+
+  int64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  /// Writes the Chrome trace_event JSON ({"traceEvents": [...]}, "X"
+  /// complete events, ts/dur in microseconds).
+  Status WriteChromeTrace(const std::string& path) const;
+
+  void Clear();
+
+  /// Microseconds since the process-wide trace epoch (exposed for tests).
+  static double NowMicros();
+
+ private:
+  TraceRecorder() = default;
+
+  static constexpr size_t kMaxEvents = 1 << 20;  // Memory safety cap.
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<int64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// Writes the flat stats JSON: the global MetricsRegistry snapshot under
+/// "metrics" plus (when any spans were recorded) per-span-name aggregates
+/// under "spans" as `<name>.count` / `<name>.total_s`.
+Status WriteStatsJson(const std::string& path);
+
+/// RAII span: records one TraceEvent covering its lifetime when the global
+/// recorder is enabled at construction; a no-op otherwise.
+class TraceSpan {
+ public:
+  explicit TraceSpan(std::string_view name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  bool active_;
+  int depth_ = 0;
+  double start_us_ = 0.0;
+  std::string name_;
+};
+
+}  // namespace tamp::obs

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "common/obs/trace.h"
 
 namespace tamp::core {
 
@@ -13,6 +14,7 @@ TampPipeline::TampPipeline(const PipelineConfig& config) : config_(config) {
 }
 
 OfflineResult TampPipeline::TrainOffline(const data::Workload& workload) {
+  obs::TraceSpan span("pipeline.train_offline");
   TAMP_CHECK(!workload.learning_tasks.empty());
   meta::TrainerConfig trainer_config = config_.trainer;
 
@@ -38,6 +40,7 @@ OfflineResult TampPipeline::TrainOffline(const data::Workload& workload) {
 SimMetrics TampPipeline::RunOnline(const data::Workload& workload,
                                    const OfflineResult& offline,
                                    AssignMethod method) {
+  obs::TraceSpan span("pipeline.run_online");
   nn::EncoderDecoder model(config_.trainer.model);
   BatchSimulator simulator(workload, model, config_.sim);
 

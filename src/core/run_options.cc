@@ -1,0 +1,182 @@
+#include "core/run_options.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <set>
+
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
+#include "common/parallel.h"
+
+namespace tamp::core {
+
+namespace {
+
+Status CheckPositive(double v, const char* field) {
+  if (v > 0.0) return Status::Ok();
+  return Status::InvalidArgument(std::string(field) + " must be > 0");
+}
+
+Status CheckFraction(double v, const char* field) {
+  if (v >= 0.0 && v <= 1.0) return Status::Ok();
+  return Status::InvalidArgument(std::string(field) + " must be in [0, 1]");
+}
+
+/// Parses a non-negative integer flag value; InvalidArgument on junk.
+Status ParseInt(const std::string& value, const std::string& flag,
+                long long* out) {
+  char* end = nullptr;
+  *out = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || *out < 0) {
+    return Status::InvalidArgument(flag + " expects a non-negative integer, "
+                                   "got '" + value + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status RunOptions::Validate() const {
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0 (0 = default)");
+  }
+  TAMP_RETURN_IF_ERROR(CheckPositive(sim.batch_window_min,
+                                     "sim.batch_window_min"));
+  TAMP_RETURN_IF_ERROR(CheckPositive(sim.sample_period_min,
+                                     "sim.sample_period_min"));
+  if (sim.prediction_horizon_steps < 1) {
+    return Status::InvalidArgument(
+        "sim.prediction_horizon_steps (--horizon) must be >= 1");
+  }
+  TAMP_RETURN_IF_ERROR(CheckPositive(sim.match_radius_km,
+                                     "sim.match_radius_km"));
+  if (sim.service_time_min < 0.0) {
+    return Status::InvalidArgument("sim.service_time_min must be >= 0");
+  }
+  if (sim.ppi.epsilon < 1) {
+    return Status::InvalidArgument("sim.ppi.epsilon must be >= 1");
+  }
+  TAMP_RETURN_IF_ERROR(CheckPositive(sim.ppi.weight_floor_km,
+                                     "sim.ppi.weight_floor_km"));
+  if (sim.ggpso.population < 1) {
+    return Status::InvalidArgument("sim.ggpso.population must be >= 1");
+  }
+  if (sim.ggpso.generations < 0) {
+    return Status::InvalidArgument("sim.ggpso.generations must be >= 0");
+  }
+  TAMP_RETURN_IF_ERROR(CheckFraction(sim.ggpso.crossover_rate,
+                                     "sim.ggpso.crossover_rate"));
+  TAMP_RETURN_IF_ERROR(CheckFraction(sim.ggpso.mutation_rate,
+                                     "sim.ggpso.mutation_rate"));
+  std::set<AssignMethod> seen;
+  for (AssignMethod method : methods) {
+    if (!seen.insert(method).second) {
+      return Status::InvalidArgument(
+          "duplicate assignment method '" +
+          std::string(AssignMethodName(method)) + "' in methods");
+    }
+  }
+  return Status::Ok();
+}
+
+std::string RunFlagsHelp() {
+  return
+      "  --dataset=porto|gowalla  workload dataset pair\n"
+      "  --seed=N                 workload seed (0 = dataset default)\n"
+      "  --threads=N              parallel runtime threads (0 = default)\n"
+      "  --horizon=N              forecast horizon steps per worker\n"
+      "  --methods=A,B,...        assignment methods (UB,LB,KM,PPI,GGPSO;\n"
+      "                           default all)\n"
+      "  --json-dir=DIR           directory for the BENCH_<target>.json\n"
+      "  --trace=PATH             write a Chrome trace_event timeline\n"
+      "  --metrics=PATH           write a flat metrics-snapshot JSON\n"
+      "  --help                   this text\n";
+}
+
+Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      return Status::FailedPrecondition(RunFlagsHelp());
+    }
+    const std::size_t eq = arg.find('=');
+    if (arg.rfind("--", 0) != 0 || eq == std::string::npos) {
+      return Status::InvalidArgument("unknown argument '" + arg +
+                                     "' (flags take --name=value form)\n" +
+                                     RunFlagsHelp());
+    }
+    const std::string flag = arg.substr(0, eq);
+    const std::string value = arg.substr(eq + 1);
+    if (flag == "--dataset") {
+      StatusOr<data::WorkloadKind> kind = data::ParseWorkloadKind(value);
+      if (!kind.ok()) return kind.status();
+      options->dataset = *kind;
+    } else if (flag == "--seed") {
+      long long v = 0;
+      TAMP_RETURN_IF_ERROR(ParseInt(value, flag, &v));
+      options->seed = static_cast<uint64_t>(v);
+    } else if (flag == "--threads") {
+      long long v = 0;
+      TAMP_RETURN_IF_ERROR(ParseInt(value, flag, &v));
+      options->threads = static_cast<int>(v);
+    } else if (flag == "--horizon") {
+      long long v = 0;
+      TAMP_RETURN_IF_ERROR(ParseInt(value, flag, &v));
+      options->sim.prediction_horizon_steps = static_cast<int>(v);
+    } else if (flag == "--methods") {
+      options->methods.clear();
+      std::size_t start = 0;
+      while (start <= value.size()) {
+        std::size_t comma = value.find(',', start);
+        if (comma == std::string::npos) comma = value.size();
+        StatusOr<AssignMethod> method =
+            ParseAssignMethod(value.substr(start, comma - start));
+        if (!method.ok()) return method.status();
+        options->methods.push_back(*method);
+        start = comma + 1;
+      }
+    } else if (flag == "--json-dir") {
+      options->sinks.bench_json_dir = value;
+    } else if (flag == "--trace") {
+      options->sinks.trace_path = value;
+    } else if (flag == "--metrics") {
+      options->sinks.metrics_path = value;
+    } else {
+      return Status::InvalidArgument("unknown flag '" + flag + "'\n" +
+                                     RunFlagsHelp());
+    }
+  }
+  return Status::Ok();
+}
+
+void ApplyRunOptions(const RunOptions& options) {
+  if (options.threads > 0) SetParallelThreadCount(options.threads);
+  if (!options.sinks.trace_path.empty()) {
+    obs::TraceRecorder::Global().Enable();
+  }
+}
+
+Status WriteRunArtifacts(const RunOptions& options) {
+  if (!options.sinks.trace_path.empty()) {
+    obs::TraceRecorder& recorder = obs::TraceRecorder::Global();
+    TAMP_RETURN_IF_ERROR(
+        recorder.WriteChromeTrace(options.sinks.trace_path));
+    std::cout << "Trace: " << options.sinks.trace_path << " ("
+              << recorder.Snapshot().size() << " spans";
+    if (recorder.dropped() > 0) {
+      std::cout << ", " << recorder.dropped() << " dropped";
+    }
+    std::cout << ")\n";
+  }
+  if (!options.sinks.metrics_path.empty()) {
+    TAMP_RETURN_IF_ERROR(obs::WriteStatsJson(options.sinks.metrics_path));
+    std::cout << "Metrics: " << options.sinks.metrics_path << "\n";
+  }
+  return Status::Ok();
+}
+
+const std::vector<AssignMethod>& EffectiveMethods(const RunOptions& options) {
+  return options.methods.empty() ? AllAssignMethods() : options.methods;
+}
+
+}  // namespace tamp::core

@@ -1,11 +1,16 @@
 #include "core/simulator.h"
 
 #include <algorithm>
+#include <cctype>
 #include <deque>
+#include <optional>
+#include <string>
 
 #include "assign/bounds.h"
 #include "assign/km_assigner.h"
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "core/rollout.h"
@@ -13,7 +18,7 @@
 
 namespace tamp::core {
 
-const char* AssignMethodName(AssignMethod method) {
+std::string_view AssignMethodName(AssignMethod method) {
   switch (method) {
     case AssignMethod::kUpperBound:
       return "UB";
@@ -29,6 +34,31 @@ const char* AssignMethodName(AssignMethod method) {
   return "?";
 }
 
+const std::vector<AssignMethod>& AllAssignMethods() {
+  static const std::vector<AssignMethod> kAll = {
+      AssignMethod::kUpperBound, AssignMethod::kLowerBound, AssignMethod::kKm,
+      AssignMethod::kPpi, AssignMethod::kGgpso};
+  return kAll;
+}
+
+StatusOr<AssignMethod> ParseAssignMethod(std::string_view name) {
+  std::string upper(name);
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  for (AssignMethod method : AllAssignMethods()) {
+    if (upper == AssignMethodName(method)) return method;
+  }
+  std::string accepted;
+  for (AssignMethod method : AllAssignMethods()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += AssignMethodName(method);
+  }
+  return Status::InvalidArgument("unknown assignment method '" +
+                                 std::string(name) + "' (accepted: " +
+                                 accepted + ")");
+}
+
 BatchSimulator::BatchSimulator(const data::Workload& workload,
                                const nn::EncoderDecoder& model,
                                const SimulatorConfig& config)
@@ -36,6 +66,23 @@ BatchSimulator::BatchSimulator(const data::Workload& workload,
 
 SimMetrics BatchSimulator::Run(
     AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
+  // Per-batch visibility (DESIGN.md §4e): batch counts, pool/candidate
+  // depths, and the forecast vs assignment split of each batch's time.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& batches_counter = registry.GetCounter("sim.batches");
+  static obs::Counter& assignments_counter =
+      registry.GetCounter("sim.assignments");
+  static obs::Counter& accepted_counter = registry.GetCounter("sim.accepted");
+  static obs::Histogram& pool_depth_hist =
+      registry.GetHistogram("sim.pool_depth", obs::CountEdges());
+  static obs::Histogram& available_hist =
+      registry.GetHistogram("sim.available_workers", obs::CountEdges());
+  static obs::Histogram& forecast_hist =
+      registry.GetHistogram("sim.forecast_s", obs::DurationEdgesSeconds());
+  static obs::Histogram& assign_hist =
+      registry.GetHistogram("sim.assign_s", obs::DurationEdgesSeconds());
+
+  obs::TraceSpan run_span("sim.run");
   const auto& workers = workload_.workers;
   TAMP_CHECK(predictors.size() == workers.size());
   SimMetrics metrics;
@@ -106,6 +153,11 @@ SimMetrics BatchSimulator::Run(
     }
     if (available.empty()) continue;
 
+    obs::TraceSpan batch_span("sim.batch");
+    batches_counter.Increment();
+    pool_depth_hist.Record(static_cast<double>(pool.size()));
+    available_hist.Record(static_cast<double>(available.size()));
+
     // Build the batch views. The per-worker autoregressive forecast
     // (RolloutPredict) dominates this block and touches only the worker's
     // own record and output slots, so the batch fans out over the pool;
@@ -119,6 +171,9 @@ SimMetrics BatchSimulator::Run(
     const bool predicts = method == AssignMethod::kKm ||
                           method == AssignMethod::kPpi ||
                           method == AssignMethod::kGgpso;
+    Stopwatch forecast_watch;
+    std::optional<obs::TraceSpan> forecast_span(std::in_place,
+                                                "sim.forecast");
     ParallelFor(available.size(), [&](size_t a) {
       const size_t wi = static_cast<size_t>(available[a]);
       const data::WorkerRecord& record = workers[wi];
@@ -144,9 +199,12 @@ SimMetrics BatchSimulator::Run(
       // The oracle's and the acceptance test's view of reality.
       real_futures[a] = record.test.Slice(now, now + horizon_min);
     });
+    forecast_span.reset();
+    forecast_hist.Record(forecast_watch.ElapsedSeconds());
 
     // Run the assignment algorithm (timed: this is the reported runtime).
     Stopwatch watch;
+    std::optional<obs::TraceSpan> assign_span(std::in_place, "sim.assign");
     assign::AssignmentPlan plan;
     switch (method) {
       case AssignMethod::kUpperBound:
@@ -173,7 +231,10 @@ SimMetrics BatchSimulator::Run(
         break;
       }
     }
-    metrics.assign_seconds += watch.ElapsedSeconds();
+    assign_span.reset();
+    const double assign_elapsed = watch.ElapsedSeconds();
+    metrics.assign_seconds += assign_elapsed;
+    assign_hist.Record(assign_elapsed);
 
     // Worker decisions against reality (step 3 of the framework): accept
     // iff the real detour fits w.d and the deadline is met.
@@ -212,6 +273,9 @@ SimMetrics BatchSimulator::Run(
                           : now + config_.service_time_min;
       accepted_task_ids.push_back(task.id);
     }
+    assignments_counter.Increment(static_cast<int64_t>(plan.pairs.size()));
+    accepted_counter.Increment(
+        static_cast<int64_t>(accepted_task_ids.size()));
     // Remove accepted tasks from the pool.
     for (int id : accepted_task_ids) {
       for (auto it = pool.begin(); it != pool.end(); ++it) {

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "assign/ggpso.h"
 #include "assign/ppi.h"
 #include "assign/types.h"
+#include "common/status.h"
 #include "data/workload.h"
 #include "nn/encoder_decoder.h"
 
@@ -19,7 +21,18 @@ enum class AssignMethod {
   kGgpso,       // Genetic/PSO baseline [11].
 };
 
-const char* AssignMethodName(AssignMethod method);
+/// Canonical display name ("UB", "LB", "KM", "PPI", "GGPSO"). The returned
+/// view points at static storage and round-trips through
+/// ParseAssignMethod.
+std::string_view AssignMethodName(AssignMethod method);
+
+/// Inverse of AssignMethodName (case-insensitive); InvalidArgument for
+/// anything else, listing the accepted names.
+StatusOr<AssignMethod> ParseAssignMethod(std::string_view name);
+
+/// Every AssignMethod, in the fixed presentation order of the paper's
+/// figures (UB, LB, KM, PPI, GGPSO).
+const std::vector<AssignMethod>& AllAssignMethods();
 
 /// Batch-based online-stage settings (Table III: 2-minute windows, 10-min
 /// time units).

@@ -1,11 +1,39 @@
 #include "data/workload.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
+#include <string>
 
 #include "common/check.h"
 
 namespace tamp::data {
+
+std::string_view WorkloadKindName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kPortoDidi:
+      return "porto";
+    case WorkloadKind::kGowallaFoursquare:
+      return "gowalla";
+  }
+  return "?";
+}
+
+StatusOr<WorkloadKind> ParseWorkloadKind(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  if (lower == "porto" || lower == "porto_didi") {
+    return WorkloadKind::kPortoDidi;
+  }
+  if (lower == "gowalla" || lower == "gowalla_foursquare") {
+    return WorkloadKind::kGowallaFoursquare;
+  }
+  return Status::InvalidArgument("unknown dataset '" + std::string(name) +
+                                 "' (accepted: porto, gowalla)");
+}
+
 namespace {
 
 /// Evenly spread zone centres, pulled slightly inward from the borders.

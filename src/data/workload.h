@@ -1,9 +1,11 @@
 #pragma once
 
+#include <string_view>
 #include <vector>
 
 #include "assign/types.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "data/mobility.h"
 #include "data/tasks.h"
 #include "geo/grid.h"
@@ -25,6 +27,15 @@ enum class WorkloadKind {
   /// gaps to).
   kGowallaFoursquare,
 };
+
+/// Canonical short name of a dataset pair ("porto", "gowalla"); static
+/// storage, round-trips through ParseWorkloadKind.
+std::string_view WorkloadKindName(WorkloadKind kind);
+
+/// Inverse of WorkloadKindName (case-insensitive; the long forms
+/// "porto_didi" / "gowalla_foursquare" also parse). InvalidArgument for
+/// anything else.
+StatusOr<WorkloadKind> ParseWorkloadKind(std::string_view name);
 
 /// Everything needed to generate one experiment's data.
 struct WorkloadConfig {

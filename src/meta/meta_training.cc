@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/parallel.h"
 #include "nn/optimizer.h"
 
@@ -88,6 +90,15 @@ MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
                           const std::vector<int>& members,
                           std::vector<double>& theta,
                           const MetaTrainConfig& config, Rng& rng) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& iterations_counter =
+      registry.GetCounter("meta.iterations");
+  static obs::Counter& adapt_steps_counter =
+      registry.GetCounter("meta.adapt_steps");
+  static obs::Gauge& query_loss_gauge =
+      registry.GetGauge("meta.avg_query_loss");
+
+  obs::TraceSpan train_span("meta.train");
   TAMP_CHECK(!members.empty());
   TAMP_CHECK(theta.size() == model.param_count());
 
@@ -104,6 +115,7 @@ MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
   };
 
   for (int iter = 0; iter < config.iterations; ++iter) {
+    iterations_counter.Increment();
     // Alg. 3 line 2: sample a batch of m member tasks. The shared rng is
     // consumed only here, on the calling thread, before the fan-out; the
     // per-pick work below is RNG-free, so no sub-Rng derivation is needed
@@ -122,6 +134,7 @@ MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
           std::vector<double> adapted =
               AdaptKSteps(model, theta, task.support, config.adapt_steps,
                           config.beta, config);
+          adapt_steps_counter.Increment(config.adapt_steps);
           // Alg. 3 line 8: query loss at the adapted parameters.
           std::vector<double> query_grad(theta.size(), 0.0);
           out.query_loss = BatchLossAndGradient(model, adapted, task.query,
@@ -165,6 +178,7 @@ MetaTrainResult MetaTrain(const nn::EncoderDecoder& model,
       theta[i] -= config.alpha * result.meta_gradient[i];
     }
     result.avg_query_loss = loss_sum * inv;
+    query_loss_gauge.Set(result.avg_query_loss);
   }
   return result;
 }

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 
+#include <optional>
+
 #include "cluster/kmeans.h"
 #include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/obs/trace.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
 #include "meta/taml.h"
@@ -20,6 +24,7 @@ MobilityTrainer::MobilityTrainer(const TrainerConfig& config)
 
 std::vector<similarity::GradientPath> MobilityTrainer::ComputePaths(
     const std::vector<LearningTask>& tasks) const {
+  obs::TraceSpan paths_span("meta.paths");
   Rng rng(config_.seed ^ 0xA5A5A5A5ULL);
   std::vector<double> probe = model_.InitParams(rng);
   similarity::RandomProjector projector(
@@ -102,6 +107,7 @@ std::unique_ptr<cluster::TaskTreeNode> SingleClusterTree(int n) {
 TrainedModels MobilityTrainer::Train(const std::vector<LearningTask>& tasks,
                                      MetaAlgorithm algorithm) {
   TAMP_CHECK(!tasks.empty());
+  obs::TraceSpan train_span("meta.train_offline");
   Stopwatch watch;
   Rng rng(config_.seed);
 
@@ -118,6 +124,7 @@ TrainedModels MobilityTrainer::Train(const std::vector<LearningTask>& tasks,
   if (needs_paths) paths = ComputePaths(tasks);
 
   // Stage 1: build the learning task tree per the chosen algorithm.
+  std::optional<obs::TraceSpan> tree_span(std::in_place, "meta.tree");
   switch (algorithm) {
     case MetaAlgorithm::kMaml:
       out.tree = SingleClusterTree(static_cast<int>(tasks.size()));
@@ -166,17 +173,22 @@ TrainedModels MobilityTrainer::Train(const std::vector<LearningTask>& tasks,
     }
   }
 
+  tree_span.reset();
+
   // Stage 2: TAML over the tree (Alg. 2; plain MAML when the tree is a
   // single node).
+  std::optional<obs::TraceSpan> taml_span(std::in_place, "meta.taml");
   std::vector<double> init = model_.InitParams(rng);
   InitializeTreeParams(*out.tree, init);
   TamlResult taml = Taml(*out.tree, tasks, model_, config_.meta, rng);
   out.avg_query_loss = taml.avg_loss;
   out.num_leaves = cluster::CountLeaves(*out.tree);
+  taml_span.reset();
 
   // Stage 3: per-worker fine-tuning from the covering leaf's theta. The
   // tree is read-only here and each worker owns its params slot, so the
   // loop fans out per worker.
+  obs::TraceSpan fine_tune_span("meta.fine_tune");
   out.worker_params.resize(tasks.size());
   ParallelFor(tasks.size(), [&](size_t i) {
     const cluster::TaskTreeNode* leaf =
@@ -195,6 +207,14 @@ EvalResult MobilityTrainer::Evaluate(const TrainedModels& models,
                                      const std::vector<LearningTask>& tasks,
                                      const geo::GridSpec& grid,
                                      double match_radius_km) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& evals_counter = registry.GetCounter("eval.runs");
+  static obs::Counter& points_counter = registry.GetCounter("eval.points");
+  static obs::Gauge& matching_rate_gauge =
+      registry.GetGauge("eval.matching_rate");
+
+  obs::TraceSpan eval_span("eval.matching_rate");
+  evals_counter.Increment();
   TAMP_CHECK(models.worker_params.size() == tasks.size());
   EvalResult result;
   result.per_worker.resize(tasks.size());
@@ -251,6 +271,8 @@ EvalResult MobilityTrainer::Evaluate(const TrainedModels& models,
     result.aggregate.matching_rate =
         static_cast<double>(matched_total) / points_total;
   }
+  points_counter.Increment(points_total);
+  matching_rate_gauge.Set(result.aggregate.matching_rate);
   return result;
 }
 

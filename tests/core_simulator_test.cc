@@ -108,11 +108,11 @@ TEST_F(SimulatorTest, DeterministicAcrossRuns) {
 }
 
 TEST(AssignMethodNameTest, AllNamed) {
-  EXPECT_STREQ(AssignMethodName(AssignMethod::kUpperBound), "UB");
-  EXPECT_STREQ(AssignMethodName(AssignMethod::kLowerBound), "LB");
-  EXPECT_STREQ(AssignMethodName(AssignMethod::kKm), "KM");
-  EXPECT_STREQ(AssignMethodName(AssignMethod::kPpi), "PPI");
-  EXPECT_STREQ(AssignMethodName(AssignMethod::kGgpso), "GGPSO");
+  EXPECT_EQ(AssignMethodName(AssignMethod::kUpperBound), "UB");
+  EXPECT_EQ(AssignMethodName(AssignMethod::kLowerBound), "LB");
+  EXPECT_EQ(AssignMethodName(AssignMethod::kKm), "KM");
+  EXPECT_EQ(AssignMethodName(AssignMethod::kPpi), "PPI");
+  EXPECT_EQ(AssignMethodName(AssignMethod::kGgpso), "GGPSO");
 }
 
 TEST(SimMetricsTest, RatiosHandleZeroDenominators) {

@@ -8,11 +8,13 @@
 // Metric keys must match within the relative tolerance (default 1e-12:
 // bit-identical modulo printing); a metric present in only one file is a
 // failure. Timing keys — "threads", everything under "stages.", and any
-// key ending in "_s" (the repo convention for wall-clock seconds, e.g. a
-// table's TT column) — are reported but never fail the comparison unless
-// --strict-timing is given: wall clock is machine-dependent, table values
-// are not. --expect-diff inverts the exit code (self-test of the tool
-// itself, mirroring the lint gate's --expect-violations).
+// key with a dot-separated component ending in "_s" (the repo convention
+// for wall-clock seconds: a table's TT column, or the "obs" section's
+// duration histograms like obs.sim.assign_s.le_0.001) — are reported but
+// never fail the comparison unless --strict-timing is given: wall clock is
+// machine-dependent, table values and the obs work counts are not.
+// --expect-diff inverts the exit code (self-test of the tool itself,
+// mirroring the lint gate's --expect-violations).
 //
 // Exit code 0 when metrics match (inverted under --expect-diff), 1 when
 // they differ, 2 on usage / IO / parse errors.
@@ -172,9 +174,18 @@ bool LoadReport(const std::string& path, Report* out, std::string* error) {
 
 bool IsTimingKey(const std::string& key) {
   if (key == "threads" || key.rfind("stages.", 0) == 0) return true;
-  constexpr const char kSecondsSuffix[] = "_s";
-  return key.size() >= 2 &&
-         key.compare(key.size() - 2, 2, kSecondsSuffix) == 0;
+  // Wall-clock-derived values carry an `_s` name component: either the key
+  // itself ends in `_s` (a seconds-valued cell), or some dotted component
+  // does (a duration histogram's .count/.sum/.le_* sub-keys, e.g.
+  // obs.km.solve_s.le_0.001).
+  std::size_t start = 0;
+  while (start <= key.size()) {
+    std::size_t dot = key.find('.', start);
+    if (dot == std::string::npos) dot = key.size();
+    if (dot - start >= 2 && key.compare(dot - 2, 2, "_s") == 0) return true;
+    start = dot + 1;
+  }
+  return false;
 }
 
 bool WithinTolerance(double a, double b, double tol) {

@@ -6,6 +6,9 @@
 //   4. No rand()/srand()/unseeded std RNG outside src/common/rng.
 //   5. No raw std::thread / std::jthread / std::async outside
 //      src/common/parallel (the deterministic runtime owns all threads).
+//   6. No raw std::chrono clocks outside src/common/ (Stopwatch and the
+//      obs trace recorder own all time reads; scattered clock calls make
+//      timing untraceable and are invisible to the observability layer).
 //
 // Usage:
 //   tamp_lint <repo_root> [subdir...]         lint subdirs (default: src
@@ -160,6 +163,15 @@ const std::regex& RawThreadRegex() {
   return re;
 }
 
+const std::regex& RawClockRegex() {
+  // std::chrono::steady_clock / system_clock / high_resolution_clock.
+  // Durations and <chrono> itself stay legal; only clock *reads* funnel
+  // through src/common/ (Stopwatch, obs::TraceRecorder).
+  static const std::regex re(
+      R"(std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\b)");
+  return re;
+}
+
 bool LineAllowed(const std::string& raw_line) {
   return raw_line.find(kAllowMarker) != std::string::npos;
 }
@@ -186,6 +198,9 @@ void LintFile(const fs::path& path, const std::string& rel,
   // to create threads; everything else goes through ParallelFor/Map.
   const bool parallel_module =
       rel.find("src/common/parallel") != std::string::npos;
+  // Exemption: src/common/ owns all clock reads (Stopwatch, the obs trace
+  // recorder); everything else measures time through those.
+  const bool common_module = rel.find("src/common/") != std::string::npos;
 
   if (header && code.find(kPragmaOnce) == std::string::npos) {
     out->push_back({rel, 1, "pragma-once",
@@ -219,6 +234,12 @@ void LintFile(const fs::path& path, const std::string& rel,
                       "raw std::thread/std::async outside "
                       "src/common/parallel; use tamp::ParallelFor so runs "
                       "stay deterministic and TAMP_THREADS-controlled"});
+    }
+    if (!common_module && std::regex_search(line, RawClockRegex())) {
+      out->push_back({rel, i + 1, "raw-clock",
+                      "raw std::chrono clock outside src/common/; use "
+                      "tamp::Stopwatch or obs::TraceSpan so timings reach "
+                      "the observability layer"});
     }
   }
 }

@@ -1,0 +1,19 @@
+// Seeded violation corpus: raw std::chrono clock reads outside src/common/.
+// The lint gate's self-test expects the raw-clock rule to fire on each.
+#include <chrono>
+
+double NowSeconds() {
+  auto now = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}
+
+long SystemMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+double HighResSeconds() {
+  auto t = std::chrono::high_resolution_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
