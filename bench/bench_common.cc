@@ -149,8 +149,10 @@ JsonReport::~JsonReport() {
   // The observability registry snapshot (DESIGN.md §4e). Keys with an
   // `_s` component are wall-clock-derived and advisory in bench_compare;
   // the rest are deterministic work counts.
-  WriteJsonSection(os, "obs", obs::MetricsRegistry::Global().Snapshot(),
-                   /*trailing_comma=*/true);
+  if (include_obs_) {
+    WriteJsonSection(os, "obs", obs::MetricsRegistry::Global().Snapshot(),
+                     /*trailing_comma=*/true);
+  }
   WriteJsonSection(os, "metrics", metrics_, /*trailing_comma=*/false);
   os << "}\n";
   std::cout << "\nJSON: " << path << "\n";

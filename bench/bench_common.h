@@ -35,6 +35,12 @@ class JsonReport {
   /// Records one stage wall-clock in seconds, e.g. ("total_s", 51.6).
   void AddStage(const std::string& stage, double seconds);
 
+  /// Whether the written JSON embeds the observability-registry snapshot
+  /// (default true). Micro-benchmark targets turn this off: their obs
+  /// counters scale with google-benchmark's auto-chosen iteration counts,
+  /// which would make the "deterministic" section machine-dependent.
+  void IncludeObs(bool include) { include_obs_ = include; }
+
   /// The report opened by the currently running bench target, or nullptr
   /// (harness functions are no-op recorders without an open report).
   static JsonReport* active();
@@ -42,6 +48,7 @@ class JsonReport {
  private:
   std::string target_;
   std::string json_dir_;
+  bool include_obs_ = true;
   std::map<std::string, double> metrics_;  // Ordered: deterministic output.
   std::map<std::string, double> stages_;
 };

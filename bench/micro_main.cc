@@ -1,0 +1,76 @@
+// Shared main for the google-benchmark micro targets: runs the registered
+// benchmarks with the normal console output, then writes the
+// BENCH_<target>.json report (tools/bench_compare input) with
+//   - per-benchmark wall-clock under "stages" (advisory `_s` keys), and
+//   - the target's deterministic accounting metrics (RegisterMicroMetrics)
+//     under "metrics" (strict keys the perf gate fails on).
+// The obs snapshot is omitted: counters scale with the auto-chosen
+// iteration counts and would not be machine-comparable.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "micro_main.h"
+
+namespace {
+
+/// Forwards to the normal console output and mirrors every per-iteration
+/// real time into the JSON report's stages section.
+class StageRecordingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit StageRecordingReporter(tamp::bench::JsonReport& report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.run_type != Run::RT_Iteration) continue;
+      if (run.iterations <= 0) continue;
+      report_.AddStage(run.benchmark_name() + "_s",
+                       run.real_accumulated_time /
+                           static_cast<double>(run.iterations));
+    }
+  }
+
+ private:
+  tamp::bench::JsonReport& report_;
+};
+
+std::string TargetFromArgv0(const char* argv0) {
+  std::string name(argv0);
+  const std::size_t slash = name.find_last_of('/');
+  if (slash != std::string::npos) name = name.substr(slash + 1);
+  // bench_micro_matching -> micro_matching (the BENCH_ prefix is re-added
+  // by JsonReport).
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Peel off the --json-dir flag (JsonReport's concern); everything else
+  // goes to google-benchmark.
+  std::string json_dir;
+  std::vector<char*> bench_args;
+  static const std::string kJsonDir = "--json-dir=";
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(kJsonDir, 0) == 0) {
+      json_dir = arg.substr(kJsonDir.size());
+    } else {
+      bench_args.push_back(argv[i]);
+    }
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+
+  tamp::bench::JsonReport report(TargetFromArgv0(argv[0]), json_dir);
+  report.IncludeObs(false);
+  StageRecordingReporter reporter(report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  tamp::bench::RegisterMicroMetrics(report);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,15 @@
+#pragma once
+
+#include "bench_common.h"
+
+namespace tamp::bench {
+
+/// Per-target hook of the shared micro-benchmark main (micro_main.cc):
+/// every bench_micro_* translation unit defines it. Implementations record
+/// the target's *deterministic* accounting metrics (work counts, reduction
+/// ratios — never wall-clock) into the report so tools/bench_compare can
+/// gate on them; targets with nothing deterministic to report define it
+/// empty.
+void RegisterMicroMetrics(JsonReport& report);
+
+}  // namespace tamp::bench

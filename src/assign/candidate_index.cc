@@ -1,0 +1,62 @@
+#include "assign/candidate_index.h"
+
+#include <algorithm>
+
+namespace tamp::assign {
+namespace {
+
+std::vector<geo::SpatialLabelIndex::Entry> PlatformVisiblePoints(
+    const std::vector<CandidateWorker>& workers) {
+  std::vector<geo::SpatialLabelIndex::Entry> entries;
+  size_t total = workers.size();
+  for (const CandidateWorker& w : workers) total += w.predicted.size();
+  entries.reserve(total);
+  for (size_t i = 0; i < workers.size(); ++i) {
+    const CandidateWorker& w = workers[i];
+    const int label = static_cast<int>(i);
+    for (const geo::TimedPoint& p : w.predicted) {
+      entries.push_back({p.loc, label});
+    }
+    // The current location feeds stage 3's dis^min, so it must be able to
+    // keep a worker un-pruned on its own (EvaluateCandidate's fallback).
+    entries.push_back({w.current_location, label});
+  }
+  return entries;
+}
+
+double MaxHalfDetourKm(const std::vector<CandidateWorker>& workers) {
+  double max_half = 0.0;
+  for (const CandidateWorker& w : workers) {
+    max_half = std::max(max_half, w.detour_budget_km / 2.0);
+  }
+  return max_half;
+}
+
+double MaxSpeedKmpm(const std::vector<CandidateWorker>& workers) {
+  double max_speed = 0.0;
+  for (const CandidateWorker& w : workers) {
+    max_speed = std::max(max_speed, w.speed_kmpm);
+  }
+  return max_speed;
+}
+
+}  // namespace
+
+CandidateIndex::CandidateIndex(const std::vector<CandidateWorker>& workers)
+    : max_half_detour_km_(MaxHalfDetourKm(workers)),
+      max_speed_kmpm_(MaxSpeedKmpm(workers)),
+      // Cells at half the dominant prune radius: queries then touch a
+      // handful of buckets instead of the dozens the density-derived auto
+      // size yields, which is what keeps the per-query constant below the
+      // dense per-row cost at realistic batch sizes.
+      index_(PlatformVisiblePoints(workers), max_half_detour_km_ / 2.0) {}
+
+double CandidateIndex::PruneRadius(const SpatialTask& task,
+                                   double match_radius_km,
+                                   double now_min) const {
+  if (task.deadline_min <= now_min) return -1.0;  // Expired: prune all.
+  const double d_t = max_speed_kmpm_ * (task.deadline_min - now_min);
+  return std::min(max_half_detour_km_, d_t) + match_radius_km;
+}
+
+}  // namespace tamp::assign

@@ -3,7 +3,30 @@
 #include <algorithm>
 #include <limits>
 
+#include "assign/candidate_index.h"
+#include "common/obs/metrics.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
 namespace tamp::assign {
+namespace {
+
+TaskCandidate CompactInfo(int worker, const CandidateInfo& info) {
+  TaskCandidate c;
+  c.worker = worker;
+  c.b_count = static_cast<int>(info.b_distances.size());
+  c.min_b = info.min_b;
+  c.min_dis = info.min_dis;
+  c.stage3_feasible = info.stage3_feasible;
+  return c;
+}
+
+/// A pair enters the table iff some assignment stage could use it.
+bool Matters(const CandidateInfo& info) {
+  return !info.b_distances.empty() || info.stage3_feasible;
+}
+
+}  // namespace
 
 CandidateInfo EvaluateCandidate(const SpatialTask& task,
                                 const CandidateWorker& worker,
@@ -38,6 +61,63 @@ CandidateInfo EvaluateCandidate(const SpatialTask& task,
       info.min_dis, geo::Distance(worker.current_location, task.location));
   info.stage3_feasible = info.min_dis <= bound;
   return info;
+}
+
+std::vector<std::vector<TaskCandidate>> GenerateCandidates(
+    const std::vector<SpatialTask>& tasks,
+    const std::vector<CandidateWorker>& workers, double match_radius_km,
+    double now_min, const CandidateIndex* index, CandidateGenStats* stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& evals_counter =
+      registry.GetCounter("assign.candidate_evals");
+  static obs::Counter& pruned_counter =
+      registry.GetCounter("assign.candidates_pruned");
+  static obs::Histogram& query_hist =
+      registry.GetHistogram("assign.index_query_s",
+                            obs::DurationEdgesSeconds());
+
+  std::vector<std::vector<TaskCandidate>> table(tasks.size());
+  std::vector<int64_t> evals(tasks.size(), 0);
+  ParallelFor(tasks.size(), [&](size_t t) {
+    const SpatialTask& task = tasks[t];
+    std::vector<TaskCandidate>& row = table[t];
+    if (index == nullptr) {
+      for (size_t w = 0; w < workers.size(); ++w) {
+        CandidateInfo info =
+            EvaluateCandidate(task, workers[w], match_radius_km, now_min);
+        if (Matters(info)) row.push_back(CompactInfo(static_cast<int>(w), info));
+      }
+      evals[t] = static_cast<int64_t>(workers.size());
+      return;
+    }
+    Stopwatch query_watch;
+    // Per-pool-thread buffers: the hit list and dedup stamps are reused
+    // across every task this thread handles, in this batch and later ones.
+    thread_local std::vector<int> hits;  // Ascending worker indices.
+    thread_local CandidateIndex::QueryScratch scratch;
+    index->QueryWorkers(task.location,
+                        index->PruneRadius(task, match_radius_km, now_min),
+                        hits, &scratch);
+    query_hist.Record(query_watch.ElapsedSeconds());
+    for (int w : hits) {
+      CandidateInfo info = EvaluateCandidate(
+          task, workers[static_cast<size_t>(w)], match_radius_km, now_min);
+      if (Matters(info)) row.push_back(CompactInfo(w, info));
+    }
+    evals[t] = static_cast<int64_t>(hits.size());
+  });
+
+  int64_t evaluated = 0;
+  for (int64_t e : evals) evaluated += e;
+  const int64_t dense =
+      static_cast<int64_t>(tasks.size()) * static_cast<int64_t>(workers.size());
+  evals_counter.Increment(evaluated);
+  pruned_counter.Increment(dense - evaluated);
+  if (stats != nullptr) {
+    stats->evaluated += evaluated;
+    stats->pruned += dense - evaluated;
+  }
+  return table;
 }
 
 }  // namespace tamp::assign

@@ -1,10 +1,13 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "assign/types.h"
 
 namespace tamp::assign {
+
+class CandidateIndex;
 
 /// The Theorem-2 view of one (task, worker) pair: which predicted points
 /// certify an expected completion probability of MR, and the fallback
@@ -28,5 +31,37 @@ struct CandidateInfo {
 CandidateInfo EvaluateCandidate(const SpatialTask& task,
                                 const CandidateWorker& worker,
                                 double match_radius_km, double now_min);
+
+/// One surviving (task, worker) evaluation in a batch candidate table: the
+/// compact subset of CandidateInfo the assignment algorithms consume.
+struct TaskCandidate {
+  int worker = -1;       // Batch index into the workers vector.
+  int b_count = 0;       // |B| (0 when the Theorem-2 set is empty).
+  double min_b = 0.0;    // min B; +inf when B is empty.
+  double min_dis = 0.0;  // dis^min over predicted points + current location.
+  bool stage3_feasible = false;
+};
+
+/// Work accounting for one GenerateCandidates call (also mirrored into the
+/// obs registry as assign.candidate_evals / assign.candidates_pruned).
+struct CandidateGenStats {
+  int64_t evaluated = 0;  // EvaluateCandidate invocations.
+  int64_t pruned = 0;     // Dense pairs skipped via the spatial index.
+};
+
+/// Builds the batch candidate table: for every task, the ascending-worker
+/// list of pairs whose EvaluateCandidate outcome matters (non-empty B or
+/// stage-3 feasible). With `index` non-null only workers surviving the
+/// Theorem-2 radius prune are evaluated; with nullptr every T x W pair is.
+/// Both paths produce the identical table — the prune only skips pairs
+/// whose evaluation is provably empty/infeasible (see CandidateIndex).
+///
+/// Tasks fan out over the deterministic parallel runtime with slot-indexed
+/// writes, so the table is bit-identical at any thread count.
+std::vector<std::vector<TaskCandidate>> GenerateCandidates(
+    const std::vector<SpatialTask>& tasks,
+    const std::vector<CandidateWorker>& workers, double match_radius_km,
+    double now_min, const CandidateIndex* index,
+    CandidateGenStats* stats = nullptr);
 
 }  // namespace tamp::assign

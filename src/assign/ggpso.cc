@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <limits>
+#include <optional>
 
+#include "assign/candidate_index.h"
 #include "assign/candidates.h"
 #include "common/check.h"
 #include "common/obs/metrics.h"
@@ -29,15 +31,25 @@ using FeasibilityTable = std::vector<std::vector<FeasibleEdge>>;
 
 FeasibilityTable BuildTable(const std::vector<SpatialTask>& tasks,
                             const std::vector<CandidateWorker>& workers,
-                            double match_radius_km, double now_min) {
+                            double match_radius_km, double now_min,
+                            bool use_spatial_index) {
+  static obs::Histogram& build_hist =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "assign.index_build_s", obs::DurationEdgesSeconds());
+  std::optional<CandidateIndex> index;
+  if (use_spatial_index) {
+    obs::TraceSpan build_span("ggpso.index_build");
+    Stopwatch build_watch;
+    index.emplace(workers);
+    build_hist.Record(build_watch.ElapsedSeconds());
+  }
+  const std::vector<std::vector<TaskCandidate>> candidates =
+      GenerateCandidates(tasks, workers, match_radius_km, now_min,
+                         index ? &*index : nullptr);
   FeasibilityTable table(tasks.size());
-  for (size_t t = 0; t < tasks.size(); ++t) {
-    for (size_t w = 0; w < workers.size(); ++w) {
-      CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
-                                             match_radius_km, now_min);
-      if (info.stage3_feasible) {
-        table[t].push_back({static_cast<int>(w), info.min_dis});
-      }
+  for (size_t t = 0; t < candidates.size(); ++t) {
+    for (const TaskCandidate& tc : candidates[t]) {
+      if (tc.stage3_feasible) table[t].push_back({tc.worker, tc.min_dis});
     }
   }
   return table;
@@ -147,8 +159,8 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
   Stopwatch solve_watch;
   obs::TraceSpan solve_span("ggpso.solve");
 
-  FeasibilityTable table =
-      BuildTable(tasks, workers, config.match_radius_km, now_min);
+  FeasibilityTable table = BuildTable(tasks, workers, config.match_radius_km,
+                                      now_min, config.use_spatial_index);
   Rng rng(config.seed);
   const int num_workers = static_cast<int>(workers.size());
 

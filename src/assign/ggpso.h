@@ -16,6 +16,10 @@ struct GgpsoConfig {
   /// Matching-rate radius a used in the feasibility test (same as PPI's).
   double match_radius_km = 0.5;
   uint64_t seed = 99;
+  /// Prune candidate generation through the per-batch spatial index
+  /// (CandidateIndex); dense sweep when false. Plans are bit-identical
+  /// either way.
+  bool use_spatial_index = true;
 };
 
 /// GGPSO [11]: the state-of-the-art mobility-prediction-aware assignment

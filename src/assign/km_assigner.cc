@@ -1,5 +1,8 @@
 #include "assign/km_assigner.h"
 
+#include <optional>
+
+#include "assign/candidate_index.h"
 #include "assign/candidates.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
@@ -11,27 +14,35 @@ namespace tamp::assign {
 AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
-                        double weight_floor_km) {
+                        double weight_floor_km, bool use_spatial_index) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   static obs::Counter& solves_counter = registry.GetCounter("km.solves");
   static obs::Counter& edges_counter = registry.GetCounter("km.edges");
   static obs::Histogram& solve_hist =
       registry.GetHistogram("km.solve_s", obs::DurationEdgesSeconds());
+  static obs::Histogram& build_hist = registry.GetHistogram(
+      "assign.index_build_s", obs::DurationEdgesSeconds());
 
   AssignmentPlan plan;
   if (tasks.empty() || workers.empty()) return plan;
 
+  std::optional<CandidateIndex> index;
+  if (use_spatial_index) {
+    obs::TraceSpan build_span("km.index_build");
+    Stopwatch build_watch;
+    index.emplace(workers);
+    build_hist.Record(build_watch.ElapsedSeconds());
+  }
+  const std::vector<std::vector<TaskCandidate>> table =
+      GenerateCandidates(tasks, workers, match_radius_km, now_min,
+                         index ? &*index : nullptr);
+
   std::vector<matching::Edge> edges;
-  std::vector<std::vector<double>> min_dis(
-      tasks.size(), std::vector<double>(workers.size(), 0.0));
-  for (size_t t = 0; t < tasks.size(); ++t) {
-    for (size_t w = 0; w < workers.size(); ++w) {
-      CandidateInfo info = EvaluateCandidate(tasks[t], workers[w],
-                                             match_radius_km, now_min);
-      if (!info.stage3_feasible) continue;
-      min_dis[t][w] = info.min_dis;
-      edges.push_back({static_cast<int>(t), static_cast<int>(w),
-                       1.0 / (info.min_dis + weight_floor_km)});
+  for (size_t t = 0; t < table.size(); ++t) {
+    for (const TaskCandidate& tc : table[t]) {
+      if (!tc.stage3_feasible) continue;
+      edges.push_back({static_cast<int>(t), tc.worker,
+                       1.0 / (tc.min_dis + weight_floor_km)});
     }
   }
   solves_counter.Increment();
@@ -42,8 +53,16 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
       static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
   solve_hist.Record(solve_watch.ElapsedSeconds());
   for (auto [t, w] : result.pairs) {
-    plan.pairs.push_back(
-        {t, w, min_dis[static_cast<size_t>(t)][static_cast<size_t>(w)]});
+    // Recover dis^min of the matched pair from its table row (rows hold
+    // ascending worker indices, so the scan is short and deterministic).
+    double min_dis = 0.0;
+    for (const TaskCandidate& tc : table[static_cast<size_t>(t)]) {
+      if (tc.worker == w) {
+        min_dis = tc.min_dis;
+        break;
+      }
+    }
+    plan.pairs.push_back({t, w, min_dis});
   }
   return plan;
 }

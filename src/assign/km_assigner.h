@@ -8,9 +8,14 @@ namespace tamp::assign {
 /// PPI's third stage does — a pair is feasible when the closest predicted
 /// point satisfies dis^min <= min(d/2, d_t) — and solves one maximum-weight
 /// matching with 1/dis^min weights. Ignores matching rates entirely.
+///
+/// `use_spatial_index` selects the pruned candidate generation (default)
+/// or the dense T x W sweep; both yield bit-identical plans (see
+/// CandidateIndex).
 AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
-                        double weight_floor_km = 1e-3);
+                        double weight_floor_km = 1e-3,
+                        bool use_spatial_index = true);
 
 }  // namespace tamp::assign

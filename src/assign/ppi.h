@@ -14,6 +14,12 @@ struct PpiConfig {
   /// Numerical floor added to distances before taking reciprocals as edge
   /// weights (1/minB), so zero-distance candidates stay finite.
   double weight_floor_km = 1e-3;
+  /// When true (default), candidate generation prunes (task, worker) pairs
+  /// through a per-batch spatial index over the workers' platform-visible
+  /// points (CandidateIndex) instead of evaluating every dense T x W pair.
+  /// The prune is a conservative Theorem-2 superset, so plans are
+  /// bit-identical either way; the flag exists so tests can assert that.
+  bool use_spatial_index = true;
 };
 
 /// Prediction Performance-Involved Task Assignment (Algorithm 4).

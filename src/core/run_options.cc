@@ -85,6 +85,8 @@ std::string RunFlagsHelp() {
       "  --seed=N                 workload seed (0 = dataset default)\n"
       "  --threads=N              parallel runtime threads (0 = default)\n"
       "  --horizon=N              forecast horizon steps per worker\n"
+      "  --candidates=indexed|dense  candidate generation: spatial-index\n"
+      "                           pruning (default) or dense T x W sweep\n"
       "  --methods=A,B,...        assignment methods (UB,LB,KM,PPI,GGPSO;\n"
       "                           default all)\n"
       "  --json-dir=DIR           directory for the BENCH_<target>.json\n"
@@ -123,6 +125,15 @@ Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
       long long v = 0;
       TAMP_RETURN_IF_ERROR(ParseInt(value, flag, &v));
       options->sim.prediction_horizon_steps = static_cast<int>(v);
+    } else if (flag == "--candidates") {
+      if (value == "indexed") {
+        options->sim.use_spatial_index = true;
+      } else if (value == "dense") {
+        options->sim.use_spatial_index = false;
+      } else {
+        return Status::InvalidArgument(
+            "--candidates expects 'indexed' or 'dense', got '" + value + "'");
+      }
     } else if (flag == "--methods") {
       options->methods.clear();
       std::size_t start = 0;

@@ -59,6 +59,15 @@ StatusOr<AssignMethod> ParseAssignMethod(std::string_view name) {
                                  accepted + ")");
 }
 
+size_t PurgeExpiredTasks(std::deque<assign::SpatialTask>& pool,
+                         double now_min) {
+  // One linear pass; the old restart-from-begin scan-erase loop was
+  // O(pool^2) per batch when a backlog expired at once.
+  return std::erase_if(pool, [now_min](const assign::SpatialTask& task) {
+    return task.deadline_min <= now_min;
+  });
+}
+
 BatchSimulator::BatchSimulator(const data::Workload& workload,
                                const nn::EncoderDecoder& model,
                                const SimulatorConfig& config)
@@ -121,18 +130,7 @@ SimMetrics BatchSimulator::Run(
       pool.push_back(workload_.task_stream[next_release]);
       ++next_release;
     }
-    while (!pool.empty()) {
-      // Pool stays release-ordered; deadlines are not, so scan-erase.
-      bool erased = false;
-      for (auto it = pool.begin(); it != pool.end(); ++it) {
-        if (it->deadline_min <= now) {
-          pool.erase(it);
-          erased = true;
-          break;
-        }
-      }
-      if (!erased) break;
-    }
+    PurgeExpiredTasks(pool, now);
     if (pool.empty()) continue;
 
     // Available workers still on shift.
@@ -216,17 +214,21 @@ SimMetrics BatchSimulator::Run(
         break;
       case AssignMethod::kKm:
         plan = assign::KmAssign(batch_tasks, batch_workers, now,
-                                config_.match_radius_km);
+                                config_.match_radius_km,
+                                /*weight_floor_km=*/1e-3,
+                                config_.use_spatial_index);
         break;
       case AssignMethod::kPpi: {
         assign::PpiConfig ppi = config_.ppi;
         ppi.match_radius_km = config_.match_radius_km;
+        ppi.use_spatial_index = config_.use_spatial_index;
         plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi);
         break;
       }
       case AssignMethod::kGgpso: {
         assign::GgpsoConfig ggpso = config_.ggpso;
         ggpso.match_radius_km = config_.match_radius_km;
+        ggpso.use_spatial_index = config_.use_spatial_index;
         plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso);
         break;
       }

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <deque>
 #include <string_view>
 #include <vector>
 
@@ -58,9 +60,20 @@ struct SimulatorConfig {
   /// the ablation bench); when false — the paper's behaviour — a rejected
   /// task simply returns to the pool and may be re-proposed to anyone.
   bool remember_declines = false;
+  /// Forwarded to every assigner that generates candidates (PPI, KM,
+  /// GGPSO): prune candidate pairs through the per-batch spatial index
+  /// (default) or run the dense T x W sweep. Plans — and therefore every
+  /// simulator metric — are bit-identical either way.
+  bool use_spatial_index = true;
   assign::PpiConfig ppi;
   assign::GgpsoConfig ggpso;
 };
+
+/// Removes every task whose deadline has passed (deadline <= now) from the
+/// pending pool in a single pass, preserving the release order of the
+/// survivors. Returns the number of tasks dropped.
+size_t PurgeExpiredTasks(std::deque<assign::SpatialTask>& pool,
+                         double now_min);
 
 /// Aggregate outcome of one simulated horizon (the Fig. 6-11 metrics).
 struct SimMetrics {

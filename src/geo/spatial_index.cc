@@ -5,6 +5,113 @@
 
 namespace tamp::geo {
 
+SpatialLabelIndex::SpatialLabelIndex(const std::vector<Entry>& entries,
+                                     double target_cell_km) {
+  num_entries_ = entries.size();
+  if (entries.empty()) {
+    buckets_.resize(1);
+    return;
+  }
+  Point max = entries[0].loc;
+  min_ = entries[0].loc;
+  for (const Entry& e : entries) {
+    min_.x = std::min(min_.x, e.loc.x);
+    min_.y = std::min(min_.y, e.loc.y);
+    max.x = std::max(max.x, e.loc.x);
+    max.y = std::max(max.y, e.loc.y);
+  }
+  const double width = max.x - min_.x;
+  const double height = max.y - min_.y;
+  const double extent = std::max(width, height);
+  double cell = target_cell_km;
+  if (cell <= 0.0) {
+    // ~1 point per cell: balances bucket scan length against the number of
+    // cells a query rectangle covers.
+    cell = std::sqrt(std::max(width * height, 1e-12) /
+                     static_cast<double>(entries.size()));
+  }
+  cell_km_ = std::clamp(cell, 0.05, std::max(extent, 0.05));
+  rows_ = static_cast<int>(height / cell_km_) + 1;
+  cols_ = static_cast<int>(width / cell_km_) + 1;
+  buckets_.resize(static_cast<size_t>(rows_) * static_cast<size_t>(cols_));
+  for (const Entry& e : entries) {
+    buckets_[BucketOf(e.loc)].push_back(e);
+    max_label_ = std::max(max_label_, e.label);
+    if (e.label < 0) labels_non_negative_ = false;
+  }
+}
+
+size_t SpatialLabelIndex::BucketOf(const Point& p) const {
+  int row = static_cast<int>((p.y - min_.y) / cell_km_);
+  int col = static_cast<int>((p.x - min_.x) / cell_km_);
+  row = std::clamp(row, 0, rows_ - 1);
+  col = std::clamp(col, 0, cols_ - 1);
+  return static_cast<size_t>(row) * static_cast<size_t>(cols_) +
+         static_cast<size_t>(col);
+}
+
+void SpatialLabelIndex::CollectLabelsWithin(const Point& center,
+                                            double radius_km,
+                                            std::vector<int>& out,
+                                            QueryScratch* scratch) const {
+  out.clear();
+  if (radius_km < 0.0 || num_entries_ == 0) return;
+  if (scratch != nullptr && labels_non_negative_) {
+    scratch->stamp.resize(static_cast<size_t>(max_label_) + 1, 0u);
+    ++scratch->epoch;
+    if (scratch->epoch == 0u) {  // Wrapped: stale stamps may alias.
+      std::fill(scratch->stamp.begin(), scratch->stamp.end(), 0u);
+      scratch->epoch = 1u;
+    }
+  } else {
+    scratch = nullptr;
+  }
+  // Cell ranks of the query rectangle's corners; BucketOf clamps, so the
+  // range is valid even when the ball pokes outside the bounding box.
+  const int row_lo = std::clamp(
+      static_cast<int>((center.y - radius_km - min_.y) / cell_km_), 0,
+      rows_ - 1);
+  const int row_hi = std::clamp(
+      static_cast<int>((center.y + radius_km - min_.y) / cell_km_), 0,
+      rows_ - 1);
+  const int col_lo = std::clamp(
+      static_cast<int>((center.x - radius_km - min_.x) / cell_km_), 0,
+      cols_ - 1);
+  const int col_hi = std::clamp(
+      static_cast<int>((center.x + radius_km - min_.x) / cell_km_), 0,
+      cols_ - 1);
+  const double r2 = radius_km * radius_km;
+  for (int row = row_lo; row <= row_hi; ++row) {
+    for (int col = col_lo; col <= col_hi; ++col) {
+      const std::vector<Entry>& bucket =
+          buckets_[static_cast<size_t>(row) * static_cast<size_t>(cols_) +
+                   static_cast<size_t>(col)];
+      if (bucket.empty()) continue;
+      // Skip cells whose nearest corner already exceeds the radius.
+      const double cx0 = min_.x + col * cell_km_, cx1 = cx0 + cell_km_;
+      const double cy0 = min_.y + row * cell_km_, cy1 = cy0 + cell_km_;
+      const double dx = std::max({cx0 - center.x, 0.0, center.x - cx1});
+      const double dy = std::max({cy0 - center.y, 0.0, center.y - cy1});
+      if (dx * dx + dy * dy > r2) continue;
+      for (const Entry& e : bucket) {
+        // Closed ball: the Theorem-2 feasibility inequality is closed, so
+        // boundary points must survive the prune (class comment).
+        if (DistanceSquared(e.loc, center) > r2) continue;
+        if (scratch != nullptr) {
+          unsigned& stamp = scratch->stamp[static_cast<size_t>(e.label)];
+          if (stamp == scratch->epoch) continue;
+          stamp = scratch->epoch;
+        }
+        out.push_back(e.label);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  if (scratch == nullptr) {
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+  }
+}
+
 SpatialCountIndex::SpatialCountIndex(const GridSpec& spec,
                                      const std::vector<Point>& points)
     : spec_(spec),

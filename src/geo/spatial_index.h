@@ -7,6 +7,64 @@
 
 namespace tamp::geo {
 
+/// Uniform-grid index over labelled points (a label is typically a worker
+/// index) on an arbitrary bounding box, supporting closed-ball label
+/// queries: "which labels own at least one point with dis <= radius?".
+///
+/// This is the substrate of the assignment path's Theorem-2 candidate
+/// pruning (assign::CandidateIndex): the query must be *conservative*
+/// w.r.t. the closed inequality `dis + a <= bound`, so — unlike
+/// SpatialCountIndex below, whose counting semantics are strict — points
+/// exactly at the query radius are returned.
+class SpatialLabelIndex {
+ public:
+  struct Entry {
+    Point loc;
+    int label = 0;
+  };
+
+  /// Reusable per-caller dedup state for CollectLabelsWithin. A label's
+  /// stamp equal to the current epoch means "already collected this
+  /// query"; bumping the epoch invalidates all stamps at once, so the
+  /// vector is written, never cleared. One scratch per thread.
+  struct QueryScratch {
+    std::vector<unsigned> stamp;
+    unsigned epoch = 0;
+  };
+
+  /// Buckets `entries` into a uniform grid over their bounding box. With
+  /// `target_cell_km <= 0` the cell size is derived so the grid holds
+  /// roughly one point per cell (clamped to [0.05 km, longest extent]).
+  explicit SpatialLabelIndex(const std::vector<Entry>& entries,
+                             double target_cell_km = 0.0);
+
+  /// Collects into `out` the ascending, deduplicated labels of every entry
+  /// with Distance(entry.loc, center) <= radius_km (closed ball; see class
+  /// comment). Clears `out` first. No-op collection for radius < 0.
+  ///
+  /// With a `scratch`, duplicate labels are filtered as entries are
+  /// scanned (O(unique) sort) instead of by a sort+unique pass over every
+  /// matching point — the fast path for hot per-batch query loops. Only
+  /// usable when all labels are non-negative; ignored otherwise.
+  void CollectLabelsWithin(const Point& center, double radius_km,
+                           std::vector<int>& out,
+                           QueryScratch* scratch = nullptr) const;
+
+  size_t num_entries() const { return num_entries_; }
+
+ private:
+  size_t BucketOf(const Point& p) const;
+
+  Point min_;           // Bounding-box corner; grid origin.
+  double cell_km_ = 1.0;
+  int rows_ = 1;
+  int cols_ = 1;
+  std::vector<std::vector<Entry>> buckets_;
+  size_t num_entries_ = 0;
+  int max_label_ = -1;        // Largest label; sizes QueryScratch::stamp.
+  bool labels_non_negative_ = true;
+};
+
 /// Uniform-grid point index supporting fast "count points within radius"
 /// queries. The task-assignment-oriented loss (Eq. 7) calls this once per
 /// trajectory point per training step, so the count path must be cheap.

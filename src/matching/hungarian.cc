@@ -12,8 +12,8 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 
 }  // namespace
 
-AssignmentResult MinCostAssignment(
-    const std::vector<std::vector<double>>& cost) {
+AssignmentResult MinCostAssignment(const std::vector<std::vector<double>>& cost,
+                                   MatchingScratch* scratch) {
   const size_t n = cost.size();
   TAMP_CHECK(n > 0);
   const size_t m = cost[0].size();
@@ -26,15 +26,27 @@ AssignmentResult MinCostAssignment(
     for (double c : row) TAMP_CHECK_FINITE(c);
   }
 
+  MatchingScratch local;
+  MatchingScratch& s = scratch != nullptr ? *scratch : local;
+
   // Classic potentials formulation (1-indexed): p[j] is the row assigned to
   // column j; each outer iteration augments along a shortest path.
-  std::vector<double> u(n + 1, 0.0), v(m + 1, 0.0);
-  std::vector<size_t> p(m + 1, 0), way(m + 1, 0);
+  // assign() both sizes and resets, so a reused scratch starts clean.
+  std::vector<double>& u = s.u;
+  std::vector<double>& v = s.v;
+  std::vector<size_t>& p = s.p;
+  std::vector<size_t>& way = s.way;
+  u.assign(n + 1, 0.0);
+  v.assign(m + 1, 0.0);
+  p.assign(m + 1, 0);
+  way.assign(m + 1, 0);
   for (size_t i = 1; i <= n; ++i) {
     p[0] = i;
     size_t j0 = 0;
-    std::vector<double> minv(m + 1, kInf);
-    std::vector<char> used(m + 1, 0);
+    std::vector<double>& minv = s.minv;
+    std::vector<char>& used = s.used;
+    minv.assign(m + 1, kInf);
+    used.assign(m + 1, 0);
     do {
       used[j0] = 1;
       size_t i0 = p[j0];
@@ -80,15 +92,21 @@ AssignmentResult MinCostAssignment(
 }
 
 MatchResult MaxWeightMatching(int num_left, int num_right,
-                              const std::vector<Edge>& edges) {
+                              const std::vector<Edge>& edges,
+                              MatchingScratch* scratch) {
   TAMP_CHECK(num_left >= 0 && num_right >= 0);
   MatchResult result;
   if (num_left == 0 || num_right == 0) return result;
 
+  MatchingScratch local;
+  MatchingScratch& s = scratch != nullptr ? *scratch : local;
+
   // Pad to a square weight matrix; absent edges have weight 0 (matching to
   // them is equivalent to staying unmatched and costs nothing).
   const size_t n = static_cast<size_t>(std::max(num_left, num_right));
-  std::vector<std::vector<double>> weight(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>>& weight = s.weight;
+  weight.resize(n);
+  for (auto& row : weight) row.assign(n, 0.0);
   double max_weight = 0.0;
   for (const Edge& e : edges) {
     TAMP_CHECK(e.left >= 0 && e.left < num_left);
@@ -102,11 +120,13 @@ MatchResult MaxWeightMatching(int num_left, int num_right,
   if (max_weight <= 0.0) return result;  // No positive-weight edges.
 
   // Convert to a min-cost assignment: cost = max_weight - weight >= 0.
-  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  std::vector<std::vector<double>>& cost = s.cost;
+  cost.resize(n);
   for (size_t i = 0; i < n; ++i) {
+    cost[i].assign(n, 0.0);
     for (size_t j = 0; j < n; ++j) cost[i][j] = max_weight - weight[i][j];
   }
-  AssignmentResult assignment = MinCostAssignment(cost);
+  AssignmentResult assignment = MinCostAssignment(cost, &s);
 
   for (size_t left = 0; left < n; ++left) {
     int right = assignment.col_of_row[left];

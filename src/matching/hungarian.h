@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 
@@ -29,13 +30,28 @@ struct AssignmentResult {
   double total_cost = 0.0;
 };
 
+/// Reusable working set for the matchers below. Hot callers that solve
+/// many matchings per batch (PPI's per-epsilon-batch KM calls) keep one of
+/// these across calls so the O(n^2) potentials/matrix buffers are
+/// allocated once and recycled; results are identical with or without a
+/// scratch. Not thread-safe: one scratch per calling thread.
+struct MatchingScratch {
+  // MinCostAssignment working vectors.
+  std::vector<double> u, v, minv;
+  std::vector<std::size_t> p, way;
+  std::vector<char> used;
+  // MaxWeightMatching padded square matrices.
+  std::vector<std::vector<double>> weight;
+  std::vector<std::vector<double>> cost;
+};
+
 /// Minimum-cost perfect assignment of every row to a distinct column via
 /// the Kuhn-Munkres potentials/shortest-augmenting-path algorithm, O(r^2 c).
 /// Requires a rectangular matrix with rows() <= cols() and finite costs.
 /// This is the computational core shared by MaxWeightMatching and the exact
-/// 2-D Wasserstein distance.
-AssignmentResult MinCostAssignment(
-    const std::vector<std::vector<double>>& cost);
+/// 2-D Wasserstein distance. `scratch` may be null (per-call buffers).
+AssignmentResult MinCostAssignment(const std::vector<std::vector<double>>& cost,
+                                   MatchingScratch* scratch = nullptr);
 
 /// Maximum-weight bipartite matching via the Kuhn-Munkres algorithm
 /// ([35], [36] in the paper) with potentials and shortest augmenting paths,
@@ -43,9 +59,10 @@ AssignmentResult MinCostAssignment(
 /// pairs connected by a real (positive-weight) input edge are reported.
 ///
 /// `num_left`/`num_right` bound the vertex ids appearing in `edges`.
-/// Duplicate edges keep the maximum weight.
+/// Duplicate edges keep the maximum weight. `scratch` may be null.
 MatchResult MaxWeightMatching(int num_left, int num_right,
-                              const std::vector<Edge>& edges);
+                              const std::vector<Edge>& edges,
+                              MatchingScratch* scratch = nullptr);
 
 /// Greedy descending-weight matching; used as a test oracle bound (the
 /// greedy total is always <= the KM total) and a cheap fallback.

@@ -96,6 +96,45 @@ TEST(EvaluateCandidateTest, DetourBudgetHalved) {
   EXPECT_EQ(EvaluateCandidate(task, loose, 0.0, 0.0).b_distances.size(), 1u);
 }
 
+TEST(EvaluateCandidateTest, DeadlineEqualToNowIsExpired) {
+  // The deadline test is strict (reach the task *before* tau.t): a task
+  // whose deadline is exactly `now` admits nobody, even a worker standing
+  // on it.
+  auto worker = MakeWorker({{0.0, 0.0, 1.0}});
+  worker.current_location = {0.0, 0.0};
+  auto task = MakeTask({0.0, 0.0}, /*deadline=*/7.0);
+  CandidateInfo info = EvaluateCandidate(task, worker, 0.5, /*now=*/7.0);
+  EXPECT_TRUE(info.b_distances.empty());
+  EXPECT_FALSE(info.stage3_feasible);
+}
+
+TEST(EvaluateCandidateTest, ExactBoundaryIsInsideB) {
+  // Theorem-2 membership is the closed inequality dis + a <= bound: with
+  // d/2 = 2, a point at distance 1.5 and a = 0.5 sits exactly on the
+  // boundary and must be counted (the spatial-index prune relies on the
+  // same closed-ball convention).
+  auto worker = MakeWorker({{1.5, 0.0, 10.0}});
+  auto task = MakeTask({0.0, 0.0}, 1000.0);
+  CandidateInfo on = EvaluateCandidate(task, worker, 0.5, 0.0);
+  ASSERT_EQ(on.b_distances.size(), 1u);
+  EXPECT_DOUBLE_EQ(on.min_b, 1.5);
+  // Any radius past the boundary excludes it.
+  CandidateInfo off = EvaluateCandidate(task, worker, 0.5 + 1e-9, 0.0);
+  EXPECT_TRUE(off.b_distances.empty());
+}
+
+TEST(EvaluateCandidateTest, DeclinedWorkerIsNeverProposedAgain) {
+  auto worker = MakeWorker({{0.0, 0.0, 10.0}});
+  worker.id = 42;
+  worker.current_location = {0.0, 0.0};
+  auto task = MakeTask({0.0, 0.0}, 1000.0);
+  ASSERT_TRUE(EvaluateCandidate(task, worker, 0.5, 0.0).stage3_feasible);
+  task.declined_worker_ids.push_back(42);
+  CandidateInfo info = EvaluateCandidate(task, worker, 0.5, 0.0);
+  EXPECT_TRUE(info.b_distances.empty());
+  EXPECT_FALSE(info.stage3_feasible);
+}
+
 TEST(MatchingRateTest, CountsWithinRadius) {
   std::vector<geo::Point> real = {{0, 0}, {1, 0}, {2, 0}, {3, 0}};
   std::vector<geo::Point> pred = {{0, 0.1}, {1, 3.0}, {2, 0.4}, {9, 9}};

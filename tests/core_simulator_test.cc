@@ -107,6 +107,36 @@ TEST_F(SimulatorTest, DeterministicAcrossRuns) {
   EXPECT_DOUBLE_EQ(a.total_cost_km, b.total_cost_km);
 }
 
+TEST(PurgeExpiredTasksTest, DropsLargeBacklogInOnePassPreservingOrder) {
+  // Regression: the old purge restarted the scan from begin() after every
+  // erase (O(n^2) when a backlog expires at once). The single-pass purge
+  // must drop every expired task and keep survivors in release order.
+  std::deque<assign::SpatialTask> pool;
+  for (int i = 0; i < 2000; ++i) {
+    assign::SpatialTask task;
+    task.id = i;
+    task.release_time_min = static_cast<double>(i);
+    // Interleave expired (even ids, deadline 5) and live (odd ids).
+    task.deadline_min = (i % 2 == 0) ? 5.0 : 1e6;
+    pool.push_back(task);
+  }
+  const size_t dropped = PurgeExpiredTasks(pool, /*now_min=*/10.0);
+  EXPECT_EQ(dropped, 1000u);
+  ASSERT_EQ(pool.size(), 1000u);
+  for (size_t i = 0; i < pool.size(); ++i) {
+    EXPECT_EQ(pool[i].id, static_cast<int>(2 * i + 1));
+  }
+}
+
+TEST(PurgeExpiredTasksTest, DeadlineEqualToNowExpires) {
+  // Matches EvaluateCandidate's strict deadline test: a task due exactly
+  // now can no longer be served, so the pool must not keep it.
+  std::deque<assign::SpatialTask> pool(1);
+  pool[0].deadline_min = 10.0;
+  EXPECT_EQ(PurgeExpiredTasks(pool, 10.0), 1u);
+  EXPECT_TRUE(pool.empty());
+}
+
 TEST(AssignMethodNameTest, AllNamed) {
   EXPECT_EQ(AssignMethodName(AssignMethod::kUpperBound), "UB");
   EXPECT_EQ(AssignMethodName(AssignMethod::kLowerBound), "LB");

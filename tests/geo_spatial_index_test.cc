@@ -1,5 +1,6 @@
 #include "geo/spatial_index.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -86,6 +87,126 @@ TEST(SpatialCountIndexTest, MeanCountPerDiskFloorsAtPositive) {
   GridSpec grid(10.0, 10.0, 10, 10);
   SpatialCountIndex index(grid, {});
   EXPECT_GT(index.MeanCountPerDisk(1.0), 0.0);
+}
+
+std::vector<int> BruteLabels(
+    const std::vector<SpatialLabelIndex::Entry>& entries, const Point& center,
+    double radius) {
+  std::vector<int> labels;
+  for (const auto& e : entries) {
+    if (Distance(e.loc, center) <= radius) labels.push_back(e.label);
+  }
+  std::sort(labels.begin(), labels.end());
+  labels.erase(std::unique(labels.begin(), labels.end()), labels.end());
+  return labels;
+}
+
+TEST(SpatialLabelIndexTest, EmptyIndex) {
+  SpatialLabelIndex index({});
+  EXPECT_EQ(index.num_entries(), 0u);
+  std::vector<int> out = {7};
+  index.CollectLabelsWithin({0, 0}, 5.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialLabelIndexTest, ClosedBoundaryIsIncluded) {
+  // Unlike SpatialCountIndex (Eq. 7, strict <), the label index serves the
+  // Theorem-2 prune, whose membership tests are closed: dis == radius must
+  // be a hit or the prune would drop boundary candidates.
+  SpatialLabelIndex index({{{3.0, 3.0}, 1}});
+  std::vector<int> out;
+  index.CollectLabelsWithin({3.0, 4.0}, 1.0, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], 1);
+  index.CollectLabelsWithin({3.0, 4.0}, 0.9999, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialLabelIndexTest, DeduplicatesAndSortsLabels) {
+  // Three points of worker 2 plus one of worker 0 inside the ball: the
+  // result is each label once, ascending.
+  SpatialLabelIndex index(
+      {{{1.0, 1.0}, 2}, {{1.1, 1.0}, 2}, {{0.9, 1.0}, 2}, {{1.0, 1.2}, 0}});
+  std::vector<int> out;
+  index.CollectLabelsWithin({1.0, 1.0}, 0.5, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 0);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(SpatialLabelIndexTest, NegativeRadiusReturnsNothing) {
+  SpatialLabelIndex index({{{0.0, 0.0}, 0}});
+  std::vector<int> out = {1, 2};
+  index.CollectLabelsWithin({0.0, 0.0}, -1.0, out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SpatialLabelIndexTest, MatchesBruteForceOnRandomData) {
+  // Points anywhere (no GridSpec): the index derives its own bounding box
+  // and cell size. Queries may fall outside the box.
+  tamp::Rng rng(123);
+  std::vector<SpatialLabelIndex::Entry> entries;
+  for (int i = 0; i < 400; ++i) {
+    entries.push_back({{rng.Uniform(-7.0, 25.0), rng.Uniform(3.0, 11.0)},
+                       static_cast<int>(rng.UniformInt(0, 49))});
+  }
+  SpatialLabelIndex index(entries);
+  EXPECT_EQ(index.num_entries(), entries.size());
+  std::vector<int> out;
+  for (int q = 0; q < 100; ++q) {
+    Point center{rng.Uniform(-10.0, 28.0), rng.Uniform(0.0, 14.0)};
+    double radius = rng.Uniform(0.0, 6.0);
+    index.CollectLabelsWithin(center, radius, out);
+    EXPECT_EQ(out, BruteLabels(entries, center, radius))
+        << "center=(" << center.x << "," << center.y << ") r=" << radius;
+  }
+}
+
+TEST(SpatialLabelIndexTest, ScratchPathMatchesSortUniquePath) {
+  // The stamp-dedup fast path must return exactly what the plain
+  // sort+unique path returns, with one scratch reused across queries —
+  // including across two different indexes (epochs outlive the index).
+  tamp::Rng rng(321);
+  std::vector<SpatialLabelIndex::Entry> entries;
+  for (int i = 0; i < 300; ++i) {
+    entries.push_back({{rng.Uniform(0.0, 12.0), rng.Uniform(0.0, 9.0)},
+                       static_cast<int>(rng.UniformInt(0, 39))});
+  }
+  SpatialLabelIndex index(entries);
+  SpatialLabelIndex coarse(entries, /*target_cell_km=*/3.0);
+  SpatialLabelIndex::QueryScratch scratch;
+  std::vector<int> fast, plain;
+  for (int q = 0; q < 60; ++q) {
+    Point center{rng.Uniform(-2.0, 14.0), rng.Uniform(-2.0, 11.0)};
+    double radius = rng.Uniform(0.0, 5.0);
+    const SpatialLabelIndex& idx = (q % 2 == 0) ? index : coarse;
+    idx.CollectLabelsWithin(center, radius, fast, &scratch);
+    idx.CollectLabelsWithin(center, radius, plain);
+    EXPECT_EQ(fast, plain)
+        << "center=(" << center.x << "," << center.y << ") r=" << radius;
+  }
+}
+
+TEST(SpatialLabelIndexTest, ScratchWithNegativeLabelsFallsBack) {
+  SpatialLabelIndex index({{{1.0, 1.0}, -4}, {{1.1, 1.0}, 2},
+                           {{1.0, 1.1}, -4}});
+  SpatialLabelIndex::QueryScratch scratch;
+  std::vector<int> out;
+  index.CollectLabelsWithin({1.0, 1.0}, 1.0, out, &scratch);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], -4);
+  EXPECT_EQ(out[1], 2);
+}
+
+TEST(SpatialLabelIndexTest, SinglePointAndDegenerateExtent) {
+  // All entries at one location: the bounding box has zero extent, which
+  // must not divide by zero or lose points.
+  SpatialLabelIndex index({{{5.0, 5.0}, 3}, {{5.0, 5.0}, 1}});
+  std::vector<int> out;
+  index.CollectLabelsWithin({5.0, 5.0}, 0.0, out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], 3);
 }
 
 }  // namespace

@@ -159,6 +159,43 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(3, 6, 5ULL),
                       std::make_tuple(6, 6, 6ULL)));
 
+TEST(MatchingScratchTest, ReusedScratchMatchesFreshCalls) {
+  // One scratch across a sequence of differently-sized solves must yield
+  // exactly the per-call-allocation results (stale buffer contents from a
+  // larger earlier solve must not leak into a smaller later one).
+  tamp::Rng rng(321);
+  MatchingScratch scratch;
+  for (int trial = 0; trial < 30; ++trial) {
+    const int num_left = static_cast<int>(rng.UniformInt(1, 8));
+    const int num_right = static_cast<int>(rng.UniformInt(1, 8));
+    std::vector<Edge> edges;
+    for (int l = 0; l < num_left; ++l) {
+      for (int r = 0; r < num_right; ++r) {
+        if (rng.Bernoulli(0.5)) edges.push_back({l, r, rng.Uniform(0.1, 9.0)});
+      }
+    }
+    auto fresh = MaxWeightMatching(num_left, num_right, edges);
+    auto reused = MaxWeightMatching(num_left, num_right, edges, &scratch);
+    EXPECT_EQ(reused.pairs, fresh.pairs);
+    EXPECT_DOUBLE_EQ(reused.total_weight, fresh.total_weight);
+  }
+}
+
+TEST(MatchingScratchTest, MinCostAssignmentWithScratch) {
+  MatchingScratch scratch;
+  std::vector<std::vector<double>> big = {
+      {4, 1, 3, 9}, {2, 0, 5, 8}, {3, 2, 2, 7}, {1, 6, 4, 0}};
+  auto big_fresh = MinCostAssignment(big);
+  auto big_reused = MinCostAssignment(big, &scratch);
+  EXPECT_EQ(big_reused.col_of_row, big_fresh.col_of_row);
+  EXPECT_DOUBLE_EQ(big_reused.total_cost, big_fresh.total_cost);
+  // Shrinking reuse after the larger solve.
+  std::vector<std::vector<double>> small = {{4.0, 1.0}, {2.0, 3.0}};
+  auto small_reused = MinCostAssignment(small, &scratch);
+  EXPECT_EQ(small_reused.col_of_row, MinCostAssignment(small).col_of_row);
+  EXPECT_DOUBLE_EQ(small_reused.total_cost, 3.0);
+}
+
 TEST(MaxWeightMatchingTest, LargeInstanceRunsAndIsValid) {
   tamp::Rng rng(123);
   const int n = 120;

@@ -28,6 +28,31 @@ TEST(Wasserstein1DTest, UnequalSampleCounts) {
   EXPECT_NEAR(Wasserstein1D({0.0, 0.0}, {0.0, 0.0, 3.0}), 1.0, 1e-12);
 }
 
+TEST(Wasserstein1DTest, DuplicateValuesCollapse) {
+  // Repeated samples are just CDF steps of height k/n: duplicating every
+  // sample leaves the empirical distribution — and thus W1 — unchanged.
+  std::vector<double> a = {0.0, 1.0};
+  std::vector<double> a2 = {0.0, 0.0, 1.0, 1.0};
+  std::vector<double> b = {2.0, 5.0};
+  EXPECT_NEAR(Wasserstein1D(a, b), Wasserstein1D(a2, b), 1e-12);
+}
+
+TEST(Wasserstein1DTest, SingleElementAgainstMany) {
+  // One point mass at 0 vs uniform {0,1,2}: mean transport = (0+1+2)/3.
+  EXPECT_NEAR(Wasserstein1D({0.0}, {0.0, 1.0, 2.0}), 1.0, 1e-12);
+}
+
+TEST(Wasserstein1DTest, DisjointSupportsIsAtLeastTheGap) {
+  // Supports [0,1] and [5,6]: every unit of mass travels at least 4 (the
+  // gap) and at most 6 (the span).
+  std::vector<double> a = {0.0, 0.5, 1.0};
+  std::vector<double> b = {5.0, 5.5, 6.0};
+  double w = Wasserstein1D(a, b);
+  EXPECT_GE(w, 4.0);
+  EXPECT_LE(w, 6.0);
+  EXPECT_NEAR(w, 5.0, 1e-12);  // Matching quantiles: pure shift by 5.
+}
+
 TEST(Wasserstein1DTest, IsSymmetric) {
   std::vector<double> a = {0.1, 0.5, 2.0, 2.2};
   std::vector<double> b = {1.0, 1.5};

@@ -1,11 +1,12 @@
 #!/usr/bin/env bash
 # One-command pre-merge gate for the TAMP repo.
 #
-#   tools/check.sh              Release build + ctest, ASan+UBSan build +
-#                               ctest, a TSan build + ctest over the
-#                               concurrency tests at TAMP_THREADS=4, and the
-#                               repo lint gate. Exits nonzero on the first
-#                               failure.
+#   tools/check.sh              Release build + ctest, the bench metrics
+#                               gate (micro benches vs bench/baselines/),
+#                               ASan+UBSan build + ctest, a TSan build +
+#                               ctest over the concurrency tests at
+#                               TAMP_THREADS=4, and the repo lint gate.
+#                               Exits nonzero on the first failure.
 #   tools/check.sh --lint-only  Only the lint gate (and its self-test).
 #
 # Options:
@@ -88,6 +89,33 @@ tsan_stage() {
             --output-on-failure -j "$JOBS" || return 1
 }
 
+# Metrics-regression gate: re-emit each micro bench target's
+# BENCH_micro_*.json from the release build and diff its deterministic
+# work-count metrics against the committed bench/baselines/ copy. Timing
+# ("stages", "_s" keys, "threads") is advisory in tamp_bench_compare, so
+# this is machine-independent; min_time stays tiny because only the counts
+# are gated. The committed 1- vs 4-thread table JSONs are cross-compared
+# too, pinning the bit-identical-across-threads contract.
+bench_gate_stage() {
+  local dir="$REPO_ROOT/build-check-release"
+  local compare="$dir/tools/tamp_bench_compare"
+  local baselines="$REPO_ROOT/bench/baselines"
+  local target
+  for target in micro_matching micro_nn micro_similarity micro_cluster \
+                micro_candidates; do
+    run_stage "bench-run-$target" env TAMP_BENCH_JSON_DIR="$dir" \
+              "$dir/bench/bench_$target" --benchmark_min_time=0.01 \
+              || return 1
+    run_stage "bench-gate-$target" "$compare" \
+              "$baselines/BENCH_$target.json" \
+              "$dir/BENCH_$target.json" || return 1
+  done
+  run_stage "bench-gate-threads-invariance" "$compare" \
+            "$baselines/BENCH_table4_cluster_ablation.threads1.json" \
+            "$baselines/BENCH_table4_cluster_ablation.threads4.json" \
+            || return 1
+}
+
 clang_tidy_stage() {
   command -v clang-tidy >/dev/null 2>&1 || {
     echo "==> [clang-tidy] not installed, skipping (advisory)"; return 0;
@@ -113,6 +141,7 @@ else
   full_build_stage "release" "$REPO_ROOT/build-check-release" \
     -DCMAKE_BUILD_TYPE=Release \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  bench_gate_stage
   clang_tidy_stage
   full_build_stage "asan-ubsan" "$REPO_ROOT/build-check-asan" \
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
