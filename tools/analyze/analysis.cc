@@ -1,0 +1,590 @@
+#include "analysis.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace tamp::analyze {
+namespace {
+
+// Needles are assembled at runtime so the analyzer's own source does not
+// carry live markers (a literal marker in this file would register as a
+// suppression site on its own line).
+const std::string kAllowMarker = std::string("lint:") + "allow";
+const std::string kPathDirective = std::string("analyze:") + "path=";
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when text[quote] == '"' opens a raw string literal: preceded by R
+/// with an optional u8/u/U/L encoding prefix at an identifier boundary.
+bool IsRawStringStart(const std::string& text, std::size_t quote) {
+  if (quote == 0 || text[quote - 1] != 'R') return false;
+  std::size_t start = quote - 1;  // Index of 'R'.
+  if (start >= 2 && text[start - 1] == '8' && text[start - 2] == 'u') {
+    start -= 2;
+  } else if (start >= 1 && (text[start - 1] == 'u' || text[start - 1] == 'U' ||
+                            text[start - 1] == 'L')) {
+    start -= 1;
+  }
+  // `kFooR"..."` is not a raw string (and not valid C++ either); require a
+  // non-identifier character before the prefix.
+  return start == 0 || !IsIdentChar(text[start - 1]);
+}
+
+}  // namespace
+
+const char* SeverityName(Severity s) {
+  return s == Severity::kError ? "error" : "warn";
+}
+
+std::string StripCommentsAndStrings(const std::string& text, StripMode mode) {
+  const bool keep_literals = mode == StripMode::kCommentsOnly;
+  // Length-preserving: every stripped character becomes a space (newlines
+  // stay newlines), so byte offsets — and therefore LineOfPos — are shared
+  // by the raw text and every stripped view.
+  std::string out;
+  out.reserve(text.size());
+  const auto blank = [&out](char c) { out.push_back(c == '\n' ? '\n' : ' '); };
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    const char next = (i + 1 < text.size()) ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out.append("  ");
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out.append("  ");
+          ++i;
+        } else if (c == '"' && IsRawStringStart(text, i)) {
+          // R"delim( ... )delim" — no escapes apply inside; scan for the
+          // exact closing sequence so a ')' or '"' in the contents cannot
+          // desync later lines.
+          std::size_t p = i + 1;
+          std::string delim;
+          while (p < text.size() && text[p] != '(' &&
+                 delim.size() < 16) {  // 16: the standard's delimiter cap.
+            delim.push_back(text[p]);
+            ++p;
+          }
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t close = text.find(closer, p);
+          const std::size_t end =
+              (close == std::string::npos) ? text.size() - 1
+                                           : close + closer.size() - 1;
+          out.push_back('"');
+          for (std::size_t k = i + 1; k < end; ++k) {
+            if (keep_literals) {
+              out.push_back(text[k]);
+            } else {
+              blank(text[k]);
+            }
+          }
+          if (end > i) {
+            if (close == std::string::npos) {
+              blank(text[end]);
+            } else {
+              out.push_back('"');
+            }
+          }
+          i = end;
+        } else if (c == '"') {
+          state = State::kString;
+          out.push_back(c);
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.push_back(c);
+        } else {
+          out.push_back(c);
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') state = State::kCode;
+        blank(c);
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          out.append("  ");
+          ++i;
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          if (keep_literals) {
+            out.push_back(c);
+            if (i + 1 < text.size()) out.push_back(text[i + 1]);
+          } else {
+            out.push_back(' ');
+            if (i + 1 < text.size()) blank(next);
+          }
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          state = State::kCode;  // Unterminated; recover per line.
+          out.push_back(c);
+        } else if (keep_literals) {
+          out.push_back(c);
+        } else {
+          blank(c);
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          if (keep_literals) {
+            out.push_back(c);
+            if (i + 1 < text.size()) out.push_back(text[i + 1]);
+          } else {
+            out.push_back(' ');
+            if (i + 1 < text.size()) blank(next);
+          }
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (c == '\n') {
+          state = State::kCode;
+          out.push_back(c);
+        } else if (keep_literals) {
+          out.push_back(c);
+        } else {
+          blank(c);
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string line;
+  std::istringstream in(text);
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t FileContext::LineOfPos(std::size_t pos) const {
+  if (line_starts_.empty()) {
+    line_starts_.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') line_starts_.push_back(i + 1);
+    }
+  }
+  auto it =
+      std::upper_bound(line_starts_.begin(), line_starts_.end(), pos);
+  return static_cast<std::size_t>(it - line_starts_.begin());
+}
+
+bool FileContext::InDir(std::string_view prefix) const {
+  return scope_path.rfind(prefix, 0) == 0;
+}
+
+namespace {
+
+/// Parses a lint:allow marker's optional (rule, rule, ...) argument list.
+AllowSpec ParseAllowSpec(const std::string& line, std::size_t marker_end) {
+  AllowSpec spec;
+  std::size_t p = marker_end;
+  while (p < line.size() && line[p] == ' ') ++p;
+  if (p >= line.size() || line[p] != '(') {
+    spec.all = true;  // Legacy bare form.
+    return spec;
+  }
+  ++p;
+  std::string name;
+  for (; p < line.size() && line[p] != ')'; ++p) {
+    const char c = line[p];
+    if (IsIdentChar(c) || c == '-') {
+      name.push_back(c);
+    } else if (!name.empty()) {
+      spec.rules.insert(name);
+      name.clear();
+    }
+  }
+  if (!name.empty()) spec.rules.insert(name);
+  if (spec.rules.empty()) spec.all = true;  // Empty parens == bare form.
+  return spec;
+}
+
+}  // namespace
+
+FileContext MakeFileContext(std::string rel_path, std::string text) {
+  FileContext ctx;
+  ctx.rel_path = std::move(rel_path);
+  ctx.scope_path = ctx.rel_path;
+  ctx.is_header = ctx.rel_path.size() >= 2 &&
+                  ctx.rel_path.compare(ctx.rel_path.size() - 2, 2, ".h") == 0;
+  ctx.text = std::move(text);
+  ctx.code = StripCommentsAndStrings(ctx.text, StripMode::kCommentsAndStrings);
+  ctx.text_nc = StripCommentsAndStrings(ctx.text, StripMode::kCommentsOnly);
+  ctx.raw_lines = SplitLines(ctx.text);
+  ctx.code_lines = SplitLines(ctx.code);
+  ctx.nc_lines = SplitLines(ctx.text_nc);
+
+  for (std::size_t i = 0; i < ctx.raw_lines.size(); ++i) {
+    const std::string& line = ctx.raw_lines[i];
+    const std::size_t at = line.find(kAllowMarker);
+    if (at == std::string::npos) continue;
+    // A marker on a pure-comment line can never suppress anything
+    // (findings attach to code), so the token there is prose — e.g. docs
+    // *about* the marker — not a suppression site.
+    if (i < ctx.code_lines.size() &&
+        ctx.code_lines[i].find_first_not_of(" \t") == std::string::npos) {
+      continue;
+    }
+    ctx.allows[i + 1] = ParseAllowSpec(line, at + kAllowMarker.size());
+  }
+
+  // Testdata files can pretend to live at a scoped path so path-scoped
+  // rules (unordered-iteration, the obs contract) fire on them; the
+  // directive is ignored everywhere else, so real code cannot relocate
+  // itself out of a rule's scope.
+  if (ctx.rel_path.find("testdata") != std::string::npos) {
+    const std::size_t scan = std::min<std::size_t>(ctx.raw_lines.size(), 5);
+    for (std::size_t i = 0; i < scan; ++i) {
+      const std::string& line = ctx.raw_lines[i];
+      const std::size_t at = line.find(kPathDirective);
+      if (at == std::string::npos) continue;
+      std::size_t start = at + kPathDirective.size();
+      std::size_t end = start;
+      while (end < line.size() &&
+             !std::isspace(static_cast<unsigned char>(line[end]))) {
+        ++end;
+      }
+      if (end > start) ctx.scope_path = line.substr(start, end - start);
+      break;
+    }
+  }
+  return ctx;
+}
+
+void Emitter::Report(const FileContext& file, std::size_t line,
+                     const Rule& rule, std::string detail) {
+  findings_.push_back({file.rel_path, line, std::string(rule.name()),
+                       rule.severity(), std::move(detail)});
+}
+
+void Emitter::ReportAt(std::string file, std::size_t line, const Rule& rule,
+                       std::string detail) {
+  findings_.push_back({std::move(file), line, std::string(rule.name()),
+                       rule.severity(), std::move(detail)});
+}
+
+void Rule::CheckFile(const FileContext&, const Corpus&, Emitter*) {}
+void Rule::Finish(const Corpus&, Emitter*) {}
+void Rule::PostSuppression(const Corpus&, const std::vector<UnusedAllow>&,
+                           Emitter*) {}
+
+RuleRegistry& RuleRegistry::Global() {
+  static RuleRegistry* registry = new RuleRegistry;
+  return *registry;
+}
+
+bool RuleRegistry::Register(std::unique_ptr<Rule> rule) {
+  owned_.push_back(std::move(rule));
+  sorted_.clear();
+  return true;
+}
+
+const std::vector<Rule*>& RuleRegistry::rules() const {
+  if (sorted_.size() != owned_.size()) {
+    sorted_.clear();
+    for (const auto& r : owned_) sorted_.push_back(r.get());
+    std::sort(sorted_.begin(), sorted_.end(), [](Rule* a, Rule* b) {
+      return a->name() < b->name();
+    });
+  }
+  return sorted_;
+}
+
+Rule* RuleRegistry::Find(std::string_view name) const {
+  for (Rule* r : rules()) {
+    if (r->name() == name) return r;
+  }
+  return nullptr;
+}
+
+AnalysisResult RunAnalysis(const Corpus& corpus) {
+  Emitter emitter;
+  const std::vector<Rule*>& rules = RuleRegistry::Global().rules();
+  for (const FileContext& file : corpus.files) {
+    for (Rule* rule : rules) rule->CheckFile(file, corpus, &emitter);
+  }
+  for (Rule* rule : rules) rule->Finish(corpus, &emitter);
+
+  // Suppression: a finding on a line carrying lint:allow (bare) or
+  // lint:allow(<its rule>) is dropped; each marker remembers whether it
+  // suppressed anything.
+  std::map<std::string, const FileContext*> by_path;
+  for (const FileContext& file : corpus.files) by_path[file.rel_path] = &file;
+  std::set<std::pair<std::string, std::size_t>> used_allows;
+
+  AnalysisResult result;
+  for (Finding& f : emitter.findings()) {
+    const FileContext* file = nullptr;
+    if (auto it = by_path.find(f.file); it != by_path.end()) {
+      file = it->second;
+    }
+    bool suppressed = false;
+    if (file != nullptr) {
+      if (auto it = file->allows.find(f.line); it != file->allows.end()) {
+        const AllowSpec& spec = it->second;
+        if (spec.all || spec.rules.count(f.rule) > 0) {
+          suppressed = true;
+          used_allows.insert({f.file, f.line});
+        }
+      }
+    }
+    if (suppressed) {
+      ++result.suppressed;
+    } else {
+      result.findings.push_back(std::move(f));
+    }
+  }
+
+  std::vector<UnusedAllow> unused;
+  for (const FileContext& file : corpus.files) {
+    for (const auto& [line, spec] : file.allows) {
+      if (used_allows.count({file.rel_path, line}) == 0) {
+        unused.push_back({file.rel_path, line, &spec});
+      }
+    }
+  }
+  Emitter post;
+  for (Rule* rule : rules) rule->PostSuppression(corpus, unused, &post);
+  for (Finding& f : post.findings()) result.findings.push_back(std::move(f));
+
+  std::sort(result.findings.begin(), result.findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule, a.detail) <
+                     std::tie(b.file, b.line, b.rule, b.detail);
+            });
+  for (const Finding& f : result.findings) {
+    if (f.severity == Severity::kError) {
+      ++result.errors;
+    } else {
+      ++result.warnings;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Minimal parser for the restricted schema FindingsToJson emits (the
+/// bench_compare idiom: no third-party JSON dependency).
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  std::string error;
+
+  explicit Parser(const std::string& t) : text(t) {}
+
+  void SkipSpace() {
+    while (pos < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[pos])) != 0) {
+      ++pos;
+    }
+  }
+
+  bool Fail(const std::string& what) {
+    if (error.empty()) error = what + " at offset " + std::to_string(pos);
+    return false;
+  }
+
+  bool Expect(char c) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != c) {
+      return Fail(std::string("expected '") + c + "'");
+    }
+    ++pos;
+    return true;
+  }
+
+  bool Peek(char c) {
+    SkipSpace();
+    return pos < text.size() && text[pos] == c;
+  }
+
+  bool ParseString(std::string* out) {
+    SkipSpace();
+    if (pos >= text.size() || text[pos] != '"') return Fail("expected string");
+    ++pos;
+    out->clear();
+    while (pos < text.size() && text[pos] != '"') {
+      char c = text[pos];
+      if (c == '\\' && pos + 1 < text.size()) {
+        ++pos;
+        const char esc = text[pos];
+        if (esc == 'n') {
+          c = '\n';
+        } else if (esc == 't') {
+          c = '\t';
+        } else if (esc == 'u' && pos + 4 < text.size()) {
+          c = static_cast<char>(
+              std::strtol(text.substr(pos + 1, 4).c_str(), nullptr, 16));
+          pos += 4;
+        } else {
+          c = esc;  // \" and \\ pass through.
+        }
+      }
+      out->push_back(c);
+      ++pos;
+    }
+    if (pos >= text.size()) return Fail("unterminated string");
+    ++pos;
+    return true;
+  }
+
+  bool ParseNumber(double* out) {
+    SkipSpace();
+    const char* start = text.c_str() + pos;
+    char* end = nullptr;
+    *out = std::strtod(start, &end);
+    if (end == start) return Fail("expected number");
+    pos += static_cast<std::size_t>(end - start);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::string FindingsToJson(const AnalysisResult& result,
+                           std::size_t files_scanned) {
+  std::ostringstream out;
+  out << "{\n";
+  out << "  \"tool\": \"tamp_analyze\",\n";
+  out << "  \"files_scanned\": " << files_scanned << ",\n";
+  out << "  \"errors\": " << result.errors << ",\n";
+  out << "  \"warnings\": " << result.warnings << ",\n";
+  out << "  \"suppressed\": " << result.suppressed << ",\n";
+  out << "  \"findings\": [";
+  for (std::size_t i = 0; i < result.findings.size(); ++i) {
+    const Finding& f = result.findings[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"file\": \"" << JsonEscape(f.file) << "\", \"line\": "
+        << f.line << ", \"rule\": \"" << JsonEscape(f.rule)
+        << "\", \"severity\": \"" << SeverityName(f.severity)
+        << "\", \"detail\": \"" << JsonEscape(f.detail) << "\"}";
+  }
+  out << (result.findings.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+  return out.str();
+}
+
+bool ParseFindingsJson(const std::string& json, std::vector<Finding>* out,
+                       std::string* error) {
+  out->clear();
+  Parser p(json);
+  auto fail = [&](const std::string& why) {
+    *error = p.error.empty() ? why : p.error;
+    return false;
+  };
+  if (!p.Expect('{')) return fail("not an object");
+  bool first = true;
+  while (true) {
+    p.SkipSpace();
+    if (p.Peek('}')) {
+      ++p.pos;
+      return true;
+    }
+    if (!first && !p.Expect(',')) return fail("bad separator");
+    first = false;
+    std::string key;
+    if (!p.ParseString(&key) || !p.Expect(':')) return fail("bad key");
+    if (key == "findings") {
+      if (!p.Expect('[')) return fail("findings not an array");
+      while (true) {
+        p.SkipSpace();
+        if (p.Peek(']')) {
+          ++p.pos;
+          break;
+        }
+        if (!out->empty() && !p.Expect(',')) return fail("bad separator");
+        if (!p.Expect('{')) return fail("finding not an object");
+        Finding f;
+        bool ffirst = true;
+        while (true) {
+          p.SkipSpace();
+          if (p.Peek('}')) {
+            ++p.pos;
+            break;
+          }
+          if (!ffirst && !p.Expect(',')) return fail("bad separator");
+          ffirst = false;
+          std::string fkey;
+          if (!p.ParseString(&fkey) || !p.Expect(':')) return fail("bad key");
+          if (fkey == "line") {
+            double v = 0;
+            if (!p.ParseNumber(&v)) return fail("bad line");
+            f.line = static_cast<std::size_t>(v);
+          } else {
+            std::string v;
+            if (!p.ParseString(&v)) return fail("bad value for " + fkey);
+            if (fkey == "file") {
+              f.file = v;
+            } else if (fkey == "rule") {
+              f.rule = v;
+            } else if (fkey == "severity") {
+              f.severity = (v == "warn") ? Severity::kWarn : Severity::kError;
+            } else if (fkey == "detail") {
+              f.detail = v;
+            }
+          }
+        }
+        out->push_back(std::move(f));
+      }
+    } else if (p.Peek('"')) {
+      std::string ignored;
+      if (!p.ParseString(&ignored)) return fail("bad string value");
+    } else {
+      double ignored = 0;
+      if (!p.ParseNumber(&ignored)) return fail("bad numeric value");
+    }
+  }
+}
+
+}  // namespace tamp::analyze

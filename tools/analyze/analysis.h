@@ -1,0 +1,215 @@
+// Core framework for tamp_analyze, the repo's determinism-contract static
+// analyzer (DESIGN.md §4g). A rule is one class in one file under rules/,
+// self-registered with TAMP_REGISTER_ANALYSIS_RULE; the driver loads every
+// scanned file once into a FileContext (raw text plus two stripped views),
+// runs each rule's per-file pass, then each rule's cross-file Finish pass,
+// applies per-rule suppressions, and finally hands unused suppression
+// markers to the PostSuppression hook.
+//
+// The passes are lexical by design — no compiler, no AST, no third-party
+// dependencies — so the gate runs anywhere the toolchain runs. Rules that
+// need semantic guarantees (header self-sufficiency, race detection) are
+// delegated to the build itself (cmake/HeaderSelfSufficiency.cmake,
+// clang-tidy, TSan); this tool owns the repo-specific contracts those
+// generic tools cannot know about.
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tamp::analyze {
+
+enum class Severity { kWarn, kError };
+
+const char* SeverityName(Severity s);
+
+/// One reported rule hit. `file` is repo-root-relative with '/' separators.
+struct Finding {
+  std::string file;
+  std::size_t line = 0;
+  std::string rule;
+  Severity severity = Severity::kError;
+  std::string detail;
+
+  bool operator==(const Finding& other) const = default;
+};
+
+/// A lint:allow marker parsed from a source line. `all` is the legacy bare
+/// form (suppresses every rule on the line); otherwise `rules` lists the
+/// rule names inside the parentheses.
+struct AllowSpec {
+  bool all = false;
+  std::set<std::string> rules;
+};
+
+/// How StripCommentsAndStrings treats string/char literal contents.
+enum class StripMode {
+  kCommentsAndStrings,  // Literals reduced to their bare quotes.
+  kCommentsOnly,        // Literal contents preserved (for obs-name scans).
+};
+
+/// Strips // and /* */ comments (always) and optionally the contents of
+/// string/char literals, preserving line structure so reported line numbers
+/// stay correct. Handles C++ raw string literals (R"delim(...)delim", with
+/// u8/u/U/L encoding prefixes): their contents never desync the stripper,
+/// and embedded newlines are preserved.
+std::string StripCommentsAndStrings(const std::string& text, StripMode mode);
+
+std::vector<std::string> SplitLines(const std::string& text);
+
+/// One scanned file, fully loaded. Rules match against `code_lines`
+/// (comments and string contents stripped) unless they need literal string
+/// contents, in which case they use `text_nc` / `nc_lines` (comments
+/// stripped, literals kept).
+struct FileContext {
+  std::string rel_path;    // Actual path relative to the repo root.
+  std::string scope_path;  // Path used for rule scoping; differs from
+                           // rel_path only for testdata files carrying an
+                           // analyze:path= directive.
+  bool is_header = false;
+
+  std::string text;     // Raw bytes.
+  std::string code;     // StripMode::kCommentsAndStrings view.
+  std::string text_nc;  // StripMode::kCommentsOnly view.
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  std::vector<std::string> nc_lines;
+
+  /// lint:allow markers by 1-based line number.
+  std::map<std::size_t, AllowSpec> allows;
+
+  /// 1-based line number of a byte offset into `text` / the stripped views
+  /// (both preserve line structure).
+  std::size_t LineOfPos(std::size_t pos) const;
+
+  /// True when scope_path lives under `prefix` ("src/", "src/assign/", ...).
+  bool InDir(std::string_view prefix) const;
+
+ private:
+  mutable std::vector<std::size_t> line_starts_;  // Lazy, built on first use.
+};
+
+/// Builds a FileContext from raw bytes. `rel_path` must use '/' separators.
+FileContext MakeFileContext(std::string rel_path, std::string text);
+
+/// The whole scanned tree plus the obs-name manifest, shared by Finish
+/// passes.
+struct Corpus {
+  std::vector<FileContext> files;
+
+  /// src/common/obs/names.inc entries as (name, 1-based line).
+  std::vector<std::pair<std::string, std::size_t>> manifest;
+  std::string manifest_rel;  // Path the manifest was loaded from.
+  bool manifest_loaded = false;
+
+  /// True when the scan covered the full src/ tree; cross-file "manifest
+  /// name never referenced" checks only make sense then (a partial scan —
+  /// self-tests, explicit subdirs — would see almost every name as dead).
+  bool covers_src = false;
+};
+
+class Rule;
+
+/// Collects findings during the passes. Suppression is applied by the
+/// driver after every pass ran, so rules just report.
+class Emitter {
+ public:
+  void Report(const FileContext& file, std::size_t line, const Rule& rule,
+              std::string detail);
+  /// For Finish passes reporting against files outside the corpus (the
+  /// manifest itself).
+  void ReportAt(std::string file, std::size_t line, const Rule& rule,
+                std::string detail);
+
+  std::vector<Finding>& findings() { return findings_; }
+  const std::vector<Finding>& findings() const { return findings_; }
+
+ private:
+  std::vector<Finding> findings_;
+};
+
+/// An unused lint:allow marker (no finding of an allowed rule on its line).
+struct UnusedAllow {
+  std::string file;
+  std::size_t line = 0;
+  const AllowSpec* spec = nullptr;
+};
+
+/// One analysis rule. Implementations override the passes they need;
+/// name() doubles as the testdata file prefix ('-' mapped to '_') and the
+/// lint:allow(<name>) suppression key.
+class Rule {
+ public:
+  virtual ~Rule() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual Severity severity() const { return Severity::kError; }
+  /// One-line rationale, shown by --list-rules and the docs table.
+  virtual std::string_view summary() const = 0;
+
+  /// Per-file pass. `corpus` provides run-wide context (the obs-name
+  /// manifest); most rules only look at `file`.
+  virtual void CheckFile(const FileContext& file, const Corpus& corpus,
+                         Emitter* emitter);
+  /// Cross-file pass, after every CheckFile ran.
+  virtual void Finish(const Corpus& corpus, Emitter* emitter);
+  /// After suppression accounting; `unused` lists markers that suppressed
+  /// nothing. Findings reported here are exempt from suppression.
+  virtual void PostSuppression(const Corpus& corpus,
+                               const std::vector<UnusedAllow>& unused,
+                               Emitter* emitter);
+};
+
+class RuleRegistry {
+ public:
+  static RuleRegistry& Global();
+
+  /// Returns true so registration can initialize a namespace-scope bool.
+  bool Register(std::unique_ptr<Rule> rule);
+
+  /// Registered rules ordered by name (deterministic reports).
+  const std::vector<Rule*>& rules() const;
+  Rule* Find(std::string_view name) const;
+
+ private:
+  std::vector<std::unique_ptr<Rule>> owned_;
+  mutable std::vector<Rule*> sorted_;
+};
+
+/// Self-registration: one rule = one file + one macro (mirrors the
+/// REGISTER_BENCHMARK_TASK idiom). Place at namespace scope in the rule's
+/// .cc file.
+#define TAMP_REGISTER_ANALYSIS_RULE(ClassName)                      \
+  const bool tamp_analyze_rule_##ClassName##_registered =           \
+      ::tamp::analyze::RuleRegistry::Global().Register(             \
+          std::make_unique<ClassName>())
+
+/// Result of a full analysis run over a corpus.
+struct AnalysisResult {
+  std::vector<Finding> findings;  // Post-suppression, sorted.
+  std::size_t suppressed = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+};
+
+/// Runs every registered rule over the corpus: per-file passes, Finish
+/// passes, suppression, PostSuppression.
+AnalysisResult RunAnalysis(const Corpus& corpus);
+
+/// Serializes findings as the machine-readable report
+/// ({"tool": "tamp_analyze", "files_scanned": N, "findings": [...]}).
+std::string FindingsToJson(const AnalysisResult& result,
+                           std::size_t files_scanned);
+
+/// Parses FindingsToJson output back into findings; returns false (with
+/// *error set) on malformed input. Backs the --json-roundtrip self-check.
+bool ParseFindingsJson(const std::string& json, std::vector<Finding>* out,
+                       std::string* error);
+
+}  // namespace tamp::analyze

@@ -1,0 +1,316 @@
+// tamp_analyze — the repo's determinism-contract static analyzer
+// (DESIGN.md §4g). Multi-pass lexical analysis over the tree with a
+// self-registering rule registry (one rule = one file under rules/),
+// per-rule lint:allow(<rule>) suppressions with an unused-suppression
+// check, and machine-readable JSON findings alongside the human report.
+//
+// Usage:
+//   tamp_analyze <root> [subdir...]        analyze subdirs (default: src
+//                                          tests tools bench examples)
+//   tamp_analyze --expect-violations ...   invert exit code (gate self-test)
+//   tamp_analyze --self-test <rule>|all    per-rule testdata corpus check:
+//                                          every <rule>_bad file must trip
+//                                          the rule, every <rule>_ok file
+//                                          must not
+//   tamp_analyze --json PATH ...           also write findings as JSON
+//   tamp_analyze --json-roundtrip ...      re-parse the written JSON and
+//                                          verify it matches (requires
+//                                          --json)
+//   tamp_analyze --list-rules              print the rule table
+//   tamp_analyze --werror ...              warnings fail the run too
+//
+// Exit code 0 when clean (inverted under --expect-violations), 1 when
+// error-severity findings were reported, 2 on usage/IO errors.
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using tamp::analyze::AnalysisResult;
+using tamp::analyze::Corpus;
+using tamp::analyze::FileContext;
+using tamp::analyze::Finding;
+using tamp::analyze::Rule;
+using tamp::analyze::RuleRegistry;
+using tamp::analyze::Severity;
+
+constexpr const char* kManifestRel = "src/common/obs/names.inc";
+constexpr const char* kTestdataRel = "tools/analyze/testdata";
+
+bool IsSource(const fs::path& p) {
+  const auto ext = p.extension();
+  return ext == ".h" || ext == ".cc" || ext == ".cpp";
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::stringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Loads src/common/obs/names.inc: every TAMP_OBS_NAME("...") line becomes
+/// a (name, line) manifest entry.
+void LoadManifest(const fs::path& root, Corpus* corpus) {
+  corpus->manifest_rel = kManifestRel;
+  std::string text;
+  if (!ReadFile(root / kManifestRel, &text)) return;
+  corpus->manifest_loaded = true;
+  const std::vector<std::string> lines = tamp::analyze::SplitLines(text);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t macro = line.find("TAMP_OBS_NAME");
+    if (macro == std::string::npos) continue;
+    if (line.rfind("//", 0) == 0 || line.rfind("#", 0) == 0) continue;
+    const std::size_t open = line.find('"', macro);
+    if (open == std::string::npos) continue;
+    const std::size_t close = line.find('"', open + 1);
+    if (close == std::string::npos) continue;
+    corpus->manifest.emplace_back(line.substr(open + 1, close - open - 1),
+                                  i + 1);
+  }
+}
+
+int LoadCorpusFile(const fs::path& path, const fs::path& root,
+                   Corpus* corpus) {
+  std::string text;
+  if (!ReadFile(path, &text)) {
+    std::fprintf(stderr, "tamp_analyze: could not read %s\n",
+                 path.string().c_str());
+    return 2;
+  }
+  const std::string rel = fs::relative(path, root).generic_string();
+  corpus->files.push_back(tamp::analyze::MakeFileContext(rel, std::move(text)));
+  return 0;
+}
+
+void PrintFindings(const AnalysisResult& result, std::size_t files_scanned) {
+  for (const Finding& f : result.findings) {
+    std::fprintf(stderr, "%s:%zu: %s: [%s] %s\n", f.file.c_str(), f.line,
+                 tamp::analyze::SeverityName(f.severity), f.rule.c_str(),
+                 f.detail.c_str());
+  }
+  std::fprintf(stderr,
+               "tamp_analyze: scanned %zu files, %zu error(s), %zu "
+               "warning(s), %zu suppressed\n",
+               files_scanned, result.errors, result.warnings,
+               result.suppressed);
+}
+
+int ListRules() {
+  for (const Rule* rule : RuleRegistry::Global().rules()) {
+    std::fprintf(stdout, "%-28s %-5s %s\n",
+                 std::string(rule->name()).c_str(),
+                 tamp::analyze::SeverityName(rule->severity()),
+                 std::string(rule->summary()).c_str());
+  }
+  return 0;
+}
+
+std::string RuleFilePrefix(std::string_view rule_name) {
+  std::string prefix(rule_name);
+  for (char& c : prefix) {
+    if (c == '-') c = '_';
+  }
+  return prefix;
+}
+
+/// Per-rule corpus self-test: analyzes the rule's <rule>_bad / <rule>_ok
+/// testdata files and checks the rule fires on every bad file and on no ok
+/// file (findings of other rules are ignored — corpus files only need to
+/// be correct for the rule they exercise).
+int SelfTestRule(const Rule& rule, const fs::path& root) {
+  const fs::path dir = root / kTestdataRel;
+  const std::string prefix = RuleFilePrefix(rule.name());
+  std::vector<std::string> bad_files;
+  std::vector<std::string> ok_files;
+  Corpus corpus;
+  LoadManifest(root, &corpus);
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file() || !IsSource(entry.path())) continue;
+    const std::string stem = entry.path().filename().string();
+    const bool bad = stem.rfind(prefix + "_bad", 0) == 0;
+    const bool ok = stem.rfind(prefix + "_ok", 0) == 0;
+    if (!bad && !ok) continue;
+    if (int rc = LoadCorpusFile(entry.path(), root, &corpus); rc != 0) {
+      return rc;
+    }
+    const std::string& rel = corpus.files.back().rel_path;
+    (bad ? bad_files : ok_files).push_back(rel);
+  }
+  const std::string name(rule.name());
+  if (bad_files.empty() || ok_files.empty()) {
+    std::fprintf(stderr,
+                 "tamp_analyze: rule '%s' is missing testdata coverage "
+                 "(need %s_bad* and %s_ok* under %s)\n",
+                 name.c_str(), prefix.c_str(), prefix.c_str(), kTestdataRel);
+    return 1;
+  }
+
+  const AnalysisResult result = tamp::analyze::RunAnalysis(corpus);
+  int failures = 0;
+  for (const std::string& rel : bad_files) {
+    std::size_t hits = 0;
+    for (const Finding& f : result.findings) {
+      if (f.rule == name && f.file == rel) ++hits;
+    }
+    if (hits == 0) {
+      std::fprintf(stderr, "self-test[%s]: FAIL %s: expected >=1 finding\n",
+                   name.c_str(), rel.c_str());
+      ++failures;
+    }
+  }
+  for (const std::string& rel : ok_files) {
+    for (const Finding& f : result.findings) {
+      if (f.rule == name && f.file == rel) {
+        std::fprintf(stderr,
+                     "self-test[%s]: FAIL %s:%zu: unexpected finding: %s\n",
+                     name.c_str(), rel.c_str(), f.line, f.detail.c_str());
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "self-test[%s]: OK (%zu bad, %zu ok)\n",
+                 name.c_str(), bad_files.size(), ok_files.size());
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int SelfTest(const std::string& which, const fs::path& root) {
+  if (which == "all") {
+    int rc = 0;
+    for (const Rule* rule : RuleRegistry::Global().rules()) {
+      rc |= SelfTestRule(*rule, root);
+    }
+    return rc;
+  }
+  const Rule* rule = RuleRegistry::Global().Find(which);
+  if (rule == nullptr) {
+    std::fprintf(stderr, "tamp_analyze: unknown rule '%s'\n", which.c_str());
+    return 2;
+  }
+  return SelfTestRule(*rule, root);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool expect_violations = false;
+  bool werror = false;
+  bool json_roundtrip = false;
+  std::string json_path;
+  std::string self_test;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--expect-violations") {
+      expect_violations = true;
+    } else if (a == "--werror") {
+      werror = true;
+    } else if (a == "--json-roundtrip") {
+      json_roundtrip = true;
+    } else if (a == "--list-rules") {
+      return ListRules();
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--self-test" && i + 1 < argc) {
+      self_test = argv[++i];
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "tamp_analyze: unknown option '%s'\n", a.c_str());
+      return 2;
+    } else {
+      args.push_back(a);
+    }
+  }
+  if (args.empty()) {
+    std::fprintf(stderr,
+                 "usage: tamp_analyze [--expect-violations] [--werror] "
+                 "[--json PATH [--json-roundtrip]] [--self-test RULE|all] "
+                 "[--list-rules] <root> [subdir...]\n");
+    return 2;
+  }
+  const fs::path root = args[0];
+  if (!self_test.empty()) return SelfTest(self_test, root);
+
+  std::vector<std::string> subdirs(args.begin() + 1, args.end());
+  const bool default_scan = subdirs.empty();
+  if (default_scan) subdirs = {"src", "tests", "tools", "bench", "examples"};
+
+  Corpus corpus;
+  LoadManifest(root, &corpus);
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    if (sub == "src" || sub == "src/") corpus.covers_src = true;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file() || !IsSource(entry.path())) continue;
+      const std::string rel =
+          fs::relative(entry.path(), root).generic_string();
+      // The self-test corpus is deliberately full of violations.
+      if (!expect_violations && rel.find(kTestdataRel) != std::string::npos) {
+        continue;
+      }
+      if (int rc = LoadCorpusFile(entry.path(), root, &corpus); rc != 0) {
+        return rc;
+      }
+    }
+  }
+  if (corpus.files.empty()) {
+    std::fprintf(stderr, "tamp_analyze: no files scanned (bad root?)\n");
+    return 2;
+  }
+
+  const AnalysisResult result = tamp::analyze::RunAnalysis(corpus);
+  PrintFindings(result, corpus.files.size());
+
+  if (!json_path.empty()) {
+    const std::string json =
+        tamp::analyze::FindingsToJson(result, corpus.files.size());
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out || !(out << json)) {
+      std::fprintf(stderr, "tamp_analyze: could not write %s\n",
+                   json_path.c_str());
+      return 2;
+    }
+    out.close();
+    if (json_roundtrip) {
+      std::string reread;
+      std::vector<Finding> parsed;
+      std::string error;
+      if (!ReadFile(json_path, &reread) ||
+          !tamp::analyze::ParseFindingsJson(reread, &parsed, &error)) {
+        std::fprintf(stderr, "tamp_analyze: JSON round-trip parse failed: %s\n",
+                     error.c_str());
+        return 2;
+      }
+      if (parsed != result.findings) {
+        std::fprintf(stderr,
+                     "tamp_analyze: JSON round-trip mismatch (%zu parsed vs "
+                     "%zu reported findings)\n",
+                     parsed.size(), result.findings.size());
+        return 2;
+      }
+      std::fprintf(stderr, "tamp_analyze: JSON round-trip OK (%zu findings)\n",
+                   parsed.size());
+    }
+  } else if (json_roundtrip) {
+    std::fprintf(stderr, "tamp_analyze: --json-roundtrip requires --json\n");
+    return 2;
+  }
+
+  const bool failed =
+      result.errors > 0 || (werror && result.warnings > 0);
+  if (expect_violations) return failed ? 0 : 1;
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,47 @@
+#include <regex>
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+// Float literal: 1.0, .5, 2., 1e-3, 1.5e+2f — with optional f/F/l/L suffix.
+const char* kFloatLit =
+    R"((?:\d+\.\d*|\.\d+|\d+[eE][-+]?\d+)(?:[eE][-+]?\d+)?[fFlL]?)";
+
+const std::regex& FloatEqRegex() {
+  // ==/!= with a float literal on either side. Negative lookbehind is not
+  // available in std::regex, so <=/>= are excluded by requiring the char
+  // before == to not be <, >, !, or = when the literal is on the right.
+  static const std::regex re(
+      std::string(R"((?:^|[^<>!=])(==|!=)\s*[-+]?)") + kFloatLit +
+      std::string(R"(|)") + kFloatLit + std::string(R"(\s*(==|!=)[^=])"));
+  return re;
+}
+
+class FloatEqualityRule : public Rule {
+ public:
+  std::string_view name() const override { return "float-equality"; }
+  std::string_view summary() const override {
+    return "no raw ==/!= against floating-point literals";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
+      if (std::regex_search(file.code_lines[i], FloatEqRegex())) {
+        emitter->Report(file, i + 1, *this,
+                        "raw ==/!= against a floating-point literal; "
+                        "compare with a tolerance or mark the line "
+                        "lint" +
+                            std::string(":allow(float-equality)"));
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(FloatEqualityRule);
+
+}  // namespace
+}  // namespace tamp::analyze

@@ -1,0 +1,173 @@
+#include <cctype>
+#include <regex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+/// Declaration-ish line: optional qualifiers, a type token (possibly
+/// templated / qualified), then the declared identifier. Heuristic — it
+/// exists to recognize per-iteration locals, whose accumulation is legal.
+const std::regex& DeclLineRegex() {
+  static const std::regex re(
+      R"(^\s*(?:(?:const|constexpr|static|thread_local|mutable)\s+)*([A-Za-z_][\w:]*)\s*(?:<[^;]*>)?\s*[&*]*\s+([A-Za-z_]\w*)\s*(?:[=;{(,]|$))");
+  return re;
+}
+
+/// Further declarators on the same line: `double a = 0.0, b = 0.0;`.
+const std::regex& ExtraDeclaratorRegex() {
+  static const std::regex re(R"(,\s*[&*]*\s*([A-Za-z_]\w*)\s*(?:[=;{]|$))");
+  return re;
+}
+
+/// Lambda parameter list: `[&](size_t i)` — params are per-index locals.
+const std::regex& LambdaParamsRegex() {
+  static const std::regex re(R"(\]\s*\(([^)]*)\))");
+  return re;
+}
+
+/// Compound accumulation `base(.member)* (+|-|*|/)= ...` with no subscript
+/// anywhere in the chain (a subscripted target is an index-owned slot,
+/// which the ParallelFor contract allows).
+const std::regex& CompoundAssignRegex() {
+  static const std::regex re(
+      R"((?:^|[^\w.\]>])([A-Za-z_]\w*)((?:(?:\.|->)[A-Za-z_]\w*)*)\s*([-+*/])=(?:[^=]|$))");
+  return re;
+}
+
+bool IsDeclKeyword(const std::string& token) {
+  static const std::set<std::string> kKeywords = {
+      "return", "throw", "delete",   "new",       "case",     "goto",
+      "else",   "do",    "co_return", "co_yield", "operator", "using",
+      "typedef", "if",   "while",    "for",       "switch",   "break",
+      "continue"};
+  return kKeywords.count(token) > 0;
+}
+
+/// Extents of every ParallelFor / ParallelMap call body in the stripped
+/// text, as [open_paren + 1, close_paren) byte ranges.
+std::vector<std::pair<std::size_t, std::size_t>> FindParallelBodies(
+    const std::string& code) {
+  std::vector<std::pair<std::size_t, std::size_t>> bodies;
+  const std::string tokens[] = {std::string("Parallel") + "For",
+                                std::string("Parallel") + "Map"};
+  for (const std::string& token : tokens) {
+    std::size_t at = 0;
+    while ((at = code.find(token, at)) != std::string::npos) {
+      const std::size_t tok_start = at;
+      at += token.size();
+      if (tok_start > 0) {
+        const char before = code[tok_start - 1];
+        if (std::isalnum(static_cast<unsigned char>(before)) != 0 ||
+            before == '_') {
+          continue;  // Tail of a longer identifier.
+        }
+      }
+      std::size_t p = tok_start + token.size();
+      // Skip template arguments (ParallelMap<T>), counting '>' so nested
+      // templates close correctly.
+      while (p < code.size() &&
+             std::isspace(static_cast<unsigned char>(code[p])) != 0) {
+        ++p;
+      }
+      if (p < code.size() && code[p] == '<') {
+        int angle = 0;
+        for (; p < code.size(); ++p) {
+          if (code[p] == '<') ++angle;
+          if (code[p] == '>' && --angle == 0) {
+            ++p;
+            break;
+          }
+        }
+        while (p < code.size() &&
+               std::isspace(static_cast<unsigned char>(code[p])) != 0) {
+          ++p;
+        }
+      }
+      if (p >= code.size() || code[p] != '(') continue;  // Not a call.
+      int depth = 0;
+      std::size_t close = p;
+      for (; close < code.size(); ++close) {
+        if (code[close] == '(') ++depth;
+        if (code[close] == ')' && --depth == 0) break;
+      }
+      if (close >= code.size()) continue;  // Unbalanced; give up here.
+      bodies.emplace_back(p + 1, close);
+      at = p;
+    }
+  }
+  return bodies;
+}
+
+class FloatReduceRule : public Rule {
+ public:
+  std::string_view name() const override { return "float-reduce"; }
+  std::string_view summary() const override {
+    return "no shared accumulation inside parallel bodies; use "
+           "ParallelOrderedReduce";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    if (!file.InDir("src/")) return;
+    // The runtime itself implements the ordered-reduce contract.
+    if (file.InDir("src/common/parallel")) return;
+    if (file.code.find(std::string("Parallel")) == std::string::npos) return;
+
+    for (const auto& [begin, end] : FindParallelBodies(file.code)) {
+      const std::string body = file.code.substr(begin, end - begin);
+
+      // Identifiers owned by one loop iteration: lambda parameters plus
+      // anything declared inside the body. Accumulating into those is the
+      // normal per-index partial-sum pattern and stays legal.
+      std::set<std::string> locals;
+      std::smatch params;
+      if (std::regex_search(body, params, LambdaParamsRegex())) {
+        const std::string list = params.str(1);
+        const std::regex ident_re(R"(([A-Za-z_]\w*)\s*(?:,|$))");
+        auto it = std::sregex_iterator(list.begin(), list.end(), ident_re);
+        for (; it != std::sregex_iterator(); ++it) {
+          locals.insert((*it)[1].str());
+        }
+      }
+      for (const std::string& line : SplitLines(body)) {
+        std::smatch decl;
+        if (!std::regex_search(line, decl, DeclLineRegex())) continue;
+        if (IsDeclKeyword(decl.str(1))) continue;
+        locals.insert(decl.str(2));
+        const std::string rest = decl.suffix().str();
+        auto it = std::sregex_iterator(rest.begin(), rest.end(),
+                                       ExtraDeclaratorRegex());
+        for (; it != std::sregex_iterator(); ++it) {
+          locals.insert((*it)[1].str());
+        }
+      }
+
+      auto it = std::sregex_iterator(body.begin(), body.end(),
+                                     CompoundAssignRegex());
+      for (; it != std::sregex_iterator(); ++it) {
+        const std::smatch& m = *it;
+        const std::string base = m.str(1);
+        if (locals.count(base) > 0) continue;
+        const std::size_t pos =
+            begin + static_cast<std::size_t>(m.position(1));
+        emitter->Report(
+            file, file.LineOfPos(pos), *this,
+            "'" + base + m.str(2) + " " + m.str(3) +
+                "=' accumulates into captured state inside a parallel "
+                "body: completion order is nondeterministic, so "
+                "floating-point results differ run to run; compute "
+                "per-index parts and fold with ParallelOrderedReduce");
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(FloatReduceRule);
+
+}  // namespace
+}  // namespace tamp::analyze

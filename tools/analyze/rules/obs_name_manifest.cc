@@ -1,0 +1,156 @@
+#include <map>
+#include <regex>
+#include <set>
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+/// A metric instrument fetched with a string literal name:
+/// GetCounter("km.solves"), GetHistogram(\n    "assign.index_build_s", ...).
+/// \s crosses newlines, so names on continuation lines are caught.
+const std::regex& MetricLiteralRegex() {
+  static const std::regex re(
+      R"(Get(Counter|Gauge|Histogram)\s*\(\s*"([^"]*)\")");
+  return re;
+}
+
+/// Any Get* call at all — used to flag non-literal names, which the
+/// manifest cannot vouch for.
+const std::regex& MetricCallRegex() {
+  static const std::regex re(
+      R"(Get(?:Counter|Gauge|Histogram)\s*\(\s*([^\s]))");
+  return re;
+}
+
+/// A span constructed with a literal name. The gap tolerates the two live
+/// idioms — `obs::TraceSpan s("x")` and
+/// `std::optional<obs::TraceSpan> s(std::in_place, "x")` — but stops at
+/// statement/body boundaries so unrelated later strings don't bind.
+const std::regex& SpanLiteralRegex() {
+  static const std::regex re(R"re(TraceSpan\b([^;{}"=]*)"([^"]*)")re");
+  return re;
+}
+
+/// A counter reference bound to a local: `obs::Counter& n = r.GetCounter("x")`.
+const std::regex& CounterBindingRegex() {
+  static const std::regex re(
+      R"(Counter&\s+([A-Za-z_]\w*)\s*=[^;]*GetCounter\s*\(\s*"([^"]*)\")");
+  return re;
+}
+
+class ObsNameManifestRule : public Rule {
+ public:
+  std::string_view name() const override { return "obs-name-manifest"; }
+  std::string_view summary() const override {
+    return "obs names: literal, listed in names.inc, and actually used";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus& corpus,
+                 Emitter* emitter) override {
+    // The registry implementation and the manifest itself are the contract,
+    // not subject to it; the contract covers the instrumented library.
+    if (!file.InDir("src/") || file.InDir("src/common/obs/")) return;
+
+    std::set<std::string> manifest_names;
+    for (const auto& [obs_name, line] : corpus.manifest) {
+      manifest_names.insert(obs_name);
+    }
+
+    // The scans need literal string contents, so they run over the
+    // comments-stripped (not string-stripped) view.
+    const std::string& text = file.text_nc;
+
+    std::set<std::size_t> literal_call_offsets;
+    auto scan_names = [&](const std::regex& re) {
+      for (auto it = std::sregex_iterator(text.begin(), text.end(), re);
+           it != std::sregex_iterator(); ++it) {
+        const std::smatch& m = *it;
+        literal_call_offsets.insert(static_cast<std::size_t>(m.position(0)));
+        const std::string obs_name = m.str(2);
+        referenced_.insert(obs_name);
+        if (manifest_names.count(obs_name) == 0) {
+          emitter->Report(
+              file, file.LineOfPos(static_cast<std::size_t>(m.position(0))),
+              *this,
+              "obs name \"" + obs_name +
+                  "\" is not in src/common/obs/names.inc; add it to the "
+                  "manifest (or fix the typo) so the bench gate and "
+                  "dashboards can rely on it");
+        }
+      }
+    };
+    scan_names(MetricLiteralRegex());
+    scan_names(SpanLiteralRegex());
+
+    // Non-literal metric names defeat the manifest in both directions.
+    for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                        MetricCallRegex());
+         it != std::sregex_iterator(); ++it) {
+      const std::smatch& m = *it;
+      if (m.str(1) == "\"") continue;
+      emitter->Report(
+          file, file.LineOfPos(static_cast<std::size_t>(m.position(0))),
+          *this,
+          "obs instrument fetched with a non-literal name; the manifest "
+          "check cannot vouch for dynamic names — use a string literal "
+          "listed in names.inc");
+    }
+
+    // The PR-4 dead-counter class: a counter registered (so it appears in
+    // every snapshot, reading as a confident zero) but never incremented
+    // in the translation unit that owns it.
+    for (auto it = std::sregex_iterator(text.begin(), text.end(),
+                                        CounterBindingRegex());
+         it != std::sregex_iterator(); ++it) {
+      const std::smatch& m = *it;
+      const std::string var = m.str(1);
+      const std::regex use_re("\\b" + var + R"(\s*\.\s*Increment\s*\()");
+      if (!std::regex_search(text, use_re)) {
+        emitter->Report(
+            file, file.LineOfPos(static_cast<std::size_t>(m.position(0))),
+            *this,
+            "counter '" + var + "' (\"" + m.str(2) +
+                "\") is registered but never incremented in this file — it "
+                "will report a plausible 0 forever; increment it or drop "
+                "the registration");
+      }
+    }
+  }
+
+  void Finish(const Corpus& corpus, Emitter* emitter) override {
+    // Reverse direction: every manifest name must still be referenced.
+    // Only meaningful when the whole src/ tree was scanned — a partial
+    // scan would see nearly every name as dead.
+    if (!corpus.covers_src) return;
+    if (!corpus.manifest_loaded) {
+      emitter->ReportAt(corpus.manifest_rel, 1, *this,
+                        "obs name manifest missing; create it with one "
+                        "TAMP_OBS_NAME(\"<name>\") line per metric/span");
+      return;
+    }
+    std::set<std::string> seen;
+    for (const auto& [obs_name, line] : corpus.manifest) {
+      if (!seen.insert(obs_name).second) {
+        emitter->ReportAt(corpus.manifest_rel, line, *this,
+                          "duplicate manifest entry \"" + obs_name + "\"");
+      }
+      if (referenced_.count(obs_name) == 0) {
+        emitter->ReportAt(corpus.manifest_rel, line, *this,
+                          "manifest name \"" + obs_name +
+                              "\" is referenced nowhere in src/; delete the "
+                              "entry or restore the instrumentation");
+      }
+    }
+  }
+
+ private:
+  std::set<std::string> referenced_;
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(ObsNameManifestRule);
+
+}  // namespace
+}  // namespace tamp::analyze

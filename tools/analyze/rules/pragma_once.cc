@@ -1,0 +1,32 @@
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+// The needle is assembled at runtime so this file does not contain the
+// directive it checks for.
+const std::string kPragmaOnce = std::string("#pragma") + " once";
+
+class PragmaOnceRule : public Rule {
+ public:
+  std::string_view name() const override { return "pragma-once"; }
+  std::string_view summary() const override {
+    return "every header starts with the include guard pragma";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    if (!file.is_header) return;
+    if (file.code.find(kPragmaOnce) == std::string::npos) {
+      emitter->Report(file, 1, *this,
+                      "header missing '" + kPragmaOnce + "'");
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(PragmaOnceRule);
+
+}  // namespace
+}  // namespace tamp::analyze

@@ -1,0 +1,46 @@
+#include <regex>
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+const std::regex& RawClockRegex() {
+  // std::chrono::steady_clock / system_clock / high_resolution_clock.
+  // Durations and <chrono> itself stay legal; only clock *reads* funnel
+  // through src/common/ (Stopwatch, obs::TraceRecorder).
+  static const std::regex re(
+      R"(std\s*::\s*chrono\s*::\s*(steady_clock|system_clock|high_resolution_clock)\b)");
+  return re;
+}
+
+class RawClockRule : public Rule {
+ public:
+  std::string_view name() const override { return "raw-clock"; }
+  std::string_view summary() const override {
+    return "no raw std::chrono clock reads outside src/common";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    // Exemption: src/common/ owns all clock reads (Stopwatch, the obs
+    // trace recorder); everything else measures time through those.
+    if (file.InDir("src/common/")) return;
+    for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(file.code_lines[i], match, RawClockRegex())) {
+        emitter->Report(file, i + 1, *this,
+                        "raw 'std::chrono::" + match.str(1) +
+                            "' outside src/common/; use tamp::Stopwatch or "
+                            "obs::TraceSpan so timings reach the "
+                            "observability layer");
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(RawClockRule);
+
+}  // namespace
+}  // namespace tamp::analyze

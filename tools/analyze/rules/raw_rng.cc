@@ -1,0 +1,45 @@
+#include <regex>
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+const std::regex& RawRandRegex() {
+  // rand( / srand( / random_shuffle as standalone tokens, plus the
+  // implementation-defined default_random_engine.
+  static const std::regex re(
+      R"((^|[^\w:])(s?rand\s*\(|random_shuffle|default_random_engine))");
+  return re;
+}
+
+class RawRngRule : public Rule {
+ public:
+  std::string_view name() const override { return "raw-rng"; }
+  std::string_view summary() const override {
+    return "no raw/unseeded RNG outside src/common/rng";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    // Exemption: the RNG wrapper module is the one place allowed to touch
+    // raw generators; its job is to seed them.
+    if (file.InDir("src/common/rng")) return;
+    for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(file.code_lines[i], match, RawRandRegex())) {
+        emitter->Report(file, i + 1, *this,
+                        "raw/unseeded RNG outside src/common/rng (matched "
+                        "'" +
+                            match.str(2) +
+                            "'); use tamp::common::Rng for reproducibility");
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(RawRngRule);
+
+}  // namespace
+}  // namespace tamp::analyze

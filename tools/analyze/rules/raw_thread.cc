@@ -1,0 +1,54 @@
+#include <regex>
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+const std::regex& RawThreadRegex() {
+  // std::thread / std::jthread objects and std::async launches. Matching
+  // the qualified names keeps `std::this_thread::` (sleep/yield) and the
+  // <thread> include legal; only thread *creation* is restricted.
+  static const std::regex re(
+      R"((^|[^\w:])std\s*::\s*(j?thread\b|async\s*\())");
+  return re;
+}
+
+class RawThreadRule : public Rule {
+ public:
+  std::string_view name() const override { return "raw-thread"; }
+  std::string_view summary() const override {
+    return "no raw thread creation outside src/common/parallel";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    // Exemption: the deterministic parallel runtime is the one place
+    // allowed to create threads; everything else goes through
+    // ParallelFor/Map.
+    if (file.InDir("src/common/parallel")) return;
+    for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
+      std::smatch match;
+      if (std::regex_search(file.code_lines[i], match, RawThreadRegex())) {
+        // Reconstruct the matched token without the boundary char or the
+        // trailing call paren, so the report names exactly what was used.
+        std::string token = match.str(2);
+        while (!token.empty() &&
+               (token.back() == '(' || token.back() == ' ')) {
+          token.pop_back();
+        }
+        emitter->Report(file, i + 1, *this,
+                        "raw 'std::" + token +
+                            "' outside src/common/parallel; use "
+                            "tamp::ParallelFor so runs stay deterministic "
+                            "and TAMP_THREADS-controlled");
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(RawThreadRule);
+
+}  // namespace
+}  // namespace tamp::analyze

@@ -1,0 +1,90 @@
+#include <regex>
+#include <set>
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+// Scope: the directories that compute assignment plans. Hash-order
+// iteration there feeds accumulation or matching order and silently breaks
+// the bit-identical-plans contract (DESIGN.md §4d) the parity tests pin.
+constexpr const char* kScopes[] = {"src/assign/", "src/core/", "src/meta/"};
+
+const std::regex& UnorderedDeclRegex() {
+  // A (possibly reference) variable declared with an unordered container
+  // type on one line: `std::unordered_map<int64_t, double>& min_b = ...;`.
+  // Greedy `<.*>` swallows nested template arguments; the terminator set
+  // includes `,` and `)` so function parameters are collected too.
+  static const std::regex re(
+      R"(unordered_(?:map|set|multimap|multiset)\s*<.*>\s*[&]?\s*([A-Za-z_]\w*)\s*[;=({,)])");
+  return re;
+}
+
+const std::regex& RangeForRegex() {
+  static const std::regex re(R"(for\s*\(.*[^:]:\s*([A-Za-z_]\w*)\s*\))");
+  return re;
+}
+
+const std::regex& BeginCallRegex() {
+  static const std::regex re(
+      R"(([A-Za-z_]\w*)\s*\.\s*c?r?begin\s*\()");
+  return re;
+}
+
+class UnorderedIterationRule : public Rule {
+ public:
+  std::string_view name() const override { return "unordered-iteration"; }
+  std::string_view summary() const override {
+    return "no iteration over unordered containers in plan-computing code";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    bool scoped = false;
+    for (const char* scope : kScopes) scoped = scoped || file.InDir(scope);
+    if (!scoped) return;
+
+    // Pass 1: collect identifiers declared (or bound by reference) with an
+    // unordered container type anywhere in the file.
+    std::set<std::string> unordered_vars;
+    for (const std::string& line : file.code_lines) {
+      auto begin = std::sregex_iterator(line.begin(), line.end(),
+                                        UnorderedDeclRegex());
+      for (auto it = begin; it != std::sregex_iterator(); ++it) {
+        unordered_vars.insert((*it)[1].str());
+      }
+    }
+    if (unordered_vars.empty()) return;
+
+    // Pass 2: flag range-for over, or begin() iteration of, any of them.
+    // Lookup-only use (find/emplace/count/clear) stays legal — the hazard
+    // is order-dependent traversal, not hashing itself.
+    for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
+      const std::string& line = file.code_lines[i];
+      std::smatch match;
+      std::string var;
+      if (std::regex_search(line, match, RangeForRegex()) &&
+          unordered_vars.count(match.str(1)) > 0) {
+        var = match.str(1);
+      } else if (std::regex_search(line, match, BeginCallRegex()) &&
+                 unordered_vars.count(match.str(1)) > 0) {
+        var = match.str(1);
+      }
+      if (!var.empty()) {
+        emitter->Report(
+            file, i + 1, *this,
+            "iteration over unordered container '" + var +
+                "' visits elements in hash order, which is unspecified "
+                "and breaks bit-identical plans; iterate a sorted copy of "
+                "the keys, or use std::map/std::vector");
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(UnorderedIterationRule);
+
+}  // namespace
+}  // namespace tamp::analyze

@@ -1,0 +1,40 @@
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+class UnusedSuppressionRule : public Rule {
+ public:
+  std::string_view name() const override { return "unused-suppression"; }
+  Severity severity() const override { return Severity::kWarn; }
+  std::string_view summary() const override {
+    return "every suppression marker must suppress something";
+  }
+
+  void PostSuppression(const Corpus&, const std::vector<UnusedAllow>& unused,
+                       Emitter* emitter) override {
+    for (const UnusedAllow& site : unused) {
+      std::string which;
+      if (site.spec->all) {
+        which = "bare marker";
+      } else {
+        for (const std::string& rule : site.spec->rules) {
+          which += (which.empty() ? "" : ", ") + rule;
+        }
+        which = "marker for " + which;
+      }
+      emitter->ReportAt(site.file, site.line, *this,
+                        which +
+                            " suppresses nothing on this line; the "
+                            "violation it excused is gone — delete the "
+                            "marker so it cannot mask a future one");
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(UnusedSuppressionRule);
+
+}  // namespace
+}  // namespace tamp::analyze

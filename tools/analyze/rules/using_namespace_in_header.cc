@@ -1,0 +1,35 @@
+#include <string>
+
+#include "analysis.h"
+
+namespace tamp::analyze {
+namespace {
+
+const std::string kUsingNamespace = std::string("using ") + "namespace";
+
+class UsingNamespaceInHeaderRule : public Rule {
+ public:
+  std::string_view name() const override {
+    return "using-namespace-in-header";
+  }
+  std::string_view summary() const override {
+    return "no using-directives in headers (they leak into every includer)";
+  }
+
+  void CheckFile(const FileContext& file, const Corpus&,
+                 Emitter* emitter) override {
+    if (!file.is_header) return;
+    for (std::size_t i = 0; i < file.code_lines.size(); ++i) {
+      if (file.code_lines[i].find(kUsingNamespace) != std::string::npos) {
+        emitter->Report(file, i + 1, *this,
+                        "using-directive in a header leaks into every "
+                        "includer; use explicit qualification");
+      }
+    }
+  }
+};
+
+TAMP_REGISTER_ANALYSIS_RULE(UsingNamespaceInHeaderRule);
+
+}  // namespace
+}  // namespace tamp::analyze

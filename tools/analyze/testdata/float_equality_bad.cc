@@ -1,0 +1,16 @@
+// Seeded violations: direct floating-point equality comparisons.
+
+namespace tamp_testdata {
+
+bool Converged(double score, double prev) {
+  if (score == prev) {  // violation: exact FP equality
+    return true;
+  }
+  return score != 0.5;  // violation: exact FP inequality against a literal
+}
+
+bool IsUnit(float weight) {
+  return weight == 1.0f;  // violation
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,34 @@
+// Negative case: tolerance-based comparison plus raw-string-literal
+// regression cases for the stripper. Each raw string below contains text
+// that WOULD trip float-equality (or desynchronize a naive stripper) if
+// literal contents leaked into the stripped code view.
+
+#include <cmath>
+#include <string>
+
+namespace tamp_testdata {
+
+bool Near(double a, double b) {
+  return std::fabs(a - b) < 1e-9;  // tolerance compare: legal
+}
+
+// A raw string with an embedded unescaped quote: a stripper that treats
+// `R"(` as a normal string-open terminates at the inner quote and leaks
+// `== 1.0` into the code view.
+const std::string kDoc = R"(an embedded " quote then x == 1.0 done)";
+
+// A delimited raw string whose body contains `)"` — only the `)x"` closer
+// ends it. The `== 2.0` inside must stay stripped.
+const std::string kTricky = R"x(contains )" inside, and y == 2.0 too)x";
+
+// Multi-line raw string: newlines inside literals are preserved by the
+// stripper so later line numbers stay aligned.
+const std::string kMultiLine = R"(first line
+second == 3.0 line
+third line)";
+
+// After all of the above, an ordinary string on a correctly-resynced
+// stripper is still recognized as a string.
+const std::string kAfter = "z == 4.0 stays stripped";
+
+}  // namespace tamp_testdata

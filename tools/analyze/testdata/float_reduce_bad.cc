@@ -1,0 +1,29 @@
+// analyze:path=src/core/float_reduce_bad.cc
+// Seeded violations: floating-point accumulation into captured state
+// inside parallel bodies. Worker completion order is nondeterministic, so
+// the rounding of the running sum differs run to run.
+
+#include <cstddef>
+#include <vector>
+
+namespace tamp_testdata {
+
+struct Stats {
+  double sum = 0.0;
+};
+
+double SharedSum(const std::vector<double>& xs) {
+  double total = 0.0;
+  tamp::ParallelFor(xs.size(), [&](std::size_t i) {
+    total += xs[i];  // violation: shared FP accumulation
+  });
+  return total;
+}
+
+void ScaleInto(Stats& stats, const std::vector<double>& xs) {
+  tamp::ParallelFor(xs.size(), [&](std::size_t i) {
+    stats.sum *= xs[i];  // violation: compound product on captured member
+  });
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,35 @@
+// analyze:path=src/core/float_reduce_ok.cc
+// Negative case: the sanctioned patterns. Per-iteration locals, per-index
+// slots, serial accumulation outside parallel bodies, and the
+// ParallelOrderedReduce fold are all deterministic.
+
+#include <cstddef>
+#include <vector>
+
+namespace tamp_testdata {
+
+void PerIndexParts(const std::vector<double>& xs, std::vector<double>& out) {
+  tamp::ParallelFor(xs.size(), [&](std::size_t i) {
+    double local = 0.0;  // per-iteration local: legal
+    local += xs[i];
+    out[i] += local;  // index-owned slot: legal under the contract
+  });
+}
+
+double SerialSum(const std::vector<double>& parts) {
+  double total = 0.0;
+  for (const double p : parts) {
+    total += p;  // outside any parallel body: legal
+  }
+  return total;
+}
+
+double OrderedFold(const std::vector<double>& xs) {
+  // The runtime folds per-index parts in index order regardless of which
+  // worker produced them, so the rounding is reproducible.
+  return tamp::ParallelOrderedReduce(
+      xs.size(), 0.0, [&](std::size_t i) { return xs[i]; },
+      [](double acc, double part) { return acc + part; });
+}
+
+}  // namespace tamp_testdata

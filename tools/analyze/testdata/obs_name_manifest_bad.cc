@@ -1,0 +1,31 @@
+// analyze:path=src/core/obs_name_manifest_bad.cc
+// Seeded violations for the obs-name manifest contract. The pretend-path
+// directive above puts this file in scope (the rule only checks src/).
+
+#include <string>
+
+namespace tamp_testdata {
+
+struct FakeRegistry;
+
+void Violations(FakeRegistry& registry, const std::string& suffix) {
+  // Violation 1: a typo'd metric name absent from names.inc — the classic
+  // silent-fork failure where code and dashboards disagree on spelling.
+  registry.GetCounter("sim.batchez").Increment();
+
+  // Violation 2 (the PR-4 dead-counter class): a counter bound with a
+  // manifest-listed name but never incremented anywhere in this file. It
+  // shows up in every snapshot as a plausible, confident zero.
+  obs::Counter& calls_counter = registry.GetCounter("ppi.calls");
+  (void)calls_counter;
+
+  // Violation 3: a non-literal name defeats the manifest in both
+  // directions — nothing can vouch the string exists or is spelled right.
+  const std::string dynamic_name = "sim." + suffix;
+  registry.GetCounter(dynamic_name).Increment();
+
+  // Violation 4: a span name absent from names.inc.
+  obs::TraceSpan warmup_span("sim.warmup");
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,24 @@
+// analyze:path=src/core/obs_name_manifest_ok.cc
+// Negative case: every name below is a literal listed in names.inc, and
+// the bound counter is actually incremented. Uses only names that live
+// code also references, so the manifest's reverse check stays green.
+
+namespace tamp_testdata {
+
+struct FakeRegistry;
+
+void Instrumented(FakeRegistry& registry) {
+  obs::Counter& batches_counter = registry.GetCounter("sim.batches");
+  batches_counter.Increment();
+
+  obs::TraceSpan batch_span("sim.batch");
+
+  // Continuation-line name: the scan crosses newlines.
+  registry.GetHistogram(
+      "sim.pool_depth");
+
+  // The std::optional<TraceSpan> idiom with the name as second argument.
+  std::optional<obs::TraceSpan> stage_span(std::in_place, "ppi.stage1");
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,8 @@
+// Seeded violation: this header deliberately lacks the include-guard
+// pragma. (Not compiled; scanned by the analyze self-test ctests.)
+
+namespace tamp_testdata {
+
+inline int Answer() { return 42; }
+
+}  // namespace tamp_testdata

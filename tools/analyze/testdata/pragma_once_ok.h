@@ -1,0 +1,8 @@
+// Negative case: a guarded header must not trip pragma-once.
+#pragma once
+
+namespace tamp_testdata {
+
+inline int Answer() { return 42; }
+
+}  // namespace tamp_testdata

@@ -1,0 +1,20 @@
+// Seeded violations: wall-clock reads outside src/common make timing an
+// input to the algorithm and break replayability.
+
+#include <chrono>
+
+namespace tamp_testdata {
+
+double NowSeconds() {
+  auto t = std::chrono::steady_clock::now();  // violation
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long WallMillis() {
+  auto t = std::chrono::system_clock::now();  // violation
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+      .count();
+}
+
+}  // namespace tamp_testdata

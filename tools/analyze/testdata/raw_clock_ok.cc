@@ -1,0 +1,19 @@
+// Negative case: duration arithmetic without reading any clock is legal —
+// only clock *reads* make time an input to the computation.
+
+#include <chrono>
+
+namespace tamp_testdata {
+
+double SumSeconds(double a, double b) {
+  std::chrono::duration<double> total{a + b};  // pure arithmetic: legal
+  return total.count();
+}
+
+long ToMillis(double seconds) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::duration<double>(seconds))
+      .count();
+}
+
+}  // namespace tamp_testdata

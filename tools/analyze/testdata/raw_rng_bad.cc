@@ -1,0 +1,22 @@
+// Seeded violations: raw randomness sources that break run-to-run
+// reproducibility (seeds must flow through src/common/rng).
+
+#include <cstdlib>
+#include <random>
+
+namespace tamp_testdata {
+
+int UnseededDraw() {
+  return rand() % 100;  // violation: rand()
+}
+
+void ReseedFromTime() {
+  srand(42);  // violation: srand()
+}
+
+double EngineDraw() {
+  std::default_random_engine engine;  // violation: unspecified engine
+  return std::uniform_real_distribution<double>(0.0, 1.0)(engine);
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,17 @@
+// Negative case: explicitly-seeded, fixed-algorithm generators are the
+// sanctioned path (src/common/rng wraps exactly this).
+
+#include <random>
+
+namespace tamp_testdata {
+
+double SeededDraw(unsigned seed) {
+  std::mt19937 gen(seed);  // fixed algorithm + explicit seed: legal
+  return std::uniform_real_distribution<double>(0.0, 1.0)(gen);
+}
+
+// Identifiers that merely end in a banned token are not matches.
+int shuffle_count = 0;
+int grand_total() { return shuffle_count; }
+
+}  // namespace tamp_testdata

@@ -1,0 +1,19 @@
+// Seeded violations: raw threading primitives outside the deterministic
+// runtime in src/common/parallel.
+
+#include <future>
+#include <thread>
+
+namespace tamp_testdata {
+
+void SpawnWorker() {
+  std::thread worker([] {});  // violation: raw std::thread
+  worker.join();
+}
+
+void SpawnAsync() {
+  auto f = std::async([] { return 1; });  // violation: raw std::async
+  f.get();
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,17 @@
+// Negative case: thread-adjacent std facilities that do not create
+// execution agents stay legal outside src/common/parallel.
+
+#include <thread>
+
+namespace tamp_testdata {
+
+void Politeness() {
+  std::this_thread::yield();  // no new execution agent: legal
+}
+
+// A type merely named like the banned ones is not a match.
+struct thread_stats {
+  int count = 0;
+};
+
+}  // namespace tamp_testdata

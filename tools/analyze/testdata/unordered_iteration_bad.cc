@@ -1,0 +1,26 @@
+// analyze:path=src/assign/unordered_iteration_bad.cc
+// Seeded violations: traversal of unordered containers in plan-computing
+// code. Hash order is unspecified, so any order-sensitive consumer (FP
+// accumulation, first-wins matching) breaks bit-identical plans.
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace tamp_testdata {
+
+double SumWeights(const std::unordered_map<long, double>& weights) {
+  double total = 0.0;
+  for (const auto& [id, w] : weights) {  // violation: hash-order range-for
+    total += w;
+  }
+  return total;
+}
+
+long FirstId(const std::unordered_set<long>& ids) {
+  for (auto it = ids.begin(); it != ids.end(); ++it) {  // violation: begin()
+    return *it;
+  }
+  return -1;
+}
+
+}  // namespace tamp_testdata

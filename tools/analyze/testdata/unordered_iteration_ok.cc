@@ -1,0 +1,32 @@
+// analyze:path=src/assign/unordered_iteration_ok.cc
+// Negative case: unordered containers used for lookup only, and iteration
+// over *ordered* containers — both legal. The hazard is order-dependent
+// traversal, not hashing itself.
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace tamp_testdata {
+
+double LookupTotal(const std::unordered_map<long, double>& weights,
+                   const std::vector<long>& sorted_ids) {
+  double total = 0.0;
+  // Deterministic: the iteration order comes from the sorted id list; the
+  // unordered map only answers point lookups.
+  for (const long id : sorted_ids) {
+    const auto it = weights.find(id);
+    if (it != weights.end()) total += it->second;
+  }
+  return total;
+}
+
+double OrderedTotal(const std::map<long, double>& by_id) {
+  double total = 0.0;
+  for (const auto& [id, w] : by_id) {  // std::map iterates in key order
+    total += w;
+  }
+  return total;
+}
+
+}  // namespace tamp_testdata

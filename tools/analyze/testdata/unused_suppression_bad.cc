@@ -1,0 +1,12 @@
+// Seeded violations: suppression markers on lines where no rule fires.
+// Stale markers hide nothing today but will silently swallow a real
+// finding added to that line tomorrow.
+
+namespace tamp_testdata {
+
+int Clean() {
+  int x = 0;  // lint:allow(raw-rng)
+  return x;   // lint:allow
+}
+
+}  // namespace tamp_testdata

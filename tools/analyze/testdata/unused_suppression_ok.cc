@@ -1,0 +1,12 @@
+// Negative case: a marker that suppresses a real finding is used, so the
+// unused-suppression rule stays silent about it.
+
+#include <cstdlib>
+
+namespace tamp_testdata {
+
+int LegacyDraw() {
+  return rand();  // lint:allow(raw-rng)
+}
+
+}  // namespace tamp_testdata

@@ -1,0 +1,12 @@
+// Seeded violation: using-directive at namespace scope in a header.
+#pragma once
+
+#include <string>
+
+using namespace std;  // violation: leaks into every includer
+
+namespace tamp_testdata {
+
+inline string Greet() { return "hi"; }
+
+}  // namespace tamp_testdata

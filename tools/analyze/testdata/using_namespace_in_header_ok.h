@@ -1,0 +1,13 @@
+// Negative case: using-declarations (not directives) and a mention of the
+// forbidden phrase inside a comment — using namespace — stay legal.
+#pragma once
+
+#include <string>
+
+namespace tamp_testdata {
+
+using std::string;  // a using-declaration is scoped and explicit: legal
+
+inline string Greet() { return "hi"; }
+
+}  // namespace tamp_testdata

@@ -1,18 +1,22 @@
 #!/usr/bin/env bash
 # One-command pre-merge gate for the TAMP repo.
 #
-#   tools/check.sh              Release build + ctest, the bench metrics
-#                               gate (micro benches vs bench/baselines/),
-#                               ASan+UBSan build + ctest, a TSan build +
-#                               ctest over the concurrency tests at
-#                               TAMP_THREADS=4, and the repo lint gate.
-#                               Exits nonzero on the first failure.
-#   tools/check.sh --lint-only  Only the lint gate (and its self-test).
+#   tools/check.sh                 Release build + ctest, the bench metrics
+#                                  gate (micro benches vs bench/baselines/),
+#                                  clang-tidy (when installed), ASan+UBSan
+#                                  build + ctest, a TSan build + ctest over
+#                                  the concurrency tests at TAMP_THREADS=4,
+#                                  and the tamp_analyze static-analysis
+#                                  gate. Exits nonzero on the first failure.
+#   tools/check.sh --analyze-only  Only the analyze gate (and its
+#                                  self-tests). --lint-only is a legacy
+#                                  alias.
 #
 # Options:
-#   --lint-binary PATH   Use an already-built tamp_lint instead of building
-#                        one (used by the ctest smoke entry).
-#   --jobs N             Parallel build jobs (default: nproc).
+#   --analyze-binary PATH  Use an already-built tamp_analyze instead of
+#                          building one (used by the ctest smoke entry).
+#                          --lint-binary is a legacy alias.
+#   --jobs N               Parallel build jobs (default: nproc).
 #
 # When clang-tidy is on PATH, the Release stage also runs it with the repo
 # .clang-tidy config over the library sources (advisory unless
@@ -22,13 +26,13 @@ set -u -o pipefail
 
 REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 JOBS="$(nproc 2>/dev/null || echo 2)"
-LINT_ONLY=0
-LINT_BINARY=""
+ANALYZE_ONLY=0
+ANALYZE_BINARY=""
 
 while [ $# -gt 0 ]; do
   case "$1" in
-    --lint-only) LINT_ONLY=1 ;;
-    --lint-binary) LINT_BINARY="$2"; shift ;;
+    --analyze-only|--lint-only) ANALYZE_ONLY=1 ;;
+    --analyze-binary|--lint-binary) ANALYZE_BINARY="$2"; shift ;;
     --jobs) JOBS="$2"; shift ;;
     *) echo "check.sh: unknown option '$1'" >&2; exit 2 ;;
   esac
@@ -49,22 +53,22 @@ run_stage() {
   fi
 }
 
-build_lint_binary() {
-  local dir="$REPO_ROOT/build-check-lint"
+build_analyze_binary() {
+  local dir="$REPO_ROOT/build-check-analyze"
   cmake -B "$dir" -S "$REPO_ROOT" \
         -DTAMP_BUILD_TESTS=OFF -DTAMP_BUILD_BENCHMARKS=OFF \
         -DTAMP_BUILD_EXAMPLES=OFF >/dev/null \
-    && cmake --build "$dir" --target tamp_lint -j "$JOBS" >/dev/null \
-    && LINT_BINARY="$dir/tools/tamp_lint"
+    && cmake --build "$dir" --target tamp_analyze -j "$JOBS" >/dev/null \
+    && ANALYZE_BINARY="$dir/tools/tamp_analyze"
 }
 
-lint_stage() {
-  if [ -z "$LINT_BINARY" ]; then
-    run_stage "lint-build" build_lint_binary || return 1
+analyze_stage() {
+  if [ -z "$ANALYZE_BINARY" ]; then
+    run_stage "analyze-build" build_analyze_binary || return 1
   fi
-  run_stage "lint" "$LINT_BINARY" "$REPO_ROOT" || return 1
-  run_stage "lint-self-test" "$LINT_BINARY" --expect-violations \
-            "$REPO_ROOT" tools/lint/testdata || return 1
+  run_stage "analyze" "$ANALYZE_BINARY" "$REPO_ROOT" || return 1
+  run_stage "analyze-self-test" "$ANALYZE_BINARY" --self-test all \
+            "$REPO_ROOT" || return 1
 }
 
 full_build_stage() {
@@ -118,12 +122,16 @@ bench_gate_stage() {
 
 clang_tidy_stage() {
   command -v clang-tidy >/dev/null 2>&1 || {
-    echo "==> [clang-tidy] not installed, skipping (advisory)"; return 0;
+    echo "==> [clang-tidy] WARNING: clang-tidy not on PATH — the tidy gate" \
+         "(bugprone-*/concurrency-*/performance-*) DID NOT RUN; install" \
+         "clang-tidy to close this gap" >&2
+    return 0
   }
   local dir="$REPO_ROOT/build-check-release"
   local files
   files=$(find "$REPO_ROOT/src" -name '*.cc' | sort)
-  echo "==> [clang-tidy] running over src/"
+  echo "==> [clang-tidy] running over src/ with $(clang-tidy --version \
+       | grep -o 'version [0-9.]*' | head -1)"
   # shellcheck disable=SC2086
   if clang-tidy -p "$dir" $files --quiet; then
     echo "==> [clang-tidy] OK"
@@ -135,8 +143,8 @@ clang_tidy_stage() {
   fi
 }
 
-if [ "$LINT_ONLY" = "1" ]; then
-  lint_stage
+if [ "$ANALYZE_ONLY" = "1" ]; then
+  analyze_stage
 else
   full_build_stage "release" "$REPO_ROOT/build-check-release" \
     -DCMAKE_BUILD_TYPE=Release \
@@ -147,7 +155,7 @@ else
     -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DTAMP_SANITIZE=address,undefined
   tsan_stage
-  lint_stage
+  analyze_stage
 fi
 
 if [ "$FAILURES" -gt 0 ]; then
