@@ -42,11 +42,15 @@ struct TaskCandidate {
   bool stage3_feasible = false;
 };
 
-/// Work accounting for one GenerateCandidates call (also mirrored into the
-/// obs registry as assign.candidate_evals / assign.candidates_pruned).
+/// Work accounting for one candidate-table build (also mirrored into the
+/// obs registry as assign.candidate_evals / assign.candidates_pruned /
+/// assign.candidate_cache_hits). evaluated + pruned + cache_hits always
+/// equals the dense T x W pair count of the call(s) accumulated.
 struct CandidateGenStats {
-  int64_t evaluated = 0;  // EvaluateCandidate invocations.
-  int64_t pruned = 0;     // Dense pairs skipped via the spatial index.
+  int64_t evaluated = 0;   // EvaluateCandidate invocations.
+  int64_t pruned = 0;      // Dense pairs skipped via the spatial index.
+  int64_t cache_hits = 0;  // Rows reused from the incremental engine's
+                           // cache (always 0 for GenerateCandidates).
 };
 
 /// Builds the batch candidate table: for every task, the ascending-worker

@@ -6,6 +6,7 @@
 
 #include "assign/candidate_index.h"
 #include "assign/candidates.h"
+#include "assign/incremental.h"
 #include "common/check.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
@@ -32,20 +33,26 @@ using FeasibilityTable = std::vector<std::vector<FeasibleEdge>>;
 FeasibilityTable BuildTable(const std::vector<SpatialTask>& tasks,
                             const std::vector<CandidateWorker>& workers,
                             double match_radius_km, double now_min,
-                            bool use_spatial_index) {
+                            bool use_spatial_index, AssignReuse* reuse) {
   static obs::Histogram& build_hist =
       obs::MetricsRegistry::Global().GetHistogram(
           "assign.index_build_s", obs::DurationEdgesSeconds());
-  std::optional<CandidateIndex> index;
-  if (use_spatial_index) {
+  std::vector<std::vector<TaskCandidate>> candidates;
+  if (reuse != nullptr) {
     obs::TraceSpan build_span("ggpso.index_build");
-    Stopwatch build_watch;
-    index.emplace(workers);
-    build_hist.Record(build_watch.ElapsedSeconds());
+    candidates =
+        reuse->candidates.BuildTable(tasks, workers, match_radius_km, now_min);
+  } else {
+    std::optional<CandidateIndex> index;
+    if (use_spatial_index) {
+      obs::TraceSpan build_span("ggpso.index_build");
+      Stopwatch build_watch;
+      index.emplace(workers);
+      build_hist.Record(build_watch.ElapsedSeconds());
+    }
+    candidates = GenerateCandidates(tasks, workers, match_radius_km, now_min,
+                                    index ? &*index : nullptr);
   }
-  const std::vector<std::vector<TaskCandidate>> candidates =
-      GenerateCandidates(tasks, workers, match_radius_km, now_min,
-                         index ? &*index : nullptr);
   FeasibilityTable table(tasks.size());
   for (size_t t = 0; t < candidates.size(); ++t) {
     for (const TaskCandidate& tc : candidates[t]) {
@@ -142,7 +149,8 @@ void Mutate(Individual& ind, const FeasibilityTable& table, int num_workers,
 
 AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
                            const std::vector<CandidateWorker>& workers,
-                           double now_min, const GgpsoConfig& config) {
+                           double now_min, const GgpsoConfig& config,
+                           AssignReuse* reuse) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   static obs::Counter& solves_counter = registry.GetCounter("ggpso.solves");
   static obs::Counter& generations_counter =
@@ -159,8 +167,9 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
   Stopwatch solve_watch;
   obs::TraceSpan solve_span("ggpso.solve");
 
-  FeasibilityTable table = BuildTable(tasks, workers, config.match_radius_km,
-                                      now_min, config.use_spatial_index);
+  FeasibilityTable table =
+      BuildTable(tasks, workers, config.match_radius_km, now_min,
+                 config.use_spatial_index, reuse);
   Rng rng(config.seed);
   const int num_workers = static_cast<int>(workers.size());
 

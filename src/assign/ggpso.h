@@ -5,6 +5,8 @@
 
 namespace tamp::assign {
 
+struct AssignReuse;
+
 /// Parameters of the GGPSO baseline.
 struct GgpsoConfig {
   int population = 24;
@@ -27,8 +29,11 @@ struct GgpsoConfig {
 /// iteratively improves a population of assignment plans through
 /// crossover with the global best, mutation, and tournament selection.
 /// Feasibility uses the same predicted-trajectory test as PPI's stage 3.
+/// A non-null `reuse` builds the feasibility table through the incremental
+/// engine (bit-identical table; no warm-start — GGPSO runs no KM).
 AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
                            const std::vector<CandidateWorker>& workers,
-                           double now_min, const GgpsoConfig& config);
+                           double now_min, const GgpsoConfig& config,
+                           AssignReuse* reuse = nullptr);
 
 }  // namespace tamp::assign

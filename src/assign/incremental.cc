@@ -1,0 +1,331 @@
+#include "assign/incremental.h"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+
+#include "common/check.h"
+#include "common/obs/metrics.h"
+#include "common/parallel.h"
+#include "common/stopwatch.h"
+
+namespace tamp::assign {
+namespace {
+
+/// Snapshots are keyed by the batch instant's bit pattern: reuse requires
+/// the *identical* `now`, and bitwise identity is exactly what makes the
+/// cached arithmetic reproducible.
+uint64_t SnapshotKey(double now_min) {
+  uint64_t key = 0;
+  static_assert(sizeof(key) == sizeof(now_min));
+  std::memcpy(&key, &now_min, sizeof(key));
+  return key;
+}
+
+/// (task id, worker id) packed; both are non-negative ints, so the key is
+/// collision-free.
+uint64_t PairKey(int task_id, int worker_id) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(task_id)) << 32) |
+         static_cast<uint32_t>(worker_id);
+}
+
+/// Snapshots older than this many engine ticks past the LRU cap are
+/// dropped; bounds memory across long sweeps with many distinct instants.
+constexpr size_t kMaxSnapshots = 4096;
+
+}  // namespace
+
+void IncrementalCandidateEngine::ReconcileIndex(
+    const std::vector<CandidateWorker>& workers) {
+  if (!index_built_) {
+    // First build mirrors CandidateIndex: every platform-visible point,
+    // cells at half the dominant prune radius — except labels are stable
+    // worker ids, which is what lets later batches delta against it.
+    double max_half = 0.0;
+    std::vector<geo::SpatialLabelIndex::Entry> entries;
+    for (const CandidateWorker& w : workers) {
+      max_half = std::max(max_half, w.detour_budget_km / 2.0);
+      for (const geo::TimedPoint& p : w.predicted) {
+        entries.push_back({p.loc, w.id});
+      }
+      entries.push_back({w.current_location, w.id});
+    }
+    index_ = geo::SpatialLabelIndex(entries, max_half / 2.0);
+    index_built_ = true;
+  } else {
+    // Workers who left since the index was last current.
+    std::vector<int> gone;
+    for (const auto& [id, state] : indexed_) {
+      bool present = false;
+      for (const CandidateWorker& w : workers) {
+        if (w.id == id) {
+          present = true;
+          break;
+        }
+      }
+      if (!present) gone.push_back(id);
+    }
+    for (int id : gone) {
+      index_.RemoveLabel(id);
+      indexed_.erase(id);
+    }
+  }
+  for (const CandidateWorker& w : workers) {
+    auto [it, inserted] = indexed_.try_emplace(w.id);
+    WorkerState& held = it->second;
+    bool moved = inserted;
+    if (!inserted) {
+      moved = held.points.size() != w.predicted.size() + 1;
+      if (!moved) {
+        for (size_t i = 0; i < w.predicted.size(); ++i) {
+          if (!(held.points[i] == w.predicted[i].loc)) {
+            moved = true;
+            break;
+          }
+        }
+        moved = moved || !(held.points.back() == w.current_location);
+      }
+    }
+    if (moved) {
+      // A move is remove + insert against the already-built index.
+      if (!inserted) index_.RemoveLabel(w.id);
+      held.points.clear();
+      held.points.reserve(w.predicted.size() + 1);
+      for (const geo::TimedPoint& p : w.predicted) {
+        index_.Insert({p.loc, w.id});
+        held.points.push_back(p.loc);
+      }
+      index_.Insert({w.current_location, w.id});
+      held.points.push_back(w.current_location);
+    }
+    // Bound ingredients ride along even when the points did not move: they
+    // feed the per-worker query radii, not the index itself.
+    held.half_detour_km = w.detour_budget_km / 2.0;
+    held.speed_kmpm = w.speed_kmpm;
+  }
+}
+
+void IncrementalCandidateEngine::EvictStaleSnapshots() {
+  while (snapshots_.size() > kMaxSnapshots) {
+    auto victim = snapshots_.begin();
+    for (auto it = std::next(snapshots_.begin()); it != snapshots_.end();
+         ++it) {
+      // Deterministic LRU: oldest tick, ties broken by key, so eviction
+      // (and therefore every later hit/miss count) is independent of the
+      // unordered_map's iteration order.
+      if (it->second.last_used < victim->second.last_used ||
+          (it->second.last_used == victim->second.last_used &&
+           it->first < victim->first)) {
+        victim = it;
+      }
+    }
+    snapshots_.erase(victim);
+  }
+}
+
+std::vector<std::vector<TaskCandidate>> IncrementalCandidateEngine::BuildTable(
+    const std::vector<SpatialTask>& tasks,
+    const std::vector<CandidateWorker>& workers, double match_radius_km,
+    double now_min, CandidateGenStats* stats) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& evals_counter =
+      registry.GetCounter("assign.candidate_evals");
+  static obs::Counter& pruned_counter =
+      registry.GetCounter("assign.candidates_pruned");
+  static obs::Counter& hits_counter =
+      registry.GetCounter("assign.candidate_cache_hits");
+  static obs::Counter& delta_counter =
+      registry.GetCounter("assign.index_delta_ops");
+  static obs::Histogram& build_hist = registry.GetHistogram(
+      "assign.index_build_s", obs::DurationEdgesSeconds());
+  static obs::Histogram& query_hist = registry.GetHistogram(
+      "assign.index_query_s", obs::DurationEdgesSeconds());
+
+  std::vector<std::vector<TaskCandidate>> table(tasks.size());
+  if (tasks.empty() || workers.empty()) return table;
+  ++tick_;
+
+  int max_id = 0;
+  for (const CandidateWorker& w : workers) {
+    TAMP_CHECK_MSG(w.id >= 0, "incremental engine requires worker ids >= 0");
+    max_id = std::max(max_id, w.id);
+  }
+
+  // --- Serial phase 1: bring the persistent index up to this batch. ---
+  Stopwatch maintain_watch;
+  const uint64_t gen_before = index_.generation();
+  ReconcileIndex(workers);
+  build_hist.Record(maintain_watch.ElapsedSeconds());
+  delta_counter.Increment(
+      static_cast<int64_t>(index_.generation() - gen_before));
+
+  // --- Serial phase 2: per-batch lookup arrays + snapshot epochs. ---
+  std::vector<int> batch_index_of_id(static_cast<size_t>(max_id) + 1, -1);
+  std::vector<double> half_of_id(static_cast<size_t>(max_id) + 1, -1.0);
+  std::vector<double> speed_of_id(static_cast<size_t>(max_id) + 1, 0.0);
+  double max_half = 0.0, max_speed = 0.0;
+  for (size_t a = 0; a < workers.size(); ++a) {
+    const CandidateWorker& w = workers[a];
+    const size_t id = static_cast<size_t>(w.id);
+    TAMP_CHECK_MSG(batch_index_of_id[id] < 0,
+                   "duplicate worker id in one batch");
+    batch_index_of_id[id] = static_cast<int>(a);
+    half_of_id[id] = w.detour_budget_km / 2.0;
+    speed_of_id[id] = w.speed_kmpm;
+    max_half = std::max(max_half, half_of_id[id]);
+    max_speed = std::max(max_speed, w.speed_kmpm);
+  }
+
+  Snapshot& snap = snapshots_[SnapshotKey(now_min)];
+  snap.last_used = tick_;
+  std::vector<uint64_t> epoch_of(workers.size(), 0);
+  std::vector<char> can_hit(workers.size(), 0);
+  for (size_t a = 0; a < workers.size(); ++a) {
+    const CandidateWorker& w = workers[a];
+    WorkerState state;
+    state.points.reserve(w.predicted.size() + 1);
+    for (const geo::TimedPoint& p : w.predicted) state.points.push_back(p.loc);
+    state.points.push_back(w.current_location);
+    state.half_detour_km = w.detour_budget_km / 2.0;
+    state.speed_kmpm = w.speed_kmpm;
+    auto [it, inserted] = snap.workers.try_emplace(w.id);
+    if (!inserted && it->second.state == state) {
+      // Same worker, bitwise-same geometry and bound ingredients as when
+      // this instant's rows were written: those rows may be reused.
+      can_hit[a] = 1;
+    } else {
+      it->second.state = std::move(state);
+      it->second.epoch = next_epoch_++;
+    }
+    epoch_of[a] = it->second.epoch;
+  }
+
+  // --- Parallel read phase: per-task exact filter + cache lookups. The
+  // snapshot is read-only here; freshly evaluated rows are buffered per
+  // task slot and merged serially below, so the cache state after the
+  // batch (and with it every hit/miss count) is thread-count-invariant. ---
+  std::vector<int64_t> evals(tasks.size(), 0);
+  std::vector<int64_t> hits(tasks.size(), 0);
+  struct NewRow {
+    uint64_t key = 0;
+    CachedRow row;
+  };
+  std::vector<std::vector<NewRow>> fresh(tasks.size());
+  ParallelFor(tasks.size(), [&](size_t t) {
+    const SpatialTask& task = tasks[t];
+    if (task.deadline_min <= now_min) return;  // Expired: no candidates.
+    const double dt = task.deadline_min - now_min;
+
+    thread_local std::vector<double> radii;
+    radii.assign(static_cast<size_t>(max_id) + 1, -1.0);
+    for (const CandidateWorker& w : workers) {
+      const size_t id = static_cast<size_t>(w.id);
+      // The exact Theorem-2 bound, computed with EvaluateCandidate's own
+      // expressions so the filter and the evaluation agree bitwise.
+      radii[id] = std::min(half_of_id[id], speed_of_id[id] * dt);
+    }
+    Stopwatch query_watch;
+    thread_local std::vector<int> ids;
+    thread_local geo::SpatialLabelIndex::QueryScratch scratch;
+    index_.CollectLabelsWithinCaps(task.location,
+                                   std::min(max_half, max_speed * dt), radii,
+                                   ids, &scratch);
+    query_hist.Record(query_watch.ElapsedSeconds());
+
+    // Table rows must be in ascending batch order (the cold paths'
+    // contract); ids ascending is not that when ids and batch positions
+    // disagree.
+    thread_local std::vector<int> cand;
+    cand.clear();
+    for (int id : ids) {
+      const int a = batch_index_of_id[static_cast<size_t>(id)];
+      TAMP_DCHECK(a >= 0);  // The index holds only this batch's workers.
+      if (a >= 0) cand.push_back(a);
+    }
+    std::sort(cand.begin(), cand.end());
+
+    for (int a : cand) {
+      const CandidateWorker& w = workers[static_cast<size_t>(a)];
+      // Declines are the one EvaluateCandidate input outside the cache
+      // key; a declined pair contributes no row on any path, so skip it
+      // before the cache (and never store rows for it).
+      if (task.DeclinedBy(w.id)) continue;
+      const double bound =
+          std::min(w.detour_budget_km / 2.0,
+                   w.speed_kmpm * (task.deadline_min - now_min));
+      const uint64_t key = PairKey(task.id, w.id);
+      if (can_hit[static_cast<size_t>(a)]) {
+        auto it = snap.rows.find(key);
+        if (it != snap.rows.end()) {
+          const CachedRow& row = it->second;
+          if (row.worker_epoch == epoch_of[static_cast<size_t>(a)] &&
+              row.task_location == task.location &&
+              row.task_deadline_min == task.deadline_min &&
+              row.bound_km == bound &&
+              row.match_radius_km == match_radius_km) {
+            TaskCandidate tc;
+            tc.worker = a;
+            tc.b_count = row.b_count;
+            tc.min_b = row.min_b;
+            tc.min_dis = row.min_dis;
+            tc.stage3_feasible = row.stage3_feasible;
+            table[t].push_back(tc);
+            ++hits[t];
+            continue;
+          }
+        }
+      }
+      const CandidateInfo info =
+          EvaluateCandidate(task, w, match_radius_km, now_min);
+      ++evals[t];
+      // The per-worker capped query is exact (see class comment), so every
+      // surviving non-declined pair matters; the guard is belt-and-braces.
+      TAMP_DCHECK(!info.b_distances.empty() || info.stage3_feasible);
+      if (info.b_distances.empty() && !info.stage3_feasible) continue;
+      TaskCandidate tc;
+      tc.worker = a;
+      tc.b_count = static_cast<int>(info.b_distances.size());
+      tc.min_b = info.min_b;
+      tc.min_dis = info.min_dis;
+      tc.stage3_feasible = info.stage3_feasible;
+      table[t].push_back(tc);
+      CachedRow row;
+      row.worker_epoch = epoch_of[static_cast<size_t>(a)];
+      row.task_location = task.location;
+      row.task_deadline_min = task.deadline_min;
+      row.bound_km = bound;
+      row.match_radius_km = match_radius_km;
+      row.b_count = tc.b_count;
+      row.min_b = tc.min_b;
+      row.min_dis = tc.min_dis;
+      row.stage3_feasible = tc.stage3_feasible;
+      fresh[t].push_back({key, row});
+    }
+  });
+
+  // --- Serial merge + accounting. ---
+  for (std::vector<NewRow>& rows : fresh) {
+    for (NewRow& nr : rows) {
+      snap.rows.insert_or_assign(nr.key, nr.row);
+    }
+  }
+  int64_t evaluated = 0, reused = 0;
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    evaluated += evals[t];
+    reused += hits[t];
+  }
+  const int64_t dense =
+      static_cast<int64_t>(tasks.size()) * static_cast<int64_t>(workers.size());
+  evals_counter.Increment(evaluated);
+  hits_counter.Increment(reused);
+  pruned_counter.Increment(dense - evaluated - reused);
+  if (stats != nullptr) {
+    stats->evaluated += evaluated;
+    stats->cache_hits += reused;
+    stats->pruned += dense - evaluated - reused;
+  }
+  EvictStaleSnapshots();
+  return table;
+}
+
+}  // namespace tamp::assign

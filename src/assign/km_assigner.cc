@@ -4,6 +4,7 @@
 
 #include "assign/candidate_index.h"
 #include "assign/candidates.h"
+#include "assign/incremental.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "common/stopwatch.h"
@@ -14,7 +15,8 @@ namespace tamp::assign {
 AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
-                        double weight_floor_km, bool use_spatial_index) {
+                        double weight_floor_km, bool use_spatial_index,
+                        AssignReuse* reuse) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   static obs::Counter& solves_counter = registry.GetCounter("km.solves");
   static obs::Counter& edges_counter = registry.GetCounter("km.edges");
@@ -26,16 +28,24 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
   AssignmentPlan plan;
   if (tasks.empty() || workers.empty()) return plan;
 
-  std::optional<CandidateIndex> index;
-  if (use_spatial_index) {
+  std::vector<std::vector<TaskCandidate>> table;
+  if (reuse != nullptr) {
+    // Incremental path: the engine's delta-updated index + row cache stand
+    // in for the per-batch CandidateIndex; tables are bit-identical.
     obs::TraceSpan build_span("km.index_build");
-    Stopwatch build_watch;
-    index.emplace(workers);
-    build_hist.Record(build_watch.ElapsedSeconds());
+    table = reuse->candidates.BuildTable(tasks, workers, match_radius_km,
+                                         now_min);
+  } else {
+    std::optional<CandidateIndex> index;
+    if (use_spatial_index) {
+      obs::TraceSpan build_span("km.index_build");
+      Stopwatch build_watch;
+      index.emplace(workers);
+      build_hist.Record(build_watch.ElapsedSeconds());
+    }
+    table = GenerateCandidates(tasks, workers, match_radius_km, now_min,
+                               index ? &*index : nullptr);
   }
-  const std::vector<std::vector<TaskCandidate>> table =
-      GenerateCandidates(tasks, workers, match_radius_km, now_min,
-                         index ? &*index : nullptr);
 
   std::vector<matching::Edge> edges;
   for (size_t t = 0; t < table.size(); ++t) {
@@ -50,7 +60,8 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
   Stopwatch solve_watch;
   obs::TraceSpan solve_span("km.solve");
   matching::MatchResult result = matching::MaxWeightMatching(
-      static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges);
+      static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges,
+      nullptr, reuse != nullptr ? &reuse->km : nullptr);
   solve_hist.Record(solve_watch.ElapsedSeconds());
   for (auto [t, w] : result.pairs) {
     // Recover dis^min of the matched pair from its table row (rows hold

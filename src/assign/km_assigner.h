@@ -4,6 +4,8 @@
 
 namespace tamp::assign {
 
+struct AssignReuse;
+
 /// The KM baseline (Section IV-A): builds the bipartite graph exactly as
 /// PPI's third stage does — a pair is feasible when the closest predicted
 /// point satisfies dis^min <= min(d/2, d_t) — and solves one maximum-weight
@@ -11,11 +13,15 @@ namespace tamp::assign {
 ///
 /// `use_spatial_index` selects the pruned candidate generation (default)
 /// or the dense T x W sweep; both yield bit-identical plans (see
-/// CandidateIndex).
+/// CandidateIndex). A non-null `reuse` switches to the incremental engine
+/// (delta-updated index + row cache) and warm-starts the KM solve from the
+/// previous batch through this holder — still bit-identical (see
+/// IncrementalCandidateEngine / KmWarmState).
 AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
                         double weight_floor_km = 1e-3,
-                        bool use_spatial_index = true);
+                        bool use_spatial_index = true,
+                        AssignReuse* reuse = nullptr);
 
 }  // namespace tamp::assign

@@ -8,6 +8,7 @@
 
 #include "assign/candidate_index.h"
 #include "assign/candidates.h"
+#include "assign/incremental.h"
 #include "common/check.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
@@ -43,11 +44,29 @@ struct CommitScratch {
 
 /// Runs KM on the given candidate edges and appends the matched pairs to
 /// `plan`, marking tasks/workers as assigned. Weights are 1/(min_b+floor).
+/// With `reuse` non-null the solve warm-starts from the previous batch's
+/// same-ordinal solve (stage 1, then each stage-2 flush, then stage 3 —
+/// the sequence is deterministic, so ordinals line up whenever the batch
+/// shapes do); `solve_ordinal` counts only calls that actually solve.
 void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
                     int num_workers, double weight_floor,
                     CommitScratch& scratch, std::vector<char>& task_done,
-                    std::vector<char>& worker_done, AssignmentPlan& plan) {
+                    std::vector<char>& worker_done, AssignmentPlan& plan,
+                    AssignReuse* reuse, size_t& solve_ordinal) {
   if (edges.empty()) return;
+  matching::KmWarmState* warm = nullptr;
+  if (reuse != nullptr) {
+    // Cap the per-ordinal holders so a pathological flush count cannot
+    // accumulate unbounded checkpoint state across batches.
+    constexpr size_t kMaxWarmSolves = 32;
+    if (solve_ordinal < kMaxWarmSolves) {
+      if (reuse->ppi.size() <= solve_ordinal) {
+        reuse->ppi.resize(solve_ordinal + 1);
+      }
+      warm = &reuse->ppi[solve_ordinal];
+    }
+    ++solve_ordinal;
+  }
   obs::TraceSpan match_span("ppi.match");
   std::vector<matching::Edge>& km_edges = scratch.km_edges;
   km_edges.clear();
@@ -67,7 +86,7 @@ void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
     (void)inserted;
   }
   matching::MatchResult result = matching::MaxWeightMatching(
-      num_tasks, num_workers, km_edges, &scratch.matching);
+      num_tasks, num_workers, km_edges, &scratch.matching, warm);
   for (auto [task, worker] : result.pairs) {
     const size_t ti = static_cast<size_t>(task);
     const size_t wi = static_cast<size_t>(worker);
@@ -84,7 +103,8 @@ void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
 
 AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
                          const std::vector<CandidateWorker>& workers,
-                         double now_min, const PpiConfig& config) {
+                         double now_min, const PpiConfig& config,
+                         AssignReuse* reuse) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   static obs::Counter& calls_counter = registry.GetCounter("ppi.calls");
   static obs::Counter& certain_counter =
@@ -105,20 +125,27 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
 
   // Candidate table shared by stages 1 and 3: EvaluateCandidate is pure in
   // (task, worker, now), so one evaluation per pair serves both stages.
-  std::optional<CandidateIndex> index;
-  if (config.use_spatial_index) {
+  std::vector<std::vector<TaskCandidate>> table;
+  if (reuse != nullptr) {
     obs::TraceSpan build_span("ppi.index_build");
-    Stopwatch build_watch;
-    index.emplace(workers);
-    build_hist.Record(build_watch.ElapsedSeconds());
+    table = reuse->candidates.BuildTable(tasks, workers,
+                                         config.match_radius_km, now_min);
+  } else {
+    std::optional<CandidateIndex> index;
+    if (config.use_spatial_index) {
+      obs::TraceSpan build_span("ppi.index_build");
+      Stopwatch build_watch;
+      index.emplace(workers);
+      build_hist.Record(build_watch.ElapsedSeconds());
+    }
+    table = GenerateCandidates(tasks, workers, config.match_radius_km,
+                               now_min, index ? &*index : nullptr);
   }
-  const std::vector<std::vector<TaskCandidate>> table =
-      GenerateCandidates(tasks, workers, config.match_radius_km, now_min,
-                         index ? &*index : nullptr);
 
   std::vector<char> task_done(static_cast<size_t>(num_tasks), 0);
   std::vector<char> worker_done(static_cast<size_t>(num_workers), 0);
   CommitScratch scratch;
+  size_t solve_ordinal = 0;
 
   // ---- Stage 1 (Alg. 4 lines 1-12): certain pairs (|B| * MR >= 1). ----
   std::optional<obs::TraceSpan> stage1_span(std::in_place, "ppi.stage1");
@@ -143,7 +170,7 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   certain_counter.Increment(static_cast<int64_t>(certain.size()));
   pending_counter.Increment(static_cast<int64_t>(pending.size()));
   MatchAndCommit(certain, num_tasks, num_workers, config.weight_floor_km,
-                 scratch, task_done, worker_done, plan);
+                 scratch, task_done, worker_done, plan, reuse, solve_ordinal);
   stage1_span.reset();
 
   // ---- Stage 2 (lines 13-27): drain pending pairs in descending |B|*MR,
@@ -166,7 +193,8 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
       }
     }
     MatchAndCommit(live, num_tasks, num_workers, config.weight_floor_km,
-                   scratch, task_done, worker_done, plan);
+                   scratch, task_done, worker_done, plan, reuse,
+                   solve_ordinal);
     batch.clear();
   };
   for (const PpiCandidate& c : pending) {
@@ -193,7 +221,7 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   }
   fallback_counter.Increment(static_cast<int64_t>(fallback.size()));
   MatchAndCommit(fallback, num_tasks, num_workers, config.weight_floor_km,
-                 scratch, task_done, worker_done, plan);
+                 scratch, task_done, worker_done, plan, reuse, solve_ordinal);
   return plan;
 }
 

@@ -4,6 +4,8 @@
 
 namespace tamp::assign {
 
+struct AssignReuse;
+
 /// Parameters of the Prediction-Performance-Involved assignment algorithm.
 struct PpiConfig {
   /// Matching-rate radius a (Def. 7 / Theorem 2), km.
@@ -30,8 +32,13 @@ struct PpiConfig {
 /// plain predicted-trajectory bipartite matching for everything left. The
 /// per-stage KM calls use 1/minB (or 1/dis^min) as edge weights so shorter
 /// expected detours win.
+///
+/// A non-null `reuse` swaps candidate generation for the incremental
+/// engine and warm-starts each per-stage KM solve (by solve ordinal) from
+/// the previous batch; plans stay bit-identical to the cold paths.
 AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
                          const std::vector<CandidateWorker>& workers,
-                         double now_min, const PpiConfig& config);
+                         double now_min, const PpiConfig& config,
+                         AssignReuse* reuse = nullptr);
 
 }  // namespace tamp::assign

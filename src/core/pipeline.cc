@@ -42,7 +42,11 @@ SimMetrics TampPipeline::RunOnline(const data::Workload& workload,
                                    AssignMethod method) {
   obs::TraceSpan span("pipeline.run_online");
   nn::EncoderDecoder model(config_.trainer.model);
-  BatchSimulator simulator(workload, model, config_.sim);
+  if (config_.sim.use_incremental && assign_reuse_ == nullptr) {
+    assign_reuse_ = std::make_unique<assign::AssignReuse>();
+  }
+  BatchSimulator simulator(workload, model, config_.sim,
+                           assign_reuse_.get());
 
   std::vector<WorkerPredictor> predictors(workload.workers.size());
   const bool needs_models = method == AssignMethod::kKm ||

@@ -1,7 +1,9 @@
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "assign/incremental.h"
 #include "core/simulator.h"
 #include "core/ta_loss.h"
 #include "data/workload.h"
@@ -52,6 +54,11 @@ class TampPipeline {
 
  private:
   PipelineConfig config_;
+  /// Cross-batch (and cross-run) reuse state consumed by RunOnline when
+  /// sim.use_incremental is set; created lazily on the first such run and
+  /// kept for the pipeline's lifetime so later runs revisiting the same
+  /// batch instants hit the engine's row cache.
+  std::unique_ptr<assign::AssignReuse> assign_reuse_;
 };
 
 }  // namespace tamp::core

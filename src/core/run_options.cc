@@ -85,8 +85,10 @@ std::string RunFlagsHelp() {
       "  --seed=N                 workload seed (0 = dataset default)\n"
       "  --threads=N              parallel runtime threads (0 = default)\n"
       "  --horizon=N              forecast horizon steps per worker\n"
-      "  --candidates=indexed|dense  candidate generation: spatial-index\n"
-      "                           pruning (default) or dense T x W sweep\n"
+      "  --candidates=indexed|dense|incremental  candidate generation:\n"
+      "                           spatial-index pruning (default), dense\n"
+      "                           T x W sweep, or batch-to-batch delta\n"
+      "                           index + row cache + warm-started KM\n"
       "  --methods=A,B,...        assignment methods (UB,LB,KM,PPI,GGPSO;\n"
       "                           default all)\n"
       "  --json-dir=DIR           directory for the BENCH_<target>.json\n"
@@ -128,11 +130,17 @@ Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
     } else if (flag == "--candidates") {
       if (value == "indexed") {
         options->sim.use_spatial_index = true;
+        options->sim.use_incremental = false;
       } else if (value == "dense") {
         options->sim.use_spatial_index = false;
+        options->sim.use_incremental = false;
+      } else if (value == "incremental") {
+        options->sim.use_spatial_index = true;
+        options->sim.use_incremental = true;
       } else {
         return Status::InvalidArgument(
-            "--candidates expects 'indexed' or 'dense', got '" + value + "'");
+            "--candidates expects 'indexed', 'dense' or 'incremental', got '" +
+            value + "'");
       }
     } else if (flag == "--methods") {
       options->methods.clear();

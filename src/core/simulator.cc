@@ -7,6 +7,7 @@
 #include <string>
 
 #include "assign/bounds.h"
+#include "assign/incremental.h"
 #include "assign/km_assigner.h"
 #include "common/check.h"
 #include "common/obs/metrics.h"
@@ -70,8 +71,14 @@ size_t PurgeExpiredTasks(std::deque<assign::SpatialTask>& pool,
 
 BatchSimulator::BatchSimulator(const data::Workload& workload,
                                const nn::EncoderDecoder& model,
-                               const SimulatorConfig& config)
-    : workload_(workload), model_(model), config_(config) {}
+                               const SimulatorConfig& config,
+                               assign::AssignReuse* reuse)
+    : workload_(workload), model_(model), config_(config), reuse_(reuse) {
+  // use_incremental without a holder would silently run cold; make the
+  // contract explicit at construction instead of per batch.
+  TAMP_CHECK_MSG(!config_.use_incremental || reuse_ != nullptr,
+                 "use_incremental requires an AssignReuse holder");
+}
 
 SimMetrics BatchSimulator::Run(
     AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
@@ -204,6 +211,7 @@ SimMetrics BatchSimulator::Run(
     Stopwatch watch;
     std::optional<obs::TraceSpan> assign_span(std::in_place, "sim.assign");
     assign::AssignmentPlan plan;
+    assign::AssignReuse* reuse = config_.use_incremental ? reuse_ : nullptr;
     switch (method) {
       case AssignMethod::kUpperBound:
         plan = assign::UpperBoundAssign(batch_tasks, batch_workers,
@@ -216,20 +224,21 @@ SimMetrics BatchSimulator::Run(
         plan = assign::KmAssign(batch_tasks, batch_workers, now,
                                 config_.match_radius_km,
                                 /*weight_floor_km=*/1e-3,
-                                config_.use_spatial_index);
+                                config_.use_spatial_index, reuse);
         break;
       case AssignMethod::kPpi: {
         assign::PpiConfig ppi = config_.ppi;
         ppi.match_radius_km = config_.match_radius_km;
         ppi.use_spatial_index = config_.use_spatial_index;
-        plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi);
+        plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi, reuse);
         break;
       }
       case AssignMethod::kGgpso: {
         assign::GgpsoConfig ggpso = config_.ggpso;
         ggpso.match_radius_km = config_.match_radius_km;
         ggpso.use_spatial_index = config_.use_spatial_index;
-        plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso);
+        plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso,
+                                   reuse);
         break;
       }
     }

@@ -12,6 +12,10 @@
 #include "data/workload.h"
 #include "nn/encoder_decoder.h"
 
+namespace tamp::assign {
+struct AssignReuse;
+}  // namespace tamp::assign
+
 namespace tamp::core {
 
 /// The compared assignment strategies of Section IV-A.
@@ -65,6 +69,12 @@ struct SimulatorConfig {
   /// (default) or run the dense T x W sweep. Plans — and therefore every
   /// simulator metric — are bit-identical either way.
   bool use_spatial_index = true;
+  /// Batch-to-batch reuse (--candidates=incremental): candidate tables come
+  /// from the pipeline-owned IncrementalCandidateEngine (delta-updated
+  /// index + cached EvaluateCandidate rows) and KM solves warm-start from
+  /// the previous batch. Requires an AssignReuse holder to be passed to the
+  /// BatchSimulator; plans stay bit-identical to the cold paths.
+  bool use_incremental = false;
   assign::PpiConfig ppi;
   assign::GgpsoConfig ggpso;
 };
@@ -114,9 +124,14 @@ struct WorkerPredictor {
 /// they expire; accepted workers are busy until they reach the task.
 class BatchSimulator {
  public:
+  /// `reuse` (optional) is the cross-batch reuse holder consumed when
+  /// config.use_incremental is set; it may outlive the simulator (the
+  /// pipeline keeps one across runs so later runs revisiting the same
+  /// batch instants hit its row cache).
   BatchSimulator(const data::Workload& workload,
                  const nn::EncoderDecoder& model,
-                 const SimulatorConfig& config);
+                 const SimulatorConfig& config,
+                 assign::AssignReuse* reuse = nullptr);
 
   /// Runs the full horizon with one method. `predictors` is index-aligned
   /// with the workload's workers; prediction-free methods (UB, LB) ignore
@@ -128,6 +143,7 @@ class BatchSimulator {
   const data::Workload& workload_;
   const nn::EncoderDecoder& model_;
   SimulatorConfig config_;
+  assign::AssignReuse* reuse_ = nullptr;  // Not owned; may be null.
 };
 
 }  // namespace tamp::core

@@ -9,6 +9,7 @@
 #include "assign/ggpso.h"
 #include "assign/km_assigner.h"
 #include "assign/ppi.h"
+#include "common/obs/metrics.h"
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "data/workload.h"
@@ -120,6 +121,36 @@ TEST(CandidateIndexTest, GenerateCandidatesDenseIndexedParity) {
     EXPECT_EQ(indexed_stats.evaluated + indexed_stats.pruned,
               dense_stats.evaluated);
   }
+}
+
+TEST(CandidateIndexTest, ObsCountersIncrementExactlyOncePerBuild) {
+  // Regression (satellite audit): assign.candidates_pruned must advance by
+  // exactly `dense - evaluated` per indexed build — once, not once per
+  // task slot or per thread — and mirror the CandidateGenStats the caller
+  // receives. A double increment would silently inflate the bench-gated
+  // op counts.
+  tamp::Rng rng(271);
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> workers;
+  RandomBatch(rng, 30, 40, &tasks, &workers);
+  const double a = 0.5, now = 4.0;
+  CandidateIndex index(workers);
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  const int64_t evals_before =
+      registry.GetCounter("assign.candidate_evals").value();
+  const int64_t pruned_before =
+      registry.GetCounter("assign.candidates_pruned").value();
+  CandidateGenStats stats;
+  GenerateCandidates(tasks, workers, a, now, &index, &stats);
+  const int64_t evals_delta =
+      registry.GetCounter("assign.candidate_evals").value() - evals_before;
+  const int64_t pruned_delta =
+      registry.GetCounter("assign.candidates_pruned").value() - pruned_before;
+  EXPECT_EQ(evals_delta, stats.evaluated);
+  EXPECT_EQ(pruned_delta, stats.pruned);
+  EXPECT_EQ(evals_delta + pruned_delta,
+            static_cast<int64_t>(tasks.size()) *
+                static_cast<int64_t>(workers.size()));
 }
 
 TEST(CandidateIndexTest, ExpiredTaskPrunesEveryWorker) {

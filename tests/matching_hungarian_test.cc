@@ -196,6 +196,110 @@ TEST(MatchingScratchTest, MinCostAssignmentWithScratch) {
   EXPECT_DOUBLE_EQ(small_reused.total_cost, 3.0);
 }
 
+TEST(MatchingScratchTest, ShrinkThenGrowScratchReuseParity) {
+  // Regression for the padded-square fill: a large solve leaves stale
+  // weight/cost rows in the scratch; a smaller solve then resizes the
+  // matrices down, and a regrown solve resizes them up again. Every used
+  // cell must be written for the current instance — any stale cell leaking
+  // through would change the optimum here, because all three instances put
+  // different weights on overlapping (l, r) cells.
+  MatchingScratch scratch;
+  auto run_both = [&scratch](int num_left, int num_right,
+                             const std::vector<Edge>& edges) {
+    auto fresh = MaxWeightMatching(num_left, num_right, edges);
+    auto reused = MaxWeightMatching(num_left, num_right, edges, &scratch);
+    EXPECT_EQ(reused.pairs, fresh.pairs);
+    EXPECT_DOUBLE_EQ(reused.total_weight, fresh.total_weight);
+  };
+  // Large 6x6 with heavy weights everywhere.
+  std::vector<Edge> big;
+  for (int l = 0; l < 6; ++l) {
+    for (int r = 0; r < 6; ++r) {
+      big.push_back({l, r, 5.0 + l + 0.3 * r});
+    }
+  }
+  run_both(6, 6, big);
+  // Shrink to 2x2 whose optimum (cross pairing) would be beaten by any
+  // stale >= 5.0 cell surviving from the big solve.
+  run_both(2, 2, {{0, 0, 1.0}, {0, 1, 2.0}, {1, 0, 2.5}, {1, 1, 1.2}});
+  // Regrow to 4x4, sparse: rows 2-3 were untouched by the 2x2 solve and
+  // must not resurrect the 6x6 weights.
+  run_both(4, 4, {{0, 3, 1.0}, {1, 2, 2.0}, {2, 1, 3.0}, {3, 0, 4.0},
+                  {2, 2, 0.5}});
+}
+
+TEST(KmWarmStateTest, WarmMinCostAssignmentMatchesColdExactly) {
+  // A warm holder across a sequence of cost matrices sharing row prefixes
+  // must return bitwise the cold results: the resumed (u, v, p) state is a
+  // pure function of the shared prefix.
+  tamp::Rng rng(4321);
+  KmWarmState warm;
+  MatchingScratch scratch;
+  const size_t n = 7, m = 9;
+  std::vector<std::vector<double>> cost(n, std::vector<double>(m, 0.0));
+  for (auto& row : cost) {
+    for (double& c : row) c = rng.Uniform(0.0, 10.0);
+  }
+  for (int trial = 0; trial < 25; ++trial) {
+    auto cold = MinCostAssignment(cost);
+    auto warmed = MinCostAssignment(cost, &scratch, &warm);
+    EXPECT_EQ(warmed.col_of_row, cold.col_of_row) << "trial " << trial;
+    // Bitwise, not approximate: the warm path must replay the identical
+    // arithmetic.
+    EXPECT_EQ(warmed.total_cost, cold.total_cost) << "trial " << trial;
+    // Mutate a suffix of rows (sometimes none — full cache replay;
+    // sometimes all — no reuse at all).
+    const size_t first_changed = static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n)));
+    for (size_t i = first_changed; i < n; ++i) {
+      for (double& c : cost[i]) c = rng.Uniform(0.0, 10.0);
+    }
+  }
+}
+
+TEST(KmWarmStateTest, WarmMaxWeightMatchingMatchesColdExactly) {
+  // Same property at the MaxWeightMatching level, where the padded square
+  // cost matrix is derived from max_weight (which the suffix mutation may
+  // change, invalidating every row — the prefix check handles that
+  // naturally because row contents then differ).
+  tamp::Rng rng(987);
+  KmWarmState warm;
+  MatchingScratch scratch;
+  const int num_left = 6, num_right = 8;
+  for (int trial = 0; trial < 25; ++trial) {
+    std::vector<Edge> edges;
+    for (int l = 0; l < num_left; ++l) {
+      for (int r = 0; r < num_right; ++r) {
+        if (rng.Bernoulli(0.7)) edges.push_back({l, r, rng.Uniform(0.1, 8.0)});
+      }
+    }
+    auto cold = MaxWeightMatching(num_left, num_right, edges);
+    auto warmed =
+        MaxWeightMatching(num_left, num_right, edges, &scratch, &warm);
+    EXPECT_EQ(warmed.pairs, cold.pairs) << "trial " << trial;
+    EXPECT_EQ(warmed.total_weight, cold.total_weight) << "trial " << trial;
+  }
+}
+
+TEST(KmWarmStateTest, OversizedSolveClearsStoredState) {
+  // A solve beyond max_dim must not leave checkpoints a later small solve
+  // could wrongly resume from.
+  KmWarmState warm;
+  warm.max_dim = 4;
+  std::vector<std::vector<double>> small = {
+      {1.0, 4.0, 2.0}, {3.0, 1.0, 5.0}, {2.0, 2.0, 1.0}};
+  (void)MinCostAssignment(small, nullptr, &warm);
+  EXPECT_FALSE(warm.checkpoints.empty());
+  std::vector<std::vector<double>> big(
+      6, std::vector<double>(6, 1.0));
+  (void)MinCostAssignment(big, nullptr, &warm);
+  EXPECT_TRUE(warm.checkpoints.empty());
+  EXPECT_TRUE(warm.prev_cost.empty());
+  // And the holder still works (cold restart) afterwards.
+  auto again = MinCostAssignment(small, nullptr, &warm);
+  EXPECT_EQ(again.col_of_row, MinCostAssignment(small).col_of_row);
+}
+
 TEST(MaxWeightMatchingTest, LargeInstanceRunsAndIsValid) {
   tamp::Rng rng(123);
   const int n = 120;

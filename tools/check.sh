@@ -106,7 +106,7 @@ bench_gate_stage() {
   local baselines="$REPO_ROOT/bench/baselines"
   local target
   for target in micro_matching micro_nn micro_similarity micro_cluster \
-                micro_candidates; do
+                micro_candidates micro_incremental; do
     run_stage "bench-run-$target" env TAMP_BENCH_JSON_DIR="$dir" \
               "$dir/bench/bench_$target" --benchmark_min_time=0.01 \
               || return 1
