@@ -1,12 +1,30 @@
 // Micro-benchmarks of the LSTM encoder-decoder: forward inference (what
-// every online batch pays per worker) and the training step (what meta-
-// training pays per sample).
+// every online batch pays per worker), the training step (what meta-
+// training pays per sample), and the fleet-wide forecast rollout — the
+// per-worker scalar chain against the batched SoA engine
+// (nn::BatchedSeq2Seq), with distinct per-worker parameters (batched
+// GEMV tiles) and a shared parameter vector (true GEMM tiles).
+// RegisterMicroMetrics records the deterministic nn.* work counts that
+// tools/bench_compare gates on.
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "common/check.h"
+#include "common/obs/metrics.h"
 #include "common/rng.h"
+#include "core/rollout.h"
+#include "geo/grid.h"
+#include "nn/batched_seq2seq.h"
 #include "nn/encoder_decoder.h"
 
 namespace {
+
+constexpr int kSeqIn = 5;
+constexpr int kHorizonSteps = 5;
+constexpr double kNowMin = 600.0;
+constexpr double kPeriodMin = 10.0;
+constexpr int kMaxFleet = 960;
 
 tamp::nn::Sequence MakeInput(int seq_in, int dim) {
   tamp::nn::Sequence input;
@@ -15,6 +33,98 @@ tamp::nn::Sequence MakeInput(int seq_in, int dim) {
     input.push_back(std::move(step));
   }
   return input;
+}
+
+/// A synthetic fleet on one dataset's grid: per-worker fine-tuned-style
+/// parameter vectors (all distinct — the batched-GEMV regime), one shared
+/// cluster-predictor vector (the GEMM regime), and short random-walk
+/// observation windows. The NN cost is independent of trajectory realism,
+/// so cheap walks keep the fixture fast while the grid extents and the
+/// Table-III model shape match the dataset configuration.
+struct Fleet {
+  tamp::nn::Seq2SeqConfig config;
+  tamp::geo::GridSpec grid;
+  std::vector<std::vector<double>> worker_params;
+  std::vector<double> shared_params;
+  std::vector<std::vector<tamp::geo::Point>> recents;
+};
+
+Fleet* MakeFleet(const tamp::geo::GridSpec& grid, uint64_t seed) {
+  auto* fleet = new Fleet{{}, grid, {}, {}, {}};
+  fleet->config.input_dim = 3;
+  fleet->config.hidden_dim = 16;
+  fleet->config.output_dim = 2;
+  fleet->config.seq_out = 1;
+  tamp::Rng rng(seed);
+  tamp::nn::EncoderDecoder model(fleet->config);
+  fleet->shared_params = model.InitParams(rng);
+  fleet->worker_params.reserve(kMaxFleet);
+  fleet->recents.reserve(kMaxFleet);
+  for (int w = 0; w < kMaxFleet; ++w) {
+    fleet->worker_params.push_back(model.InitParams(rng));
+    std::vector<tamp::geo::Point> walk;
+    tamp::geo::Point p{rng.Uniform(0.0, grid.width_km()),
+                       rng.Uniform(0.0, grid.height_km())};
+    for (int s = 0; s < kSeqIn; ++s) {
+      p.x += rng.Uniform(-0.5, 0.5);
+      p.y += rng.Uniform(-0.5, 0.5);
+      walk.push_back(grid.Clamp(p));
+    }
+    fleet->recents.push_back(std::move(walk));
+  }
+  return fleet;
+}
+
+const Fleet& PortoFleet() {
+  // Porto/Didi gridding (28 x 14 km, 50 x 100 cells — data/workload.cc).
+  static const Fleet* fleet =
+      MakeFleet(tamp::geo::GridSpec(28.0, 14.0, 50, 100), 20250809);
+  return *fleet;
+}
+
+const Fleet& GowallaFleet() {
+  // Gowalla/Foursquare gridding (36 x 36 km, 60 x 60 cells).
+  static const Fleet* fleet =
+      MakeFleet(tamp::geo::GridSpec(36.0, 36.0, 60, 60), 20250810);
+  return *fleet;
+}
+
+/// The scalar reference: one RolloutPredict chain per worker (the
+/// simulator's per-worker fan-out body), with the reusable PredictScratch.
+size_t FleetRolloutScalar(const Fleet& fleet, size_t fleet_size) {
+  tamp::nn::EncoderDecoder model(fleet.config);
+  tamp::nn::PredictScratch scratch;
+  size_t points = 0;
+  for (size_t w = 0; w < fleet_size; ++w) {
+    points += tamp::core::RolloutPredict(model, fleet.worker_params[w],
+                                         fleet.recents[w], fleet.grid,
+                                         kHorizonSteps, kNowMin, kPeriodMin,
+                                         &scratch)
+                  .size();
+  }
+  return points;
+}
+
+/// The batched path: one fleet-wide SoA rollout. `shared` selects the
+/// cluster-predictor regime where every row aliases one parameter vector.
+size_t FleetRolloutBatched(const Fleet& fleet, size_t fleet_size, bool shared,
+                           tamp::core::FleetForecastScratch& scratch,
+                           std::vector<std::vector<tamp::geo::TimedPoint>>&
+                               out) {
+  tamp::nn::BatchedSeq2Seq engine(fleet.config);
+  std::vector<const std::vector<double>*> row_params(fleet_size);
+  std::vector<std::vector<tamp::geo::Point>> recents(
+      fleet.recents.begin(),
+      fleet.recents.begin() + static_cast<std::ptrdiff_t>(fleet_size));
+  for (size_t w = 0; w < fleet_size; ++w) {
+    row_params[w] = shared ? &fleet.shared_params : &fleet.worker_params[w];
+  }
+  tamp::core::RolloutPredictBatch(engine, row_params, recents, fleet.grid,
+                                  kHorizonSteps, kNowMin, kPeriodMin, scratch,
+                                  &out);
+  size_t points = 0;
+  for (const auto& row : out) points += row.size();
+  return points;
 }
 
 void BM_EncoderDecoderPredict(benchmark::State& state) {
@@ -64,13 +174,121 @@ void BM_PredictBySeqIn(benchmark::State& state) {
 }
 BENCHMARK(BM_PredictBySeqIn)->Arg(1)->Arg(5)->Arg(10)->Arg(20);
 
+void FleetScalarBench(benchmark::State& state, const Fleet& fleet) {
+  const size_t fleet_size = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FleetRolloutScalar(fleet, fleet_size));
+  }
+}
+
+void FleetBatchedBench(benchmark::State& state, const Fleet& fleet,
+                       bool shared) {
+  const size_t fleet_size = static_cast<size_t>(state.range(0));
+  tamp::core::FleetForecastScratch scratch;  // Persists across iterations.
+  std::vector<std::vector<tamp::geo::TimedPoint>> out;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FleetRolloutBatched(fleet, fleet_size, shared, scratch, out));
+  }
+}
+
+void BM_FleetRolloutScalarPorto(benchmark::State& state) {
+  FleetScalarBench(state, PortoFleet());
+}
+BENCHMARK(BM_FleetRolloutScalarPorto)->Arg(60)->Arg(240)->Arg(960);
+
+void BM_FleetRolloutBatchedPorto(benchmark::State& state) {
+  FleetBatchedBench(state, PortoFleet(), /*shared=*/false);
+}
+BENCHMARK(BM_FleetRolloutBatchedPorto)->Arg(60)->Arg(240)->Arg(960);
+
+void BM_FleetRolloutBatchedSharedPorto(benchmark::State& state) {
+  FleetBatchedBench(state, PortoFleet(), /*shared=*/true);
+}
+BENCHMARK(BM_FleetRolloutBatchedSharedPorto)->Arg(60)->Arg(240)->Arg(960);
+
+void BM_FleetRolloutScalarGowalla(benchmark::State& state) {
+  FleetScalarBench(state, GowallaFleet());
+}
+BENCHMARK(BM_FleetRolloutScalarGowalla)->Arg(60)->Arg(240)->Arg(960);
+
+void BM_FleetRolloutBatchedGowalla(benchmark::State& state) {
+  FleetBatchedBench(state, GowallaFleet(), /*shared=*/false);
+}
+BENCHMARK(BM_FleetRolloutBatchedGowalla)->Arg(60)->Arg(240)->Arg(960);
+
+void BM_FleetRolloutBatchedSharedGowalla(benchmark::State& state) {
+  FleetBatchedBench(state, GowallaFleet(), /*shared=*/true);
+}
+BENCHMARK(BM_FleetRolloutBatchedSharedGowalla)->Arg(60)->Arg(240)->Arg(960);
+
 }  // namespace
 
 #include "micro_main.h"
 
 namespace tamp::bench {
 
-// Timing-only target: no deterministic accounting metrics to gate on.
-void RegisterMicroMetrics(JsonReport&) {}
+void RegisterMicroMetrics(JsonReport& report) {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& cells = registry.GetCounter("nn.forecast_cells");
+  obs::Counter& gemm = registry.GetCounter("nn.batched_gemm_calls");
+  obs::Counter& rows = registry.GetCounter("nn.batch_rows");
+
+  struct Dataset {
+    const char* name;
+    const Fleet& fleet;
+  };
+  const Dataset datasets[] = {{"porto", PortoFleet()},
+                              {"gowalla", GowallaFleet()}};
+  const size_t fleet_sizes[] = {60, 240, 960};
+
+  core::FleetForecastScratch scratch;
+  std::vector<std::vector<geo::TimedPoint>> out;
+  for (const Dataset& ds : datasets) {
+    for (size_t fleet_size : fleet_sizes) {
+      // The scalar path runs one LstmCell::Forward per (row, cell step):
+      // ceil(horizon / seq_out) engine passes of (seq_in + seq_out) steps.
+      const auto& cfg = ds.fleet.config;
+      const int64_t outer =
+          (kHorizonSteps + cfg.seq_out - 1) / cfg.seq_out;
+      const int64_t scalar_cell_calls =
+          static_cast<int64_t>(fleet_size) * outer *
+          (kSeqIn + cfg.seq_out);
+
+      const int64_t cells_before = cells.value();
+      const int64_t gemm_before = gemm.value();
+      const int64_t rows_before = rows.value();
+      (void)FleetRolloutBatched(ds.fleet, fleet_size, /*shared=*/false,
+                                scratch, out);
+      const int64_t batched_cells = cells.value() - cells_before;
+      const int64_t batched_gemm = gemm.value() - gemm_before;
+      const int64_t batched_rows = rows.value() - rows_before;
+
+      const int64_t shared_gemm_before = gemm.value();
+      (void)FleetRolloutBatched(ds.fleet, fleet_size, /*shared=*/true,
+                                scratch, out);
+      const int64_t shared_gemm = gemm.value() - shared_gemm_before;
+
+      // The tentpole's contract: same per-row cell work, strictly fewer
+      // kernel launches than the scalar path's per-worker cell calls.
+      TAMP_CHECK(batched_cells == scalar_cell_calls);
+      TAMP_CHECK(batched_gemm < scalar_cell_calls);
+      TAMP_CHECK(shared_gemm < scalar_cell_calls);
+
+      const std::string prefix =
+          std::string("nn.") + ds.name + ".w" + std::to_string(fleet_size);
+      report.AddMetric(prefix + ".scalar_cell_calls",
+                       static_cast<double>(scalar_cell_calls));
+      report.AddMetric(prefix + ".forecast_cells",
+                       static_cast<double>(batched_cells));
+      report.AddMetric(prefix + ".batched_gemm_calls",
+                       static_cast<double>(batched_gemm));
+      report.AddMetric(prefix + ".shared_gemm_calls",
+                       static_cast<double>(shared_gemm));
+      report.AddMetric(prefix + ".batch_rows",
+                       static_cast<double>(batched_rows));
+    }
+  }
+}
 
 }  // namespace tamp::bench

@@ -89,6 +89,9 @@ std::string RunFlagsHelp() {
       "                           spatial-index pruning (default), dense\n"
       "                           T x W sweep, or batch-to-batch delta\n"
       "                           index + row cache + warm-started KM\n"
+      "  --forecast=batched|scalar  worker forecasts: the fleet-wide SoA\n"
+      "                           engine (default) or the per-worker\n"
+      "                           scalar rollout (bit-identical reference)\n"
       "  --methods=A,B,...        assignment methods (UB,LB,KM,PPI,GGPSO;\n"
       "                           default all)\n"
       "  --json-dir=DIR           directory for the BENCH_<target>.json\n"
@@ -141,6 +144,15 @@ Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
         return Status::InvalidArgument(
             "--candidates expects 'indexed', 'dense' or 'incremental', got '" +
             value + "'");
+      }
+    } else if (flag == "--forecast") {
+      if (value == "batched") {
+        options->sim.use_batched_forecast = true;
+      } else if (value == "scalar") {
+        options->sim.use_batched_forecast = false;
+      } else {
+        return Status::InvalidArgument(
+            "--forecast expects 'batched' or 'scalar', got '" + value + "'");
       }
     } else if (flag == "--methods") {
       options->methods.clear();

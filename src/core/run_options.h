@@ -56,8 +56,8 @@ std::string RunFlagsHelp();
 
 /// Parses the shared command-line surface into `options` (which carries
 /// the caller's defaults): --dataset=porto|gowalla, --seed=N, --threads=N,
-/// --horizon=N, --candidates=indexed|dense, --methods=KM,PPI,...,
-/// --json-dir=DIR, --trace=PATH,
+/// --horizon=N, --candidates=indexed|dense, --forecast=batched|scalar,
+/// --methods=KM,PPI,..., --json-dir=DIR, --trace=PATH,
 /// --metrics=PATH, --help. Unknown flags and malformed values are
 /// InvalidArgument; --help is a kFailedPrecondition carrying RunFlagsHelp()
 /// so callers print-and-exit-0.

@@ -73,7 +73,11 @@ BatchSimulator::BatchSimulator(const data::Workload& workload,
                                const nn::EncoderDecoder& model,
                                const SimulatorConfig& config,
                                assign::AssignReuse* reuse)
-    : workload_(workload), model_(model), config_(config), reuse_(reuse) {
+    : workload_(workload),
+      model_(model),
+      config_(config),
+      reuse_(reuse),
+      batched_model_(model.config()) {
   // use_incremental without a holder would silently run cold; make the
   // contract explicit at construction instead of per batch.
   TAMP_CHECK_MSG(!config_.use_incremental || reuse_ != nullptr,
@@ -163,11 +167,12 @@ SimMetrics BatchSimulator::Run(
     pool_depth_hist.Record(static_cast<double>(pool.size()));
     available_hist.Record(static_cast<double>(available.size()));
 
-    // Build the batch views. The per-worker autoregressive forecast
-    // (RolloutPredict) dominates this block and touches only the worker's
-    // own record and output slots, so the batch fans out over the pool;
-    // slot-indexed writes keep the batch order (and thus the assignment
-    // input) identical to the serial loop.
+    // Build the batch views. The autoregressive forecast dominates this
+    // block. Batched mode (the default) only collects each worker's recent
+    // observations here and then runs ONE fleet-wide SoA rollout below;
+    // scalar mode keeps the per-worker RolloutPredict chain inside the
+    // fan-out. Either way every write is slot-indexed, so the batch order
+    // (and thus the assignment input) is identical to the serial loop.
     std::vector<assign::SpatialTask> batch_tasks(pool.begin(), pool.end());
     std::vector<assign::CandidateWorker> batch_workers(available.size());
     std::vector<geo::Trajectory> real_futures(available.size());
@@ -176,6 +181,11 @@ SimMetrics BatchSimulator::Run(
     const bool predicts = method == AssignMethod::kKm ||
                           method == AssignMethod::kPpi ||
                           method == AssignMethod::kGgpso;
+    const bool batched = predicts && config_.use_batched_forecast;
+    if (batched) {
+      forecast_params_.resize(available.size());
+      forecast_recents_.resize(available.size());
+    }
     Stopwatch forecast_watch;
     std::optional<obs::TraceSpan> forecast_span(std::in_place,
                                                 "sim.forecast");
@@ -191,19 +201,41 @@ SimMetrics BatchSimulator::Run(
       if (predicts) {
         TAMP_CHECK(predictors[wi].params != nullptr);
         // Recent observed positions (platform-visible location reports).
-        std::vector<geo::Point> recent;
+        // In batched mode they land in the persistent per-slot buffer.
+        std::vector<geo::Point> local_recent;
+        std::vector<geo::Point>& recent =
+            batched ? forecast_recents_[a] : local_recent;
+        recent.clear();
         for (int s = observe_steps - 1; s >= 0; --s) {
           recent.push_back(
               record.test.PositionAt(now - s * config_.sample_period_min));
         }
-        cw.predicted = RolloutPredict(
-            model_, *predictors[wi].params, recent, workload_.grid,
-            config_.prediction_horizon_steps, now, config_.sample_period_min);
+        if (batched) {
+          forecast_params_[a] = predictors[wi].params;
+        } else {
+          cw.predicted = RolloutPredict(model_, *predictors[wi].params,
+                                        recent, workload_.grid,
+                                        config_.prediction_horizon_steps,
+                                        now, config_.sample_period_min);
+        }
       }
       batch_workers[a] = std::move(cw);
       // The oracle's and the acceptance test's view of reality.
       real_futures[a] = record.test.Slice(now, now + horizon_min);
     });
+    if (batched) {
+      // The fleet-level forecast call: one batched rollout replaces the
+      // per-worker scalar chains, reusing the engine scratch across
+      // batches.
+      RolloutPredictBatch(batched_model_, forecast_params_,
+                          forecast_recents_, workload_.grid,
+                          config_.prediction_horizon_steps, now,
+                          config_.sample_period_min, forecast_scratch_,
+                          &forecast_out_);
+      for (size_t a = 0; a < available.size(); ++a) {
+        batch_workers[a].predicted = std::move(forecast_out_[a]);
+      }
+    }
     forecast_span.reset();
     forecast_hist.Record(forecast_watch.ElapsedSeconds());
 

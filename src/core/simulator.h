@@ -9,7 +9,9 @@
 #include "assign/ppi.h"
 #include "assign/types.h"
 #include "common/status.h"
+#include "core/rollout.h"
 #include "data/workload.h"
+#include "nn/batched_seq2seq.h"
 #include "nn/encoder_decoder.h"
 
 namespace tamp::assign {
@@ -75,6 +77,13 @@ struct SimulatorConfig {
   /// the previous batch. Requires an AssignReuse holder to be passed to the
   /// BatchSimulator; plans stay bit-identical to the cold paths.
   bool use_incremental = false;
+  /// Forecast path (--forecast=batched|scalar): batch every available
+  /// worker's autoregressive rollout through the fleet-wide SoA
+  /// nn::BatchedSeq2Seq engine (fused gate kernels, persistent scratch
+  /// across batches) instead of one scalar LstmCell chain per worker.
+  /// Predictions — and therefore plans and every simulator metric — are
+  /// bit-identical either way; the scalar path is the parity reference.
+  bool use_batched_forecast = true;
   assign::PpiConfig ppi;
   assign::GgpsoConfig ggpso;
 };
@@ -144,6 +153,13 @@ class BatchSimulator {
   const nn::EncoderDecoder& model_;
   SimulatorConfig config_;
   assign::AssignReuse* reuse_ = nullptr;  // Not owned; may be null.
+  /// Fleet-batched forecast engine + its cross-batch scratch (SoA windows,
+  /// tile plan, gate matrices); only touched when use_batched_forecast.
+  nn::BatchedSeq2Seq batched_model_;
+  FleetForecastScratch forecast_scratch_;
+  std::vector<const std::vector<double>*> forecast_params_;
+  std::vector<std::vector<geo::Point>> forecast_recents_;
+  std::vector<std::vector<geo::TimedPoint>> forecast_out_;
 };
 
 }  // namespace tamp::core

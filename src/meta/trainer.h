@@ -8,6 +8,7 @@
 #include "geo/grid.h"
 #include "meta/learning_task.h"
 #include "meta/meta_training.h"
+#include "nn/batched_seq2seq.h"
 #include "nn/encoder_decoder.h"
 #include "similarity/kernel.h"
 
@@ -54,6 +55,13 @@ struct TrainerConfig {
   double ctml_beta = 1.0;
   int ctml_k = 4;
   uint64_t seed = 1;
+  /// Evaluate() batches each worker's held-out samples through the SoA
+  /// forecast engine (nn::BatchedSeq2Seq): all of a worker's eval samples
+  /// share one parameter vector, so every encoder/decoder step runs as a
+  /// true GEMM across the sample batch. Bitwise identical to the scalar
+  /// per-sample path (the parity reference), which also serves rows with
+  /// non-uniform input lengths.
+  bool batched_eval = true;
 };
 
 /// Per-worker prediction quality on held-out data.
@@ -122,6 +130,8 @@ class MobilityTrainer {
 
   TrainerConfig config_;
   nn::EncoderDecoder model_;
+  /// Shares model_'s parameter layout; used by the batched Evaluate path.
+  nn::BatchedSeq2Seq batched_model_;
 };
 
 }  // namespace tamp::meta

@@ -24,11 +24,12 @@ std::vector<double> EncoderDecoder::InitParams(Rng& rng) const {
   return params;
 }
 
-Sequence EncoderDecoder::RunForward(
+void EncoderDecoder::RunForward(
     const std::vector<double>& params, const Sequence& input_seq,
     const Sequence* teacher_targets, std::vector<LstmStepCache>* enc_caches,
     std::vector<LstmStepCache>* dec_caches,
-    std::vector<std::vector<double>>* dec_hidden) const {
+    std::vector<std::vector<double>>* dec_hidden, Sequence* outputs,
+    PredictScratch* scratch) const {
   TAMP_CHECK(params.size() == param_count_);
   TAMP_CHECK(!input_seq.empty());
   for (const auto& step : input_seq) {
@@ -38,47 +39,60 @@ Sequence EncoderDecoder::RunForward(
   const size_t hd = static_cast<size_t>(config_.hidden_dim);
   const size_t seq_out = static_cast<size_t>(config_.seq_out);
   const size_t out_dim = static_cast<size_t>(config_.output_dim);
-  std::vector<double> h(hd, 0.0);
-  std::vector<double> c(hd, 0.0);
+  // State buffers come from the scratch when given (reused across calls;
+  // fully overwritten here, so results are identical either way).
+  std::vector<double> local_h;
+  std::vector<double> local_c;
+  std::vector<double> local_dec;
+  LstmStepCache local_cache;
+  std::vector<double>& h = scratch != nullptr ? scratch->h : local_h;
+  std::vector<double>& c = scratch != nullptr ? scratch->c : local_c;
+  h.assign(hd, 0.0);
+  c.assign(hd, 0.0);
 
   if (enc_caches != nullptr) enc_caches->resize(input_seq.size());
-  LstmStepCache scratch;
+  LstmStepCache& step_cache =
+      scratch != nullptr ? scratch->cell : local_cache;
   for (size_t t = 0; t < input_seq.size(); ++t) {
     LstmStepCache& cache =
-        enc_caches != nullptr ? (*enc_caches)[t] : scratch;
+        enc_caches != nullptr ? (*enc_caches)[t] : step_cache;
     encoder_.Forward(params, input_seq[t].data(), h, c, cache);
   }
 
   if (dec_caches != nullptr) dec_caches->resize(seq_out);
   if (dec_hidden != nullptr) dec_hidden->resize(seq_out);
 
-  Sequence outputs(seq_out);
+  outputs->resize(seq_out);
   // The decoder's first input is the most recent observed location; later
   // inputs are the previous ground truth (teacher forcing) or the previous
   // prediction (autoregressive inference).
-  std::vector<double> dec_input = input_seq.back();
+  std::vector<double>& dec_input =
+      scratch != nullptr ? scratch->dec_input : local_dec;
+  dec_input = input_seq.back();
   dec_input.resize(out_dim, 0.0);
   for (size_t t = 0; t < seq_out; ++t) {
     LstmStepCache& cache =
-        dec_caches != nullptr ? (*dec_caches)[t] : scratch;
+        dec_caches != nullptr ? (*dec_caches)[t] : step_cache;
     decoder_.Forward(params, dec_input.data(), h, c, cache);
     if (dec_hidden != nullptr) (*dec_hidden)[t] = h;
-    readout_.Forward(params, h.data(), outputs[t]);
+    readout_.Forward(params, h.data(), (*outputs)[t]);
     if (t + 1 < seq_out) {
       dec_input = teacher_targets != nullptr
                       ? (*teacher_targets)[t]
-                      : outputs[t];
+                      : (*outputs)[t];
       dec_input.resize(out_dim, 0.0);
     }
   }
-  return outputs;
 }
 
 Sequence EncoderDecoder::Predict(const std::vector<double>& params,
-                                 const Sequence& input_seq) const {
-  return RunForward(params, input_seq, /*teacher_targets=*/nullptr,
-                    /*enc_caches=*/nullptr, /*dec_caches=*/nullptr,
-                    /*dec_hidden=*/nullptr);
+                                 const Sequence& input_seq,
+                                 PredictScratch* scratch) const {
+  Sequence outputs;
+  RunForward(params, input_seq, /*teacher_targets=*/nullptr,
+             /*enc_caches=*/nullptr, /*dec_caches=*/nullptr,
+             /*dec_hidden=*/nullptr, &outputs, scratch);
+  return outputs;
 }
 
 double EncoderDecoder::LossAndGradient(const std::vector<double>& params,
@@ -92,8 +106,9 @@ double EncoderDecoder::LossAndGradient(const std::vector<double>& params,
   std::vector<LstmStepCache> enc_caches;
   std::vector<LstmStepCache> dec_caches;
   std::vector<std::vector<double>> dec_hidden;
-  Sequence outputs = RunForward(params, input_seq, &target_seq, &enc_caches,
-                                &dec_caches, &dec_hidden);
+  Sequence outputs;
+  RunForward(params, input_seq, &target_seq, &enc_caches, &dec_caches,
+             &dec_hidden, &outputs, /*scratch=*/nullptr);
 
   double loss = WeightedMseLoss::Value(outputs, target_seq, step_weights);
   Sequence dout = WeightedMseLoss::Gradient(outputs, target_seq, step_weights);
@@ -122,8 +137,13 @@ double EncoderDecoder::LossAndGradient(const std::vector<double>& params,
 double EncoderDecoder::EvalLoss(const std::vector<double>& params,
                                 const Sequence& input_seq,
                                 const Sequence& target_seq,
-                                const std::vector<double>& step_weights) const {
-  Sequence outputs = Predict(params, input_seq);
+                                const std::vector<double>& step_weights,
+                                PredictScratch* scratch) const {
+  Sequence local;
+  Sequence& outputs = scratch != nullptr ? scratch->outputs : local;
+  RunForward(params, input_seq, /*teacher_targets=*/nullptr,
+             /*enc_caches=*/nullptr, /*dec_caches=*/nullptr,
+             /*dec_hidden=*/nullptr, &outputs, scratch);
   return WeightedMseLoss::Value(outputs, target_seq, step_weights);
 }
 

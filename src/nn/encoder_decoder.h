@@ -21,6 +21,20 @@ struct Seq2SeqConfig {
   int seq_out = 1;      // Number of future locations to emit.
 };
 
+/// Reusable buffers for the gradient-free forward passes. Without one,
+/// Predict / EvalLoss allocate the recurrent state, decoder input, step
+/// cache and (EvalLoss) the output sequence afresh on every call — pure
+/// allocator traffic on the rollout and evaluation hot loops. Passing a
+/// scratch (persisted across calls; shrink-then-grow safe) removes it;
+/// results are bitwise identical with or without one.
+struct PredictScratch {
+  LstmStepCache cell;
+  std::vector<double> h;
+  std::vector<double> c;
+  std::vector<double> dec_input;
+  Sequence outputs;  // EvalLoss's prediction buffer.
+};
+
 /// LSTM-Encoder-Decoder mobility prediction model with hand-written
 /// backpropagation-through-time.
 ///
@@ -42,9 +56,11 @@ class EncoderDecoder {
 
   /// Autoregressive inference: encodes `input_seq` (>= 1 steps of
   /// input_dim values) and decodes config().seq_out future points, feeding
-  /// each prediction back as the next decoder input.
+  /// each prediction back as the next decoder input. `scratch` (optional)
+  /// reuses buffers across calls.
   Sequence Predict(const std::vector<double>& params,
-                   const Sequence& input_seq) const;
+                   const Sequence& input_seq,
+                   PredictScratch* scratch = nullptr) const;
 
   /// Teacher-forced training pass on one (input, target) sample: runs the
   /// forward pass, computes the weighted MSE (Eq. 6; empty `step_weights`
@@ -56,21 +72,26 @@ class EncoderDecoder {
                          std::vector<double>& grad) const;
 
   /// Loss of the autoregressive prediction against the target (no
-  /// gradient); used for held-out evaluation.
+  /// gradient); used for held-out evaluation. With a `scratch` the call is
+  /// allocation-free (the prediction lands in scratch->outputs).
   double EvalLoss(const std::vector<double>& params, const Sequence& input_seq,
                   const Sequence& target_seq,
-                  const std::vector<double>& step_weights) const;
+                  const std::vector<double>& step_weights,
+                  PredictScratch* scratch = nullptr) const;
 
  private:
   /// Shared forward machinery. When `teacher_targets` is non-null the
   /// decoder consumes ground-truth previous locations (training); otherwise
   /// it consumes its own predictions (inference). Caches are filled only
-  /// when `enc_caches`/`dec_caches` are non-null.
-  Sequence RunForward(const std::vector<double>& params,
-                      const Sequence& input_seq, const Sequence* teacher_targets,
-                      std::vector<LstmStepCache>* enc_caches,
-                      std::vector<LstmStepCache>* dec_caches,
-                      std::vector<std::vector<double>>* dec_hidden) const;
+  /// when `enc_caches`/`dec_caches` are non-null. Predictions land in
+  /// `*outputs` (resized to seq_out); `scratch` (optional) supplies the
+  /// recurrent-state / decoder-input / step-cache buffers.
+  void RunForward(const std::vector<double>& params,
+                  const Sequence& input_seq, const Sequence* teacher_targets,
+                  std::vector<LstmStepCache>* enc_caches,
+                  std::vector<LstmStepCache>* dec_caches,
+                  std::vector<std::vector<double>>* dec_hidden,
+                  Sequence* outputs, PredictScratch* scratch) const;
 
   Seq2SeqConfig config_;
   LstmCell encoder_;

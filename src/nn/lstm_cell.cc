@@ -46,8 +46,11 @@ void LstmCell::Forward(const std::vector<double>& params, const double* x,
   cache.h_prev = h;
   cache.c_prev = c;
 
-  // z = W_x x + W_h h_prev + b, gate blocks [i f g o].
-  std::vector<double> z(h4);
+  // z = W_x x + W_h h_prev + b, gate blocks [i f g o]. The buffer lives in
+  // the cache so a reused cache makes the step allocation-free; every
+  // entry is overwritten below.
+  cache.z.resize(h4);
+  std::vector<double>& z = cache.z;
   for (size_t r = 0; r < h4; ++r) {
     double acc = b[r];
     const double* wxr = wx + r * id;

@@ -19,6 +19,8 @@ struct LstmStepCache {
   std::vector<double> o;       // Output gate (post-sigmoid).
   std::vector<double> c;       // New cell state.
   std::vector<double> tanh_c;  // tanh(c), reused in backward.
+  std::vector<double> z;       // Pre-activation scratch (forward only;
+                               // never read by Backward).
 };
 
 /// A single LSTM cell with parameters stored in a caller-provided flat

@@ -104,6 +104,17 @@ TEST(ParseRunFlagsTest, ParsesEveryFlag) {
   EXPECT_EQ(options.sinks.metrics_path, "m.json");
 }
 
+TEST(ParseRunFlagsTest, ParsesForecastPath) {
+  core::RunOptions options;
+  ASSERT_TRUE(Parse({"--forecast=scalar"}, &options).ok());
+  EXPECT_FALSE(options.sim.use_batched_forecast);
+  ASSERT_TRUE(Parse({"--forecast=batched"}, &options).ok());
+  EXPECT_TRUE(options.sim.use_batched_forecast);
+  Status bad = Parse({"--forecast=vectorized"}, &options);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("--forecast"), std::string::npos);
+}
+
 TEST(ParseRunFlagsTest, LeavesCallerDefaultsAlone) {
   core::RunOptions options;
   options.seed = 99;

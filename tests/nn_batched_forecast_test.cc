@@ -1,0 +1,374 @@
+// Bit-identity contract of the batched SoA forecast engine
+// (nn::BatchedSeq2Seq) against the scalar per-worker reference: raw
+// PredictBatch vs Predict, the fleet rollout, scratch shrink-then-grow
+// reuse, the trainer's batched Evaluate, the full simulator plan, and the
+// thread-invariant work counters. Every comparison is EXPECT_EQ on
+// doubles — exact, not approximate.
+#include "nn/batched_seq2seq.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/obs/metrics.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "core/pipeline.h"
+#include "core/rollout.h"
+#include "data/workload.h"
+#include "meta/trainer.h"
+#include "nn/encoder_decoder.h"
+
+namespace tamp::nn {
+namespace {
+
+/// Restores the parallel thread count on scope exit so a failing test
+/// can't leak its thread setting into the rest of the binary.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int threads) : saved_(ParallelThreadCount()) {
+    SetParallelThreadCount(threads);
+  }
+  ~ThreadCountGuard() { SetParallelThreadCount(saved_); }
+
+ private:
+  int saved_;
+};
+
+Sequence MakeWindow(tamp::Rng& rng, int steps, int dim) {
+  Sequence window;
+  for (int t = 0; t < steps; ++t) {
+    std::vector<double> step;
+    for (int d = 0; d < dim; ++d) step.push_back(rng.Uniform01());
+    window.push_back(std::move(step));
+  }
+  return window;
+}
+
+void ExpectSequenceEq(const Sequence& a, const Sequence& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t t = 0; t < a.size(); ++t) {
+    ASSERT_EQ(a[t].size(), b[t].size());
+    for (size_t d = 0; d < a[t].size(); ++d) EXPECT_EQ(a[t][d], b[t][d]);
+  }
+}
+
+/// Rows interleave three parameter groups (A B C A B A A C C B): shared
+/// GEMM tiles and singleton GEMV runs coexist in one plan, and the
+/// gather/scatter has to restore the caller's row order.
+TEST(BatchedSeq2SeqTest, PredictBatchMatchesScalarBitwise) {
+  for (int seq_out : {1, 3}) {
+    for (int threads : {1, 4}) {
+      ThreadCountGuard guard(threads);
+      Seq2SeqConfig config;
+      config.input_dim = 3;
+      config.hidden_dim = 8;
+      config.seq_out = seq_out;
+      tamp::Rng rng(11);
+      EncoderDecoder model(config);
+      BatchedSeq2Seq engine(config);
+      std::vector<std::vector<double>> groups = {
+          model.InitParams(rng), model.InitParams(rng), model.InitParams(rng)};
+      const int pattern[] = {0, 1, 2, 0, 1, 0, 0, 2, 2, 1};
+
+      std::vector<Sequence> windows;
+      std::vector<const std::vector<double>*> row_params;
+      std::vector<const Sequence*> inputs;
+      for (int r = 0; r < 10; ++r) {
+        windows.push_back(MakeWindow(rng, 5, 3));
+        row_params.push_back(&groups[pattern[r]]);
+      }
+      for (const Sequence& w : windows) inputs.push_back(&w);
+
+      BatchedSeq2SeqScratch scratch;
+      std::vector<Sequence> batched;
+      engine.PredictBatch(row_params, inputs, &batched, scratch);
+
+      ASSERT_EQ(batched.size(), windows.size());
+      for (size_t r = 0; r < windows.size(); ++r) {
+        Sequence scalar = model.Predict(*row_params[r], windows[r]);
+        ExpectSequenceEq(batched[r], scalar);
+      }
+    }
+  }
+}
+
+TEST(BatchedSeq2SeqTest, FleetRolloutMatchesScalarOnBothGrids) {
+  const geo::GridSpec grids[] = {geo::GridSpec(28.0, 14.0, 50, 100),
+                                 geo::GridSpec(36.0, 36.0, 60, 60)};
+  for (const geo::GridSpec& grid : grids) {
+    for (int threads : {1, 4}) {
+      ThreadCountGuard guard(threads);
+      Seq2SeqConfig config;
+      config.input_dim = 3;
+      config.hidden_dim = 6;
+      config.seq_out = 3;  // horizon 7 => 3 + 3 + 1 truncated chunks.
+      tamp::Rng rng(23);
+      EncoderDecoder model(config);
+      BatchedSeq2Seq engine(config);
+
+      std::vector<std::vector<double>> params;
+      std::vector<double> shared = model.InitParams(rng);
+      std::vector<std::vector<geo::Point>> recents;
+      std::vector<const std::vector<double>*> row_params;
+      for (int w = 0; w < 9; ++w) {
+        params.push_back(model.InitParams(rng));
+        std::vector<geo::Point> walk;
+        for (int s = 0; s < 4; ++s) {
+          walk.push_back(grid.Clamp({rng.Uniform(0.0, grid.width_km()),
+                                     rng.Uniform(0.0, grid.height_km())}));
+        }
+        recents.push_back(std::move(walk));
+      }
+      for (int w = 0; w < 9; ++w) {
+        row_params.push_back(w % 3 == 0 ? &shared : &params[w]);
+      }
+
+      core::FleetForecastScratch scratch;
+      std::vector<std::vector<geo::TimedPoint>> batched;
+      core::RolloutPredictBatch(engine, row_params, recents, grid,
+                                /*horizon_steps=*/7, /*now_min=*/600.0,
+                                /*step_period_min=*/10.0, scratch, &batched);
+
+      ASSERT_EQ(batched.size(), recents.size());
+      for (size_t w = 0; w < recents.size(); ++w) {
+        auto scalar = core::RolloutPredict(model, *row_params[w], recents[w],
+                                           grid, 7, 600.0, 10.0);
+        ASSERT_EQ(batched[w].size(), scalar.size());
+        for (size_t i = 0; i < scalar.size(); ++i) {
+          EXPECT_EQ(batched[w][i].loc.x, scalar[i].loc.x);
+          EXPECT_EQ(batched[w][i].loc.y, scalar[i].loc.y);
+          EXPECT_EQ(batched[w][i].time_min, scalar[i].time_min);
+        }
+      }
+    }
+  }
+}
+
+/// Scratch reuse must be stateless: a big batch, then a small one, then
+/// big again — each must match a fresh-scratch run bit for bit (stale
+/// tails from the larger plan must never leak into the smaller).
+TEST(BatchedSeq2SeqTest, EngineScratchShrinkThenGrowParity) {
+  Seq2SeqConfig config;
+  config.input_dim = 2;
+  config.hidden_dim = 7;
+  config.seq_out = 2;
+  tamp::Rng rng(31);
+  EncoderDecoder model(config);
+  BatchedSeq2Seq engine(config);
+
+  std::vector<std::vector<double>> params;
+  std::vector<Sequence> windows;
+  for (int r = 0; r < 8; ++r) {
+    params.push_back(model.InitParams(rng));
+    windows.push_back(MakeWindow(rng, 6, 2));
+  }
+
+  auto run = [&](size_t rows, BatchedSeq2SeqScratch& scratch) {
+    std::vector<const std::vector<double>*> row_params;
+    std::vector<const Sequence*> inputs;
+    for (size_t r = 0; r < rows; ++r) {
+      row_params.push_back(&params[r]);
+      inputs.push_back(&windows[r]);
+    }
+    std::vector<Sequence> out;
+    engine.PredictBatch(row_params, inputs, &out, scratch);
+    return out;
+  };
+
+  BatchedSeq2SeqScratch reused;
+  for (size_t rows : {8u, 2u, 8u}) {
+    std::vector<Sequence> with_reuse = run(rows, reused);
+    BatchedSeq2SeqScratch fresh;
+    std::vector<Sequence> from_fresh = run(rows, fresh);
+    ASSERT_EQ(with_reuse.size(), rows);
+    for (size_t r = 0; r < rows; ++r) {
+      ExpectSequenceEq(with_reuse[r], from_fresh[r]);
+    }
+  }
+}
+
+/// The scalar path's PredictScratch has the same contract: long window,
+/// short window, long again, all bitwise equal to scratch-free calls.
+TEST(BatchedSeq2SeqTest, PredictScratchShrinkThenGrowParity) {
+  Seq2SeqConfig config;
+  config.hidden_dim = 9;
+  config.seq_out = 2;
+  tamp::Rng rng(37);
+  EncoderDecoder model(config);
+  std::vector<double> params = model.InitParams(rng);
+
+  PredictScratch scratch;
+  for (int steps : {8, 2, 8}) {
+    Sequence window = MakeWindow(rng, steps, 2);
+    Sequence with_scratch = model.Predict(params, window, &scratch);
+    Sequence without = model.Predict(params, window);
+    ExpectSequenceEq(with_scratch, without);
+    EXPECT_EQ(model.EvalLoss(params, window, without, {}, &scratch),
+              model.EvalLoss(params, window, without, {}));
+  }
+}
+
+TEST(BatchedSeq2SeqTest, TrainerEvaluateBatchedMatchesScalar) {
+  meta::TrainerConfig config;
+  config.model.hidden_dim = 6;
+  tamp::Rng rng(43);
+  EncoderDecoder model(config.model);
+
+  meta::TrainedModels models;
+  models.model_config = config.model;
+  std::vector<meta::LearningTask> tasks;
+  for (int w = 0; w < 5; ++w) {
+    models.worker_params.push_back(model.InitParams(rng));
+    meta::LearningTask task;
+    task.worker_id = w;
+    // Worker 3's eval windows have mixed lengths: the batched path must
+    // fall back to the scalar chain for that worker and still agree.
+    for (int i = 0; i < 4; ++i) {
+      meta::TrainingSample sample;
+      int steps = (w == 3 && i % 2 == 1) ? 3 : 4;
+      sample.input = MakeWindow(rng, steps, 2);
+      sample.target.push_back({rng.Uniform01(), rng.Uniform01()});
+      sample.target_km.push_back(
+          {sample.target[0][0] * 20.0, sample.target[0][1] * 10.0});
+      task.eval.push_back(std::move(sample));
+    }
+    tasks.push_back(std::move(task));
+  }
+
+  geo::GridSpec grid(20.0, 10.0, 50, 100);
+  for (int threads : {1, 4}) {
+    ThreadCountGuard guard(threads);
+    meta::TrainerConfig batched_config = config;
+    batched_config.batched_eval = true;
+    meta::TrainerConfig scalar_config = config;
+    scalar_config.batched_eval = false;
+    meta::EvalResult batched =
+        meta::MobilityTrainer(batched_config).Evaluate(models, tasks, grid,
+                                                       2.0);
+    meta::EvalResult scalar =
+        meta::MobilityTrainer(scalar_config).Evaluate(models, tasks, grid,
+                                                      2.0);
+    EXPECT_EQ(batched.aggregate.rmse_km, scalar.aggregate.rmse_km);
+    EXPECT_EQ(batched.aggregate.mae_km, scalar.aggregate.mae_km);
+    EXPECT_EQ(batched.aggregate.matching_rate, scalar.aggregate.matching_rate);
+    EXPECT_EQ(batched.aggregate.num_points, scalar.aggregate.num_points);
+    ASSERT_EQ(batched.per_worker.size(), scalar.per_worker.size());
+    for (size_t w = 0; w < scalar.per_worker.size(); ++w) {
+      EXPECT_EQ(batched.per_worker[w].rmse_km, scalar.per_worker[w].rmse_km);
+      EXPECT_EQ(batched.per_worker[w].mae_km, scalar.per_worker[w].mae_km);
+      EXPECT_EQ(batched.per_worker[w].matching_rate,
+                scalar.per_worker[w].matching_rate);
+    }
+  }
+}
+
+/// The work counters are part of the bench gate, so they must not depend
+/// on the thread count, and the cell count must equal the scalar path's
+/// LstmCell::Forward call count with strictly fewer kernel launches.
+TEST(BatchedSeq2SeqTest, WorkCountersAreExactAndThreadInvariant) {
+  Seq2SeqConfig config;
+  config.input_dim = 3;
+  config.hidden_dim = 8;
+  config.seq_out = 2;
+  tamp::Rng rng(47);
+  EncoderDecoder model(config);
+  BatchedSeq2Seq engine(config);
+
+  std::vector<std::vector<double>> params;
+  std::vector<Sequence> windows;
+  std::vector<const std::vector<double>*> row_params;
+  std::vector<const Sequence*> inputs;
+  const int rows = 70;  // > kTileCols: at least two tiles.
+  for (int r = 0; r < rows; ++r) {
+    params.push_back(model.InitParams(rng));
+    windows.push_back(MakeWindow(rng, 5, 3));
+  }
+  for (int r = 0; r < rows; ++r) {
+    row_params.push_back(&params[r]);
+    inputs.push_back(&windows[r]);
+  }
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& cells = registry.GetCounter("nn.forecast_cells");
+  obs::Counter& gemm = registry.GetCounter("nn.batched_gemm_calls");
+  obs::Counter& batch_rows = registry.GetCounter("nn.batch_rows");
+
+  int64_t cell_delta[2] = {0, 0};
+  int64_t gemm_delta[2] = {0, 0};
+  int64_t rows_delta[2] = {0, 0};
+  const int thread_counts[2] = {1, 4};
+  for (int i = 0; i < 2; ++i) {
+    ThreadCountGuard guard(thread_counts[i]);
+    BatchedSeq2SeqScratch scratch;
+    std::vector<Sequence> out;
+    const int64_t c0 = cells.value();
+    const int64_t g0 = gemm.value();
+    const int64_t r0 = batch_rows.value();
+    engine.PredictBatch(row_params, inputs, &out, scratch);
+    cell_delta[i] = cells.value() - c0;
+    gemm_delta[i] = gemm.value() - g0;
+    rows_delta[i] = batch_rows.value() - r0;
+  }
+
+  // Scalar reference: one LstmCell::Forward per row per (seq_in + seq_out)
+  // step; kernels: one gate launch per tile per cell step plus one readout
+  // launch per tile per decoder step.
+  const int64_t expected_cells = static_cast<int64_t>(rows) * (5 + 2);
+  const int64_t tiles = (rows + 63) / 64;
+  EXPECT_EQ(cell_delta[0], expected_cells);
+  EXPECT_EQ(gemm_delta[0], tiles * (7 + 2));
+  EXPECT_EQ(rows_delta[0], rows);
+  EXPECT_LT(gemm_delta[0], expected_cells);
+  EXPECT_EQ(cell_delta[0], cell_delta[1]);
+  EXPECT_EQ(gemm_delta[0], gemm_delta[1]);
+  EXPECT_EQ(rows_delta[0], rows_delta[1]);
+}
+
+/// End to end: the full simulator plan — every SimMetrics field, including
+/// the accumulated float cost — is identical under --forecast=batched and
+/// --forecast=scalar, at 1 and 4 threads.
+TEST(BatchedSeq2SeqTest, SimulatorPlanParityScalarVsBatched) {
+  data::WorkloadConfig workload_config;
+  workload_config.num_workers = 12;
+  workload_config.num_train_days = 2;
+  workload_config.num_tasks = 60;
+  workload_config.num_historical_tasks = 300;
+  workload_config.seed = 33;
+  data::Workload workload = data::GenerateWorkload(workload_config);
+
+  core::PipelineConfig pipeline_config;
+  pipeline_config.trainer.model.hidden_dim = 6;
+  pipeline_config.trainer.meta.iterations = 3;
+  pipeline_config.trainer.fine_tune_steps = 3;
+  pipeline_config.trainer.projection_dim = 8;
+  pipeline_config.trainer.tree.game.k = 2;
+  pipeline_config.sim.prediction_horizon_steps = 4;
+
+  core::PipelineConfig batched_config = pipeline_config;
+  batched_config.sim.use_batched_forecast = true;
+  core::PipelineConfig scalar_config = pipeline_config;
+  scalar_config.sim.use_batched_forecast = false;
+  core::TampPipeline batched_pipeline(batched_config);
+  core::TampPipeline scalar_pipeline(scalar_config);
+  core::OfflineResult offline = batched_pipeline.TrainOffline(workload);
+
+  for (int threads : {1, 4}) {
+    ThreadCountGuard guard(threads);
+    for (core::AssignMethod method :
+         {core::AssignMethod::kKm, core::AssignMethod::kPpi}) {
+      core::SimMetrics batched =
+          batched_pipeline.RunOnline(workload, offline, method);
+      core::SimMetrics scalar =
+          scalar_pipeline.RunOnline(workload, offline, method);
+      EXPECT_EQ(batched.total_tasks, scalar.total_tasks);
+      EXPECT_EQ(batched.assignments, scalar.assignments);
+      EXPECT_EQ(batched.accepted, scalar.accepted);
+      EXPECT_EQ(batched.completed, scalar.completed);
+      EXPECT_EQ(batched.total_cost_km, scalar.total_cost_km);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tamp::nn
