@@ -104,10 +104,12 @@ void RecordPredRow(const std::string& prefix, const PredRow& row) {
 }
 
 /// The bench workload for the run: the calibrated base for the dataset,
-/// with the seed overridden when the caller passed --seed.
+/// with the caller's scenario (--workload) and seed (--seed) applied.
 data::WorkloadConfig RunWorkloadConfig(const core::RunOptions& options,
                                        const BenchScale& scale) {
-  data::WorkloadConfig workload = BaseWorkloadConfig(options.dataset, scale);
+  data::WorkloadConfig workload =
+      BaseWorkloadConfig(options.workload.kind, scale);
+  workload.scenario = options.workload.scenario;
   if (options.seed != 0) workload.seed = options.seed;
   return workload;
 }
@@ -203,7 +205,7 @@ core::PipelineConfig BasePipelineConfig(const BenchScale& scale) {
 
 core::RunOptions DefaultRunOptions(const BenchSpec& spec) {
   core::RunOptions options;
-  options.dataset = spec.dataset;
+  options.workload.kind = spec.dataset;
   BenchScale scale;
   options.sim = BasePipelineConfig(scale).sim;
   return options;

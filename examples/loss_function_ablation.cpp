@@ -34,7 +34,8 @@ int main(int argc, char** argv) {
   core::ApplyRunOptions(options);
 
   data::WorkloadConfig workload_config;
-  workload_config.kind = options.dataset;
+  workload_config.kind = options.workload.kind;
+  workload_config.scenario = options.workload.scenario;
   workload_config.num_workers = 14;
   workload_config.num_train_days = 3;
   workload_config.num_tasks = 200;

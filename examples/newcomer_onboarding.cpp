@@ -36,7 +36,8 @@ int main(int argc, char** argv) {
 
   // Veterans: full history. One extra worker plays the newcomer.
   data::WorkloadConfig workload_config;
-  workload_config.kind = options.dataset;
+  workload_config.kind = options.workload.kind;
+  workload_config.scenario = options.workload.scenario;
   workload_config.num_workers = 17;
   workload_config.num_train_days = 4;
   workload_config.newcomer_fraction = 0.06;  // Exactly one newcomer.

@@ -32,7 +32,8 @@ int main(int argc, char** argv) {
   core::ApplyRunOptions(options);
 
   data::WorkloadConfig workload_config;
-  workload_config.kind = options.dataset;
+  workload_config.kind = options.workload.kind;
+  workload_config.scenario = options.workload.scenario;
   workload_config.num_workers = 20;
   workload_config.num_train_days = 3;
   workload_config.num_tasks = 500;

@@ -118,7 +118,8 @@ class IncrementalCandidateEngine {
 };
 
 /// Everything an assigner chain reuses across simulator batches when
-/// SimulatorConfig::use_incremental is on: the shared candidate engine
+/// SimulatorConfig::candidate_mode is kIncremental: the shared candidate
+/// engine
 /// plus per-solve-site KM warm-start holders. Owned by the pipeline (one
 /// per TampPipeline, surviving across RunOnline calls) and threaded to the
 /// assigners by pointer; a null AssignReuse* everywhere means the cold

@@ -1,0 +1,56 @@
+#include "core/event_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace tamp::core {
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskArrival:
+      return "task_arrival";
+    case EventKind::kTaskExpiry:
+      return "task_expiry";
+    case EventKind::kWorkerLogin:
+      return "worker_login";
+    case EventKind::kWorkerCompletion:
+      return "worker_completion";
+    case EventKind::kAssignTrigger:
+      return "assign_trigger";
+    case EventKind::kWorkerLogout:
+      return "worker_logout";
+  }
+  return "?";
+}
+
+namespace {
+
+/// std::*_heap comparators build a max-heap, so invert EventBefore.
+bool EventAfter(const SimEvent& a, const SimEvent& b) {
+  return EventBefore(b, a);
+}
+
+}  // namespace
+
+void EventQueue::Push(const SimEvent& event) {
+  TAMP_DCHECK(std::isfinite(event.time_min));
+  heap_.push_back(event);
+  std::push_heap(heap_.begin(), heap_.end(), EventAfter);
+}
+
+SimEvent EventQueue::Pop() {
+  TAMP_CHECK_MSG(!heap_.empty(), "Pop on empty EventQueue");
+  std::pop_heap(heap_.begin(), heap_.end(), EventAfter);
+  SimEvent event = heap_.back();
+  heap_.pop_back();
+  return event;
+}
+
+const SimEvent& EventQueue::Peek() const {
+  TAMP_CHECK_MSG(!heap_.empty(), "Peek on empty EventQueue");
+  return heap_.front();
+}
+
+}  // namespace tamp::core

@@ -42,7 +42,8 @@ SimMetrics TampPipeline::RunOnline(const data::Workload& workload,
                                    AssignMethod method) {
   obs::TraceSpan span("pipeline.run_online");
   nn::EncoderDecoder model(config_.trainer.model);
-  if (config_.sim.use_incremental && assign_reuse_ == nullptr) {
+  if (config_.sim.candidate_mode == CandidateMode::kIncremental &&
+      assign_reuse_ == nullptr) {
     assign_reuse_ = std::make_unique<assign::AssignReuse>();
   }
   BatchSimulator simulator(workload, model, config_.sim,

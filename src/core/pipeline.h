@@ -55,7 +55,8 @@ class TampPipeline {
  private:
   PipelineConfig config_;
   /// Cross-batch (and cross-run) reuse state consumed by RunOnline when
-  /// sim.use_incremental is set; created lazily on the first such run and
+  /// sim.candidate_mode is kIncremental; created lazily on the first such
+  /// run and
   /// kept for the pipeline's lifetime so later runs revisiting the same
   /// batch instants hit the engine's row cache.
   std::unique_ptr<assign::AssignReuse> assign_reuse_;

@@ -82,6 +82,9 @@ Status RunOptions::Validate() const {
 std::string RunFlagsHelp() {
   return
       "  --dataset=porto|gowalla  workload dataset pair\n"
+      "  --workload=SPEC          dataset pair plus scenario: porto,\n"
+      "                           porto_surge, porto_churn, gowalla,\n"
+      "                           gowalla_surge, gowalla_churn\n"
       "  --seed=N                 workload seed (0 = dataset default)\n"
       "  --threads=N              parallel runtime threads (0 = default)\n"
       "  --horizon=N              forecast horizon steps per worker\n"
@@ -92,6 +95,9 @@ std::string RunFlagsHelp() {
       "  --forecast=batched|scalar  worker forecasts: the fleet-wide SoA\n"
       "                           engine (default) or the per-worker\n"
       "                           scalar rollout (bit-identical reference)\n"
+      "  --engine=event|batch     simulation engine: the event-queue core\n"
+      "                           (default) or the batch-synchronous\n"
+      "                           replay loop (bit-identical reference)\n"
       "  --methods=A,B,...        assignment methods (UB,LB,KM,PPI,GGPSO;\n"
       "                           default all)\n"
       "  --json-dir=DIR           directory for the BENCH_<target>.json\n"
@@ -117,7 +123,14 @@ Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
     if (flag == "--dataset") {
       StatusOr<data::WorkloadKind> kind = data::ParseWorkloadKind(value);
       if (!kind.ok()) return kind.status();
-      options->dataset = *kind;
+      options->workload.kind = *kind;
+    } else if (flag == "--workload") {
+      StatusOr<data::WorkloadSpec> spec = data::ParseWorkloadSpec(value);
+      if (!spec.ok()) {
+        return Status::InvalidArgument(flag + ": " +
+                                       std::string(spec.status().message()));
+      }
+      options->workload = *spec;
     } else if (flag == "--seed") {
       long long v = 0;
       TAMP_RETURN_IF_ERROR(ParseInt(value, flag, &v));
@@ -131,29 +144,26 @@ Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
       TAMP_RETURN_IF_ERROR(ParseInt(value, flag, &v));
       options->sim.prediction_horizon_steps = static_cast<int>(v);
     } else if (flag == "--candidates") {
-      if (value == "indexed") {
-        options->sim.use_spatial_index = true;
-        options->sim.use_incremental = false;
-      } else if (value == "dense") {
-        options->sim.use_spatial_index = false;
-        options->sim.use_incremental = false;
-      } else if (value == "incremental") {
-        options->sim.use_spatial_index = true;
-        options->sim.use_incremental = true;
-      } else {
-        return Status::InvalidArgument(
-            "--candidates expects 'indexed', 'dense' or 'incremental', got '" +
-            value + "'");
+      StatusOr<CandidateMode> mode = ParseCandidateMode(value);
+      if (!mode.ok()) {
+        return Status::InvalidArgument(flag + ": " +
+                                       std::string(mode.status().message()));
       }
+      options->sim.candidate_mode = *mode;
     } else if (flag == "--forecast") {
-      if (value == "batched") {
-        options->sim.use_batched_forecast = true;
-      } else if (value == "scalar") {
-        options->sim.use_batched_forecast = false;
-      } else {
-        return Status::InvalidArgument(
-            "--forecast expects 'batched' or 'scalar', got '" + value + "'");
+      StatusOr<ForecastMode> mode = ParseForecastMode(value);
+      if (!mode.ok()) {
+        return Status::InvalidArgument(flag + ": " +
+                                       std::string(mode.status().message()));
       }
+      options->sim.forecast_mode = *mode;
+    } else if (flag == "--engine") {
+      StatusOr<SimEngine> engine = ParseSimEngine(value);
+      if (!engine.ok()) {
+        return Status::InvalidArgument(
+            flag + ": " + std::string(engine.status().message()));
+      }
+      options->sim.engine = *engine;
     } else if (flag == "--methods") {
       options->methods.clear();
       std::size_t start = 0;

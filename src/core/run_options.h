@@ -30,8 +30,10 @@ struct OutputSinks {
 /// Lifecycle: fill (or ParseRunFlags over argv), Validate(), then
 /// ApplyRunOptions() once before the run and WriteRunArtifacts() after.
 struct RunOptions {
-  /// Which dataset pair the synthetic workload mimics.
-  data::WorkloadKind dataset = data::WorkloadKind::kPortoDidi;
+  /// Which workload to generate: a dataset pair plus a scenario
+  /// (baseline / surge / churn). --dataset selects the pair, keeping the
+  /// scenario; --workload selects both at once ("porto_surge").
+  data::WorkloadSpec workload;
   /// Workload seed; 0 = the dataset's calibrated default.
   uint64_t seed = 0;
   /// Assignment methods to run, in order. Empty = AllAssignMethods().
@@ -55,12 +57,16 @@ struct RunOptions {
 std::string RunFlagsHelp();
 
 /// Parses the shared command-line surface into `options` (which carries
-/// the caller's defaults): --dataset=porto|gowalla, --seed=N, --threads=N,
-/// --horizon=N, --candidates=indexed|dense, --forecast=batched|scalar,
-/// --methods=KM,PPI,..., --json-dir=DIR, --trace=PATH,
-/// --metrics=PATH, --help. Unknown flags and malformed values are
-/// InvalidArgument; --help is a kFailedPrecondition carrying RunFlagsHelp()
-/// so callers print-and-exit-0.
+/// the caller's defaults): --dataset=porto|gowalla,
+/// --workload=porto|porto_surge|gowalla_churn|..., --seed=N, --threads=N,
+/// --horizon=N, --candidates=indexed|dense|incremental,
+/// --forecast=batched|scalar, --engine=event|batch, --methods=KM,PPI,...,
+/// --json-dir=DIR, --trace=PATH, --metrics=PATH, --help. The mode flags
+/// parse through the typed enums (ParseCandidateMode, ParseForecastMode,
+/// ParseSimEngine, data::ParseWorkloadSpec) so flag strings and enum names
+/// cannot drift. Unknown flags and malformed values are InvalidArgument;
+/// --help is a kFailedPrecondition carrying RunFlagsHelp() so callers
+/// print-and-exit-0.
 Status ParseRunFlags(int argc, char** argv, RunOptions* options);
 
 /// Applies the process-wide parts of a validated RunOptions: sets the

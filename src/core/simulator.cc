@@ -14,10 +14,23 @@
 #include "common/obs/trace.h"
 #include "common/parallel.h"
 #include "common/stopwatch.h"
+#include "core/event_sim.h"
 #include "core/rollout.h"
 #include "geo/trajectory.h"
 
 namespace tamp::core {
+
+namespace {
+
+std::string LowerCopy(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return lower;
+}
+
+}  // namespace
 
 std::string_view AssignMethodName(AssignMethod method) {
   switch (method) {
@@ -60,6 +73,101 @@ StatusOr<AssignMethod> ParseAssignMethod(std::string_view name) {
                                  accepted + ")");
 }
 
+std::string_view CandidateModeName(CandidateMode mode) {
+  switch (mode) {
+    case CandidateMode::kDense:
+      return "dense";
+    case CandidateMode::kIndexed:
+      return "indexed";
+    case CandidateMode::kIncremental:
+      return "incremental";
+  }
+  return "?";
+}
+
+const std::vector<CandidateMode>& AllCandidateModes() {
+  static const std::vector<CandidateMode> kAll = {CandidateMode::kDense,
+                                                  CandidateMode::kIndexed,
+                                                  CandidateMode::kIncremental};
+  return kAll;
+}
+
+StatusOr<CandidateMode> ParseCandidateMode(std::string_view name) {
+  const std::string lower = LowerCopy(name);
+  for (CandidateMode mode : AllCandidateModes()) {
+    if (lower == CandidateModeName(mode)) return mode;
+  }
+  std::string accepted;
+  for (CandidateMode mode : AllCandidateModes()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += CandidateModeName(mode);
+  }
+  return Status::InvalidArgument("unknown candidate mode '" +
+                                 std::string(name) + "' (accepted: " +
+                                 accepted + ")");
+}
+
+std::string_view ForecastModeName(ForecastMode mode) {
+  switch (mode) {
+    case ForecastMode::kScalar:
+      return "scalar";
+    case ForecastMode::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
+const std::vector<ForecastMode>& AllForecastModes() {
+  static const std::vector<ForecastMode> kAll = {ForecastMode::kScalar,
+                                                 ForecastMode::kBatched};
+  return kAll;
+}
+
+StatusOr<ForecastMode> ParseForecastMode(std::string_view name) {
+  const std::string lower = LowerCopy(name);
+  for (ForecastMode mode : AllForecastModes()) {
+    if (lower == ForecastModeName(mode)) return mode;
+  }
+  std::string accepted;
+  for (ForecastMode mode : AllForecastModes()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += ForecastModeName(mode);
+  }
+  return Status::InvalidArgument("unknown forecast mode '" +
+                                 std::string(name) + "' (accepted: " +
+                                 accepted + ")");
+}
+
+std::string_view SimEngineName(SimEngine engine) {
+  switch (engine) {
+    case SimEngine::kEvent:
+      return "event";
+    case SimEngine::kBatchReplay:
+      return "batch";
+  }
+  return "?";
+}
+
+const std::vector<SimEngine>& AllSimEngines() {
+  static const std::vector<SimEngine> kAll = {SimEngine::kEvent,
+                                              SimEngine::kBatchReplay};
+  return kAll;
+}
+
+StatusOr<SimEngine> ParseSimEngine(std::string_view name) {
+  const std::string lower = LowerCopy(name);
+  for (SimEngine engine : AllSimEngines()) {
+    if (lower == SimEngineName(engine)) return engine;
+  }
+  std::string accepted;
+  for (SimEngine engine : AllSimEngines()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += SimEngineName(engine);
+  }
+  return Status::InvalidArgument("unknown sim engine '" + std::string(name) +
+                                 "' (accepted: " + accepted + ")");
+}
+
 size_t PurgeExpiredTasks(std::deque<assign::SpatialTask>& pool,
                          double now_min) {
   // One linear pass; the old restart-from-begin scan-erase loop was
@@ -69,23 +177,32 @@ size_t PurgeExpiredTasks(std::deque<assign::SpatialTask>& pool,
   });
 }
 
-BatchSimulator::BatchSimulator(const data::Workload& workload,
-                               const nn::EncoderDecoder& model,
-                               const SimulatorConfig& config,
-                               assign::AssignReuse* reuse)
+BatchAssignStep::BatchAssignStep(const data::Workload& workload,
+                                 const nn::EncoderDecoder& model,
+                                 const SimulatorConfig& config,
+                                 assign::AssignReuse* reuse)
     : workload_(workload),
       model_(model),
       config_(config),
       reuse_(reuse),
       batched_model_(model.config()) {
-  // use_incremental without a holder would silently run cold; make the
-  // contract explicit at construction instead of per batch.
-  TAMP_CHECK_MSG(!config_.use_incremental || reuse_ != nullptr,
-                 "use_incremental requires an AssignReuse holder");
+  // The observation window length matches the training seq_in: infer it
+  // from the first learning task if available.
+  if (!workload_.learning_tasks.empty() &&
+      !workload_.learning_tasks.front().support.empty()) {
+    observe_steps_ = static_cast<int>(
+        workload_.learning_tasks.front().support.front().input.size());
+  } else if (!workload_.learning_tasks.empty() &&
+             !workload_.learning_tasks.front().eval.empty()) {
+    observe_steps_ = static_cast<int>(
+        workload_.learning_tasks.front().eval.front().input.size());
+  }
 }
 
-SimMetrics BatchSimulator::Run(
-    AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
+BatchAssignStep::Outcome BatchAssignStep::Step(
+    AssignMethod method, const std::vector<WorkerPredictor>& predictors,
+    double now, const std::deque<assign::SpatialTask>& pool,
+    const std::vector<int>& available) {
   // Per-batch visibility (DESIGN.md §4e): batch counts, pool/candidate
   // depths, and the forecast vs assignment split of each batch's time.
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
@@ -102,6 +219,212 @@ SimMetrics BatchSimulator::Run(
   static obs::Histogram& assign_hist =
       registry.GetHistogram("sim.assign_s", obs::DurationEdgesSeconds());
 
+  TAMP_DCHECK(!pool.empty());
+  TAMP_DCHECK(!available.empty());
+  const auto& workers = workload_.workers;
+
+  obs::TraceSpan batch_span("sim.batch");
+  batches_counter.Increment();
+  pool_depth_hist.Record(static_cast<double>(pool.size()));
+  available_hist.Record(static_cast<double>(available.size()));
+
+  // Build the batch views. The autoregressive forecast dominates this
+  // block. Batched mode (the default) only collects each worker's recent
+  // observations here and then runs ONE fleet-wide SoA rollout below;
+  // scalar mode keeps the per-worker RolloutPredict chain inside the
+  // fan-out. Either way every write is slot-indexed, so the batch order
+  // (and thus the assignment input) is identical to the serial loop.
+  std::vector<assign::SpatialTask> batch_tasks(pool.begin(), pool.end());
+  std::vector<assign::CandidateWorker> batch_workers(available.size());
+  std::vector<geo::Trajectory> real_futures(available.size());
+  double horizon_min =
+      config_.prediction_horizon_steps * config_.sample_period_min;
+  const bool predicts = method == AssignMethod::kKm ||
+                        method == AssignMethod::kPpi ||
+                        method == AssignMethod::kGgpso;
+  const bool batched =
+      predicts && config_.forecast_mode == ForecastMode::kBatched;
+  if (batched) {
+    forecast_params_.resize(available.size());
+    forecast_recents_.resize(available.size());
+  }
+  Stopwatch forecast_watch;
+  std::optional<obs::TraceSpan> forecast_span(std::in_place, "sim.forecast");
+  ParallelFor(available.size(), [&](size_t a) {
+    const size_t wi = static_cast<size_t>(available[a]);
+    const data::WorkerRecord& record = workers[wi];
+    assign::CandidateWorker cw;
+    cw.id = record.id;
+    cw.current_location = record.test.PositionAt(now);
+    cw.detour_budget_km = record.detour_budget_km;
+    cw.speed_kmpm = record.speed_kmpm;
+    cw.matching_rate = predictors[wi].matching_rate;
+    if (predicts) {
+      TAMP_CHECK(predictors[wi].params != nullptr);
+      // Recent observed positions (platform-visible location reports).
+      // In batched mode they land in the persistent per-slot buffer.
+      std::vector<geo::Point> local_recent;
+      std::vector<geo::Point>& recent =
+          batched ? forecast_recents_[a] : local_recent;
+      recent.clear();
+      for (int s = observe_steps_ - 1; s >= 0; --s) {
+        recent.push_back(
+            record.test.PositionAt(now - s * config_.sample_period_min));
+      }
+      if (batched) {
+        forecast_params_[a] = predictors[wi].params;
+      } else {
+        cw.predicted = RolloutPredict(model_, *predictors[wi].params, recent,
+                                      workload_.grid,
+                                      config_.prediction_horizon_steps, now,
+                                      config_.sample_period_min);
+      }
+    }
+    batch_workers[a] = std::move(cw);
+    // The oracle's and the acceptance test's view of reality.
+    real_futures[a] = record.test.Slice(now, now + horizon_min);
+  });
+  if (batched) {
+    // The fleet-level forecast call: one batched rollout replaces the
+    // per-worker scalar chains, reusing the engine scratch across batches.
+    RolloutPredictBatch(batched_model_, forecast_params_, forecast_recents_,
+                        workload_.grid, config_.prediction_horizon_steps, now,
+                        config_.sample_period_min, forecast_scratch_,
+                        &forecast_out_);
+    for (size_t a = 0; a < available.size(); ++a) {
+      batch_workers[a].predicted = std::move(forecast_out_[a]);
+    }
+  }
+  forecast_span.reset();
+  forecast_hist.Record(forecast_watch.ElapsedSeconds());
+
+  // Run the assignment algorithm (timed: this is the reported runtime).
+  Stopwatch watch;
+  std::optional<obs::TraceSpan> assign_span(std::in_place, "sim.assign");
+  assign::AssignmentPlan plan;
+  const bool use_index = config_.candidate_mode != CandidateMode::kDense;
+  assign::AssignReuse* reuse =
+      config_.candidate_mode == CandidateMode::kIncremental ? reuse_ : nullptr;
+  switch (method) {
+    case AssignMethod::kUpperBound:
+      plan = assign::UpperBoundAssign(batch_tasks, batch_workers, real_futures,
+                                      now);
+      break;
+    case AssignMethod::kLowerBound:
+      plan = assign::LowerBoundAssign(batch_tasks, batch_workers, now);
+      break;
+    case AssignMethod::kKm:
+      plan = assign::KmAssign(batch_tasks, batch_workers, now,
+                              config_.match_radius_km,
+                              /*weight_floor_km=*/1e-3, use_index, reuse);
+      break;
+    case AssignMethod::kPpi: {
+      assign::PpiConfig ppi = config_.ppi;
+      ppi.match_radius_km = config_.match_radius_km;
+      ppi.use_spatial_index = use_index;
+      plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi, reuse);
+      break;
+    }
+    case AssignMethod::kGgpso: {
+      assign::GgpsoConfig ggpso = config_.ggpso;
+      ggpso.match_radius_km = config_.match_radius_km;
+      ggpso.use_spatial_index = use_index;
+      plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso,
+                                 reuse);
+      break;
+    }
+  }
+  assign_span.reset();
+
+  Outcome outcome;
+  outcome.assignments = static_cast<int>(plan.pairs.size());
+  outcome.assign_seconds = watch.ElapsedSeconds();
+  assign_hist.Record(outcome.assign_seconds);
+
+  // Worker decisions against reality (step 3 of the framework): accept
+  // iff the real detour fits w.d and the deadline is met.
+  for (const assign::AssignmentPair& pair : plan.pairs) {
+    const assign::SpatialTask& task =
+        batch_tasks[static_cast<size_t>(pair.task_index)];
+    int w = available[static_cast<size_t>(pair.worker_index)];
+    const data::WorkerRecord& record = workers[static_cast<size_t>(w)];
+    auto visit = geo::PlanTaskVisit(
+        real_futures[static_cast<size_t>(pair.worker_index)], task.location,
+        record.speed_kmpm, task.deadline_min);
+    bool accepts =
+        visit.has_value() && visit->detour_km <= record.detour_budget_km;
+    if (!accepts) {
+      // Rejected: the task stays pooled and carries over to the next
+      // batch (Section IV-B). With remember_declines the platform also
+      // avoids re-proposing this exact pair.
+      if (config_.remember_declines) {
+        outcome.declined.emplace_back(task.id, record.id);
+      }
+      continue;
+    }
+    Accepted accepted;
+    accepted.worker = w;
+    accepted.task_id = task.id;
+    accepted.detour_km = visit->detour_km;
+    accepted.busy_until_min =
+        config_.busy_until_arrival
+            ? visit->arrival_time_min + config_.service_time_min
+            : now + config_.service_time_min;
+    outcome.accepted.push_back(accepted);
+  }
+  assignments_counter.Increment(static_cast<int64_t>(plan.pairs.size()));
+  accepted_counter.Increment(static_cast<int64_t>(outcome.accepted.size()));
+  return outcome;
+}
+
+BatchSimulator::BatchSimulator(const data::Workload& workload,
+                               const nn::EncoderDecoder& model,
+                               const SimulatorConfig& config,
+                               assign::AssignReuse* reuse)
+    : workload_(workload),
+      model_(model),
+      config_(config),
+      reuse_(reuse),
+      step_(workload_, model_, config_, reuse_) {
+  // kIncremental without a holder would silently run cold; make the
+  // contract explicit at construction instead of per batch.
+  TAMP_CHECK_MSG(
+      config_.candidate_mode != CandidateMode::kIncremental || reuse_ != nullptr,
+      "CandidateMode::kIncremental requires an AssignReuse holder");
+}
+
+SimMetrics BatchSimulator::Run(
+    AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
+  if (config_.engine == SimEngine::kBatchReplay) {
+    return RunBatchReplay(method, predictors);
+  }
+  obs::TraceSpan run_span("sim.run");
+  const auto& workers = workload_.workers;
+  TAMP_CHECK(predictors.size() == workers.size());
+  SimMetrics metrics;
+  metrics.total_tasks = static_cast<int>(workload_.task_stream.size());
+  if (workers.empty() || workload_.task_stream.empty()) return metrics;
+
+  // The thin-client contract (DESIGN.md §4j): the batch cadence lives
+  // HERE — one assignment-trigger event per batch window, with the exact
+  // same floating-point accumulation the legacy loop used — and the event
+  // core handles everything else (arrivals, expiries, sessions,
+  // completions).
+  double horizon_start = workload_.task_stream.front().release_time_min;
+  double horizon_end = 0.0;
+  for (const auto& task : workload_.task_stream) {
+    horizon_end = std::max(horizon_end, task.deadline_min);
+  }
+  EventSimulator sim(workload_, config_, step_);
+  for (double now = horizon_start; now <= horizon_end;
+       now += config_.batch_window_min) {
+    sim.ScheduleAssignTrigger(now);
+  }
+  return sim.Run(method, predictors);
+}
+
+SimMetrics BatchSimulator::RunBatchReplay(
+    AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
   obs::TraceSpan run_span("sim.run");
   const auto& workers = workload_.workers;
   TAMP_CHECK(predictors.size() == workers.size());
@@ -119,19 +442,6 @@ SimMetrics BatchSimulator::Run(
   std::vector<double> busy_until(workers.size(), 0.0);
   std::deque<assign::SpatialTask> pool;  // Pending (released, unexpired).
   size_t next_release = 0;
-
-  // The observation window length matches the training seq_in: infer it
-  // from the first learning task if available.
-  int observe_steps = 5;
-  if (!workload_.learning_tasks.empty() &&
-      !workload_.learning_tasks.front().support.empty()) {
-    observe_steps = static_cast<int>(
-        workload_.learning_tasks.front().support.front().input.size());
-  } else if (!workload_.learning_tasks.empty() &&
-             !workload_.learning_tasks.front().eval.empty()) {
-    observe_steps = static_cast<int>(
-        workload_.learning_tasks.front().eval.front().input.size());
-  }
 
   for (double now = horizon_start; now <= horizon_end;
        now += config_.batch_window_min) {
@@ -153,176 +463,33 @@ SimMetrics BatchSimulator::Run(
           now > workers[w].test.end_time()) {
         continue;
       }
-      // Part-time workers only take tasks inside their online window.
-      if (now < workers[w].online_start_min ||
-          now > workers[w].online_end_min) {
-        continue;
-      }
+      // Part-time workers only take tasks inside a login session.
+      if (!workers[w].AvailableAt(now)) continue;
       available.push_back(static_cast<int>(w));
     }
     if (available.empty()) continue;
 
-    obs::TraceSpan batch_span("sim.batch");
-    batches_counter.Increment();
-    pool_depth_hist.Record(static_cast<double>(pool.size()));
-    available_hist.Record(static_cast<double>(available.size()));
-
-    // Build the batch views. The autoregressive forecast dominates this
-    // block. Batched mode (the default) only collects each worker's recent
-    // observations here and then runs ONE fleet-wide SoA rollout below;
-    // scalar mode keeps the per-worker RolloutPredict chain inside the
-    // fan-out. Either way every write is slot-indexed, so the batch order
-    // (and thus the assignment input) is identical to the serial loop.
-    std::vector<assign::SpatialTask> batch_tasks(pool.begin(), pool.end());
-    std::vector<assign::CandidateWorker> batch_workers(available.size());
-    std::vector<geo::Trajectory> real_futures(available.size());
-    double horizon_min =
-        config_.prediction_horizon_steps * config_.sample_period_min;
-    const bool predicts = method == AssignMethod::kKm ||
-                          method == AssignMethod::kPpi ||
-                          method == AssignMethod::kGgpso;
-    const bool batched = predicts && config_.use_batched_forecast;
-    if (batched) {
-      forecast_params_.resize(available.size());
-      forecast_recents_.resize(available.size());
-    }
-    Stopwatch forecast_watch;
-    std::optional<obs::TraceSpan> forecast_span(std::in_place,
-                                                "sim.forecast");
-    ParallelFor(available.size(), [&](size_t a) {
-      const size_t wi = static_cast<size_t>(available[a]);
-      const data::WorkerRecord& record = workers[wi];
-      assign::CandidateWorker cw;
-      cw.id = record.id;
-      cw.current_location = record.test.PositionAt(now);
-      cw.detour_budget_km = record.detour_budget_km;
-      cw.speed_kmpm = record.speed_kmpm;
-      cw.matching_rate = predictors[wi].matching_rate;
-      if (predicts) {
-        TAMP_CHECK(predictors[wi].params != nullptr);
-        // Recent observed positions (platform-visible location reports).
-        // In batched mode they land in the persistent per-slot buffer.
-        std::vector<geo::Point> local_recent;
-        std::vector<geo::Point>& recent =
-            batched ? forecast_recents_[a] : local_recent;
-        recent.clear();
-        for (int s = observe_steps - 1; s >= 0; --s) {
-          recent.push_back(
-              record.test.PositionAt(now - s * config_.sample_period_min));
-        }
-        if (batched) {
-          forecast_params_[a] = predictors[wi].params;
-        } else {
-          cw.predicted = RolloutPredict(model_, *predictors[wi].params,
-                                        recent, workload_.grid,
-                                        config_.prediction_horizon_steps,
-                                        now, config_.sample_period_min);
+    BatchAssignStep::Outcome outcome =
+        step_.Step(method, predictors, now, pool, available);
+    metrics.assignments += outcome.assignments;
+    metrics.assign_seconds += outcome.assign_seconds;
+    for (const auto& [task_id, worker_id] : outcome.declined) {
+      for (auto& pooled : pool) {
+        if (pooled.id == task_id) {
+          pooled.declined_worker_ids.push_back(worker_id);
+          break;
         }
       }
-      batch_workers[a] = std::move(cw);
-      // The oracle's and the acceptance test's view of reality.
-      real_futures[a] = record.test.Slice(now, now + horizon_min);
-    });
-    if (batched) {
-      // The fleet-level forecast call: one batched rollout replaces the
-      // per-worker scalar chains, reusing the engine scratch across
-      // batches.
-      RolloutPredictBatch(batched_model_, forecast_params_,
-                          forecast_recents_, workload_.grid,
-                          config_.prediction_horizon_steps, now,
-                          config_.sample_period_min, forecast_scratch_,
-                          &forecast_out_);
-      for (size_t a = 0; a < available.size(); ++a) {
-        batch_workers[a].predicted = std::move(forecast_out_[a]);
-      }
     }
-    forecast_span.reset();
-    forecast_hist.Record(forecast_watch.ElapsedSeconds());
-
-    // Run the assignment algorithm (timed: this is the reported runtime).
-    Stopwatch watch;
-    std::optional<obs::TraceSpan> assign_span(std::in_place, "sim.assign");
-    assign::AssignmentPlan plan;
-    assign::AssignReuse* reuse = config_.use_incremental ? reuse_ : nullptr;
-    switch (method) {
-      case AssignMethod::kUpperBound:
-        plan = assign::UpperBoundAssign(batch_tasks, batch_workers,
-                                        real_futures, now);
-        break;
-      case AssignMethod::kLowerBound:
-        plan = assign::LowerBoundAssign(batch_tasks, batch_workers, now);
-        break;
-      case AssignMethod::kKm:
-        plan = assign::KmAssign(batch_tasks, batch_workers, now,
-                                config_.match_radius_km,
-                                /*weight_floor_km=*/1e-3,
-                                config_.use_spatial_index, reuse);
-        break;
-      case AssignMethod::kPpi: {
-        assign::PpiConfig ppi = config_.ppi;
-        ppi.match_radius_km = config_.match_radius_km;
-        ppi.use_spatial_index = config_.use_spatial_index;
-        plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi, reuse);
-        break;
-      }
-      case AssignMethod::kGgpso: {
-        assign::GgpsoConfig ggpso = config_.ggpso;
-        ggpso.match_radius_km = config_.match_radius_km;
-        ggpso.use_spatial_index = config_.use_spatial_index;
-        plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso,
-                                   reuse);
-        break;
-      }
-    }
-    assign_span.reset();
-    const double assign_elapsed = watch.ElapsedSeconds();
-    metrics.assign_seconds += assign_elapsed;
-    assign_hist.Record(assign_elapsed);
-
-    // Worker decisions against reality (step 3 of the framework): accept
-    // iff the real detour fits w.d and the deadline is met.
-    std::vector<int> accepted_task_ids;
-    for (const assign::AssignmentPair& pair : plan.pairs) {
-      ++metrics.assignments;
-      const assign::SpatialTask& task =
-          batch_tasks[static_cast<size_t>(pair.task_index)];
-      int w = available[static_cast<size_t>(pair.worker_index)];
-      const data::WorkerRecord& record = workers[static_cast<size_t>(w)];
-      auto visit =
-          geo::PlanTaskVisit(real_futures[static_cast<size_t>(pair.worker_index)],
-                             task.location, record.speed_kmpm,
-                             task.deadline_min);
-      bool accepts = visit.has_value() &&
-                     visit->detour_km <= record.detour_budget_km;
-      if (!accepts) {
-        // Rejected: the task stays pooled and carries over to the next
-        // batch (Section IV-B). With remember_declines the platform also
-        // avoids re-proposing this exact pair.
-        if (config_.remember_declines) {
-          for (auto& pooled : pool) {
-            if (pooled.id == task.id) {
-              pooled.declined_worker_ids.push_back(record.id);
-              break;
-            }
-          }
-        }
-        continue;
-      }
+    for (const BatchAssignStep::Accepted& accepted : outcome.accepted) {
       ++metrics.accepted;
       ++metrics.completed;
-      metrics.total_cost_km += visit->detour_km;
-      busy_until[static_cast<size_t>(w)] = config_.busy_until_arrival
-                          ? visit->arrival_time_min + config_.service_time_min
-                          : now + config_.service_time_min;
-      accepted_task_ids.push_back(task.id);
-    }
-    assignments_counter.Increment(static_cast<int64_t>(plan.pairs.size()));
-    accepted_counter.Increment(
-        static_cast<int64_t>(accepted_task_ids.size()));
-    // Remove accepted tasks from the pool.
-    for (int id : accepted_task_ids) {
+      metrics.total_cost_km += accepted.detour_km;
+      busy_until[static_cast<size_t>(accepted.worker)] =
+          accepted.busy_until_min;
+      // Remove the accepted task from the pool.
       for (auto it = pool.begin(); it != pool.end(); ++it) {
-        if (it->id == id) {
+        if (it->id == accepted.task_id) {
           pool.erase(it);
           break;
         }

@@ -42,6 +42,65 @@ StatusOr<AssignMethod> ParseAssignMethod(std::string_view name);
 /// figures (UB, LB, KM, PPI, GGPSO).
 const std::vector<AssignMethod>& AllAssignMethods();
 
+/// How assigners generate (task, worker) candidate pairs. The single
+/// source of truth behind the --candidates flag: ParseRunFlags parses the
+/// flag with ParseCandidateMode and stores the enum here, and every mode's
+/// plans are bit-identical (DESIGN.md §4f/§4h).
+enum class CandidateMode {
+  kDense,        // The dense T x W sweep (parity reference).
+  kIndexed,      // Per-batch spatial-index pruning (default).
+  kIncremental,  // Batch-to-batch delta index + row cache + warm KM.
+};
+
+/// Canonical flag value ("dense", "indexed", "incremental"); static
+/// storage, round-trips through ParseCandidateMode.
+std::string_view CandidateModeName(CandidateMode mode);
+
+/// Inverse of CandidateModeName (case-insensitive); InvalidArgument for
+/// anything else, listing the accepted names.
+StatusOr<CandidateMode> ParseCandidateMode(std::string_view name);
+
+/// Every CandidateMode, in flag-help order (dense, indexed, incremental).
+const std::vector<CandidateMode>& AllCandidateModes();
+
+/// How per-worker forecasts are computed. The single source of truth
+/// behind the --forecast flag; predictions are bit-identical either way
+/// (DESIGN.md §4i).
+enum class ForecastMode {
+  kScalar,   // One scalar LstmCell chain per worker (parity reference).
+  kBatched,  // Fleet-wide SoA engine, fused gate kernels (default).
+};
+
+/// Canonical flag value ("scalar", "batched"); static storage, round-trips
+/// through ParseForecastMode.
+std::string_view ForecastModeName(ForecastMode mode);
+
+/// Inverse of ForecastModeName (case-insensitive); InvalidArgument for
+/// anything else, listing the accepted names.
+StatusOr<ForecastMode> ParseForecastMode(std::string_view name);
+
+/// Every ForecastMode, in flag-help order (scalar, batched).
+const std::vector<ForecastMode>& AllForecastModes();
+
+/// Which simulation engine replays the horizon. Both produce bit-identical
+/// SimMetrics on batch-replay workloads (the parity ctest); only the event
+/// engine supports mid-task dropout and reports events/second.
+enum class SimEngine {
+  kEvent,        // Event-queue core (default; DESIGN.md §4j).
+  kBatchReplay,  // The legacy batch-synchronous loop (parity reference).
+};
+
+/// Canonical flag value ("event", "batch"); static storage, round-trips
+/// through ParseSimEngine.
+std::string_view SimEngineName(SimEngine engine);
+
+/// Inverse of SimEngineName (case-insensitive); InvalidArgument for
+/// anything else, listing the accepted names.
+StatusOr<SimEngine> ParseSimEngine(std::string_view name);
+
+/// Every SimEngine, in flag-help order (event, batch).
+const std::vector<SimEngine>& AllSimEngines();
+
 /// Batch-based online-stage settings (Table III: 2-minute windows, 10-min
 /// time units).
 struct SimulatorConfig {
@@ -66,26 +125,35 @@ struct SimulatorConfig {
   /// the ablation bench); when false — the paper's behaviour — a rejected
   /// task simply returns to the pool and may be re-proposed to anyone.
   bool remember_declines = false;
-  /// Forwarded to every assigner that generates candidates (PPI, KM,
-  /// GGPSO): prune candidate pairs through the per-batch spatial index
-  /// (default) or run the dense T x W sweep. Plans — and therefore every
-  /// simulator metric — are bit-identical either way.
-  bool use_spatial_index = true;
-  /// Batch-to-batch reuse (--candidates=incremental): candidate tables come
-  /// from the pipeline-owned IncrementalCandidateEngine (delta-updated
-  /// index + cached EvaluateCandidate rows) and KM solves warm-start from
-  /// the previous batch. Requires an AssignReuse holder to be passed to the
-  /// BatchSimulator; plans stay bit-identical to the cold paths.
-  bool use_incremental = false;
-  /// Forecast path (--forecast=batched|scalar): batch every available
-  /// worker's autoregressive rollout through the fleet-wide SoA
-  /// nn::BatchedSeq2Seq engine (fused gate kernels, persistent scratch
-  /// across batches) instead of one scalar LstmCell chain per worker.
-  /// Predictions — and therefore plans and every simulator metric — are
-  /// bit-identical either way; the scalar path is the parity reference.
-  bool use_batched_forecast = true;
+  /// Candidate generation (--candidates): dense sweep, per-batch spatial
+  /// index (default), or batch-to-batch incremental reuse. Plans — and
+  /// therefore every simulator metric — are bit-identical across modes;
+  /// kIncremental requires an AssignReuse holder at construction.
+  CandidateMode candidate_mode = CandidateMode::kIndexed;
+  /// Forecast path (--forecast): the fleet-wide SoA engine (default) or
+  /// the per-worker scalar rollout; bit-identical either way.
+  ForecastMode forecast_mode = ForecastMode::kBatched;
+  /// Simulation engine (--engine): the event-queue core (default) or the
+  /// legacy batch-synchronous loop kept as the parity reference.
+  SimEngine engine = SimEngine::kEvent;
   assign::PpiConfig ppi;
   assign::GgpsoConfig ggpso;
+
+  // -- Deprecated boolean mode switches (one release of compatibility). --
+  // The three independent bools only loosely mirrored --candidates /
+  // --forecast; the typed enums above are now the single source of truth.
+  [[deprecated("set candidate_mode = CandidateMode::{kIndexed,kDense}")]]
+  void set_use_spatial_index(bool on) {
+    candidate_mode = on ? CandidateMode::kIndexed : CandidateMode::kDense;
+  }
+  [[deprecated("set candidate_mode = CandidateMode::kIncremental")]]
+  void set_use_incremental(bool on) {
+    candidate_mode = on ? CandidateMode::kIncremental : CandidateMode::kIndexed;
+  }
+  [[deprecated("set forecast_mode = ForecastMode::{kBatched,kScalar}")]]
+  void set_use_batched_forecast(bool on) {
+    forecast_mode = on ? ForecastMode::kBatched : ForecastMode::kScalar;
+  }
 };
 
 /// Removes every task whose deadline has passed (deadline <= now) from the
@@ -99,9 +167,12 @@ struct SimMetrics {
   int total_tasks = 0;        // Tasks released over the horizon.
   int assignments = 0;        // |M| accumulated over batches.
   int accepted = 0;           // |M'|: assignments workers accepted.
-  int completed = 0;          // Tasks completed (== accepted, kept for
-                              // clarity: acceptance implies completion).
-  double total_cost_km = 0.0; // Sum of real detours of accepted tasks.
+  int completed = 0;          // Tasks completed. Equal to `accepted` minus
+                              // `dropouts` (batch-replay workloads have no
+                              // dropout, so there accepted == completed).
+  int dropouts = 0;           // Accepted tasks aborted mid-service (churn
+                              // scenarios under the event engine).
+  double total_cost_km = 0.0; // Sum of real detours of completed tasks.
   double assign_seconds = 0.0;// Pure assignment-algorithm running time.
 
   double CompletionRatio() const {
@@ -114,7 +185,7 @@ struct SimMetrics {
                : static_cast<double>(assignments - accepted) / assignments;
   }
   double AvgCostKm() const {
-    return accepted == 0 ? 0.0 : total_cost_km / accepted;
+    return completed == 0 ? 0.0 : total_cost_km / completed;
   }
 };
 
@@ -125,17 +196,85 @@ struct WorkerPredictor {
   double matching_rate = 0.0;
 };
 
-/// The online stage: replays the test-horizon task stream in 2-minute
-/// batches. Each batch the platform forecasts available workers' routines,
-/// runs the chosen assignment algorithm, and every assigned worker then
-/// accepts or rejects against their *real* trajectory (detour <= w.d and
-/// arrival before the deadline). Rejected tasks return to the pool until
-/// they expire; accepted workers are busy until they reach the task.
+/// The per-batch machinery both engines share: given the pending pool and
+/// the available worker indices at one instant, forecast the fleet's
+/// routines, run the chosen assignment algorithm, and simulate the
+/// workers' accept/reject decisions against their real trajectories.
+/// Owning it once per run keeps the fleet forecast scratch warm across
+/// batches; because both engines call the exact same code with the exact
+/// same inputs, event-driven metrics are bit-identical to batch-replay by
+/// construction (the parity ctest pins the remaining state-machine
+/// translation).
+class BatchAssignStep {
+ public:
+  BatchAssignStep(const data::Workload& workload,
+                  const nn::EncoderDecoder& model,
+                  const SimulatorConfig& config,
+                  assign::AssignReuse* reuse);
+
+  /// One accepted assignment: the workload worker index, the task, the
+  /// real detour, and when the worker's service ends.
+  struct Accepted {
+    int worker = -1;           // Index into workload.workers.
+    int task_id = -1;
+    double detour_km = 0.0;
+    double busy_until_min = 0.0;
+  };
+
+  /// Everything one batch decided, in plan order. The engine applies it to
+  /// its own state (metrics, busy/pool bookkeeping, decline memory).
+  struct Outcome {
+    int assignments = 0;       // |M| this batch proposed.
+    std::vector<Accepted> accepted;
+    /// (task_id, worker_id) pairs the workers declined, recorded only
+    /// when config.remember_declines.
+    std::vector<std::pair<int, int>> declined;
+    double assign_seconds = 0.0;  // Assignment-algorithm time this batch.
+  };
+
+  /// Runs one batch at `now` over the pending pool and the available
+  /// workload-worker indices (ascending). Also records the per-batch
+  /// observability (batch count, pool/fleet depths, forecast/assign
+  /// timings).
+  Outcome Step(AssignMethod method,
+               const std::vector<WorkerPredictor>& predictors, double now,
+               const std::deque<assign::SpatialTask>& pool,
+               const std::vector<int>& available);
+
+ private:
+  const data::Workload& workload_;
+  const nn::EncoderDecoder& model_;
+  const SimulatorConfig& config_;
+  assign::AssignReuse* reuse_ = nullptr;  // Not owned; may be null.
+  /// Observation window length (matches the training seq_in).
+  int observe_steps_ = 5;
+  /// Fleet-batched forecast engine + its cross-batch scratch (SoA windows,
+  /// tile plan, gate matrices); only touched when forecast_mode==kBatched.
+  nn::BatchedSeq2Seq batched_model_;
+  FleetForecastScratch forecast_scratch_;
+  std::vector<const std::vector<double>*> forecast_params_;
+  std::vector<std::vector<geo::Point>> forecast_recents_;
+  std::vector<std::vector<geo::TimedPoint>> forecast_out_;
+};
+
+/// The online stage: replays the test-horizon task stream with assignment
+/// fired every 2 minutes. Each batch the platform forecasts available
+/// workers' routines, runs the chosen assignment algorithm, and every
+/// assigned worker then accepts or rejects against their *real* trajectory
+/// (detour <= w.d and arrival before the deadline). Rejected tasks return
+/// to the pool until they expire; accepted workers are busy until they
+/// reach the task.
+///
+/// Run() is a thin client of the event-queue core (DESIGN.md §4j): it
+/// enqueues one assignment-trigger event per batch window and lets the
+/// EventSimulator drain the queue. config.engine == kBatchReplay instead
+/// runs the legacy batch-synchronous loop, kept as the bitwise parity
+/// reference.
 class BatchSimulator {
  public:
   /// `reuse` (optional) is the cross-batch reuse holder consumed when
-  /// config.use_incremental is set; it may outlive the simulator (the
-  /// pipeline keeps one across runs so later runs revisiting the same
+  /// config.candidate_mode == kIncremental; it may outlive the simulator
+  /// (the pipeline keeps one across runs so later runs revisiting the same
   /// batch instants hit its row cache).
   BatchSimulator(const data::Workload& workload,
                  const nn::EncoderDecoder& model,
@@ -149,17 +288,15 @@ class BatchSimulator {
                  const std::vector<WorkerPredictor>& predictors);
 
  private:
+  /// The legacy batch-synchronous loop (the parity reference).
+  SimMetrics RunBatchReplay(AssignMethod method,
+                            const std::vector<WorkerPredictor>& predictors);
+
   const data::Workload& workload_;
   const nn::EncoderDecoder& model_;
   SimulatorConfig config_;
   assign::AssignReuse* reuse_ = nullptr;  // Not owned; may be null.
-  /// Fleet-batched forecast engine + its cross-batch scratch (SoA windows,
-  /// tile plan, gate matrices); only touched when use_batched_forecast.
-  nn::BatchedSeq2Seq batched_model_;
-  FleetForecastScratch forecast_scratch_;
-  std::vector<const std::vector<double>*> forecast_params_;
-  std::vector<std::vector<geo::Point>> forecast_recents_;
-  std::vector<std::vector<geo::TimedPoint>> forecast_out_;
+  BatchAssignStep step_;
 };
 
 }  // namespace tamp::core

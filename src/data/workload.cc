@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <iterator>
 #include <string>
 
 #include "common/check.h"
@@ -32,6 +33,89 @@ StatusOr<WorkloadKind> ParseWorkloadKind(std::string_view name) {
   }
   return Status::InvalidArgument("unknown dataset '" + std::string(name) +
                                  "' (accepted: porto, gowalla)");
+}
+
+const std::vector<WorkloadKind>& AllWorkloadKinds() {
+  static const std::vector<WorkloadKind> kAll = {
+      WorkloadKind::kPortoDidi, WorkloadKind::kGowallaFoursquare};
+  return kAll;
+}
+
+std::string_view WorkloadScenarioName(WorkloadScenario scenario) {
+  switch (scenario) {
+    case WorkloadScenario::kBaseline:
+      return "baseline";
+    case WorkloadScenario::kSurge:
+      return "surge";
+    case WorkloadScenario::kChurn:
+      return "churn";
+  }
+  return "?";
+}
+
+StatusOr<WorkloadScenario> ParseWorkloadScenario(std::string_view name) {
+  std::string lower(name);
+  for (char& c : lower) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (WorkloadScenario scenario : AllWorkloadScenarios()) {
+    if (lower == WorkloadScenarioName(scenario)) return scenario;
+  }
+  return Status::InvalidArgument("unknown scenario '" + std::string(name) +
+                                 "' (accepted: baseline, surge, churn)");
+}
+
+const std::vector<WorkloadScenario>& AllWorkloadScenarios() {
+  static const std::vector<WorkloadScenario> kAll = {
+      WorkloadScenario::kBaseline, WorkloadScenario::kSurge,
+      WorkloadScenario::kChurn};
+  return kAll;
+}
+
+std::string WorkloadSpecName(const WorkloadSpec& spec) {
+  std::string name(WorkloadKindName(spec.kind));
+  if (spec.scenario != WorkloadScenario::kBaseline) {
+    name += '_';
+    name += WorkloadScenarioName(spec.scenario);
+  }
+  return name;
+}
+
+StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view name) {
+  // "<dataset>" (baseline) or "<dataset>_<scenario>". The dataset part may
+  // itself contain an underscore (the long forms), so try the full string
+  // as a dataset first, then split at every '_'.
+  StatusOr<WorkloadKind> bare = ParseWorkloadKind(name);
+  if (bare.ok()) return WorkloadSpec{*bare, WorkloadScenario::kBaseline};
+  for (size_t sep = name.find('_'); sep != std::string_view::npos;
+       sep = name.find('_', sep + 1)) {
+    StatusOr<WorkloadKind> kind = ParseWorkloadKind(name.substr(0, sep));
+    if (!kind.ok()) continue;
+    StatusOr<WorkloadScenario> scenario =
+        ParseWorkloadScenario(name.substr(sep + 1));
+    if (!scenario.ok()) continue;
+    return WorkloadSpec{*kind, *scenario};
+  }
+  std::string accepted;
+  for (const WorkloadSpec& spec : AllWorkloadSpecs()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += WorkloadSpecName(spec);
+  }
+  return Status::InvalidArgument("unknown workload '" + std::string(name) +
+                                 "' (accepted: " + accepted + ")");
+}
+
+const std::vector<WorkloadSpec>& AllWorkloadSpecs() {
+  static const std::vector<WorkloadSpec> kAll = [] {
+    std::vector<WorkloadSpec> specs;
+    for (WorkloadKind kind : AllWorkloadKinds()) {
+      for (WorkloadScenario scenario : AllWorkloadScenarios()) {
+        specs.push_back({kind, scenario});
+      }
+    }
+    return specs;
+  }();
+  return kAll;
 }
 
 namespace {
@@ -126,6 +210,85 @@ std::vector<TaskHotspot> MakeHotspots(
     }
   }
   return hotspots;
+}
+
+/// kChurn: re-draws each worker's availability as `sessions` disjoint
+/// login/logout sessions with the same total online time as the baseline
+/// window, spread across the worker's test horizon, and arms the dropout
+/// model. Draws only from `rng` (the scenario stream), never the baseline
+/// stream.
+void ApplyChurnScenario(Workload& workload, const WorkloadConfig& config,
+                        Rng& rng) {
+  const int sessions = std::max(1, config.churn.sessions);
+  for (WorkerRecord& record : workload.workers) {
+    double horizon_start = record.test.start_time();
+    double horizon_end = record.test.end_time();
+    double span = horizon_end - horizon_start;
+    double online_span =
+        std::clamp(config.online_fraction, 0.0, 1.0) * span;
+    double session_len = online_span / sessions;
+    double slot_len = span / sessions;
+    record.availability.clear();
+    for (int s = 0; s < sessions; ++s) {
+      // One session per equal slot keeps sessions sorted and disjoint by
+      // construction (session_len <= slot_len since online_fraction <= 1).
+      double slot_start = horizon_start + s * slot_len;
+      double latest = slot_start + std::max(0.0, slot_len - session_len);
+      double start = rng.Uniform(slot_start, std::max(slot_start, latest));
+      record.availability.push_back({start, start + session_len});
+    }
+    record.online_start_min = record.availability.front().start_min;
+    record.online_end_min = record.availability.back().end_min;
+  }
+  workload.dropout.prob = config.churn.dropout_prob;
+  workload.dropout.seed = config.seed ^ 0xD120F0ADull;
+}
+
+/// kSurge: appends a burst of extra tasks inside a short window of the
+/// stream horizon, drawn tightly around the densest hotspot (a festival
+/// crowd), then re-sorts and re-ids the merged stream.
+void ApplySurgeScenario(Workload& workload, const WorkloadConfig& config,
+                        Rng& rng) {
+  if (workload.hotspots.empty()) return;
+  int extra = static_cast<int>(config.surge.extra_task_factor *
+                               config.num_tasks);
+  if (extra <= 0) return;
+  const TaskHotspot* densest = &workload.hotspots.front();
+  for (const TaskHotspot& h : workload.hotspots) {
+    if (h.weight > densest->weight) densest = &h;
+  }
+  double test_day_offset = 1440.0 * config.num_train_days;
+  double horizon_start = test_day_offset + config.day.day_start_min;
+  double horizon_end = test_day_offset +
+                       1440.0 * (config.num_test_days - 1) +
+                       config.day.day_end_min;
+  double span = horizon_end - horizon_start;
+  TaskStreamConfig burst;
+  burst.num_tasks = extra;
+  burst.horizon_start_min =
+      horizon_start + config.surge.start_fraction * span;
+  burst.horizon_end_min =
+      burst.horizon_start_min + config.surge.duration_fraction * span;
+  burst.valid_lo_units = config.task_valid_lo_units;
+  burst.valid_hi_units = config.task_valid_hi_units;
+  burst.time_unit_min = config.time_unit_min;
+  burst.rush_amplitude = 0.0;  // The burst window IS the peak.
+  std::vector<TaskHotspot> festival = {
+      {densest->center, config.surge.hotspot_spread_km, 1.0}};
+  std::vector<assign::SpatialTask> surge_tasks =
+      GenerateTaskStream(burst, festival, workload.grid, rng);
+  std::vector<assign::SpatialTask> merged;
+  merged.reserve(workload.task_stream.size() + surge_tasks.size());
+  std::merge(workload.task_stream.begin(), workload.task_stream.end(),
+             surge_tasks.begin(), surge_tasks.end(),
+             std::back_inserter(merged),
+             [](const assign::SpatialTask& a, const assign::SpatialTask& b) {
+               return a.release_time_min < b.release_time_min;
+             });
+  for (size_t i = 0; i < merged.size(); ++i) {
+    merged[i].id = static_cast<int>(i);
+  }
+  workload.task_stream = std::move(merged);
 }
 
 }  // namespace
@@ -242,6 +405,8 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
       record.online_start_min =
           rng.Uniform(horizon_start, std::max(horizon_start, latest_start));
       record.online_end_min = record.online_start_min + online_span;
+      record.availability = {
+          {record.online_start_min, record.online_end_min}};
     }
     workload.workers.push_back(std::move(record));
   }
@@ -283,6 +448,26 @@ Workload GenerateWorkload(const WorkloadConfig& config) {
       GenerateTaskStream(stream, workload.hotspots, grid, rng);
   workload.historical_task_locations = SampleTaskLocations(
       config.num_historical_tasks, workload.hotspots, grid, rng);
+
+  // ---- Scenario post-pass (surge/churn). ----
+  // Applied last, from a dedicated RNG stream, so the baseline generation
+  // above consumes exactly the draws it always did: a given seed keeps
+  // producing bit-identical baseline workloads (and therefore bench
+  // baselines) whatever scenarios exist.
+  workload.scenario = config.scenario;
+  if (config.scenario != WorkloadScenario::kBaseline) {
+    Rng scenario_rng(config.seed ^ 0x5CE7A210C0DEull);
+    switch (config.scenario) {
+      case WorkloadScenario::kBaseline:
+        break;
+      case WorkloadScenario::kSurge:
+        ApplySurgeScenario(workload, config, scenario_rng);
+        break;
+      case WorkloadScenario::kChurn:
+        ApplyChurnScenario(workload, config, scenario_rng);
+        break;
+    }
+  }
 
   return workload;
 }

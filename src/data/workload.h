@@ -37,6 +37,64 @@ std::string_view WorkloadKindName(WorkloadKind kind);
 /// anything else.
 StatusOr<WorkloadKind> ParseWorkloadKind(std::string_view name);
 
+/// Every WorkloadKind, in presentation order (porto, gowalla).
+const std::vector<WorkloadKind>& AllWorkloadKinds();
+
+/// The scenario axis, orthogonal to the dataset pair: how the generated
+/// stream and the worker pool behave over the horizon. Baseline is the
+/// paper's batch-replay setting; surge and churn are the DATA-WA-style
+/// dynamic-availability stress scenarios the event-driven simulator
+/// exists to measure (events/second under load).
+enum class WorkloadScenario {
+  /// The paper's setting: the calibrated task stream, one contiguous
+  /// online window per worker, no mid-task dropout.
+  kBaseline,
+  /// Rush-hour / festival burst: an extra wave of tasks concentrated in a
+  /// short time window around one dense hotspot, on top of the baseline
+  /// stream. Workers are unchanged.
+  kSurge,
+  /// Dynamic worker availability: each worker's single online window is
+  /// split into several short login/logout sessions across the day, and
+  /// accepted tasks may be dropped mid-service (the worker logs off and
+  /// the task returns to the pool).
+  kChurn,
+};
+
+/// Canonical scenario name ("baseline", "surge", "churn"); static storage,
+/// round-trips through ParseWorkloadScenario.
+std::string_view WorkloadScenarioName(WorkloadScenario scenario);
+
+/// Inverse of WorkloadScenarioName (case-insensitive); InvalidArgument for
+/// anything else, listing the accepted names.
+StatusOr<WorkloadScenario> ParseWorkloadScenario(std::string_view name);
+
+/// Every WorkloadScenario, baseline first.
+const std::vector<WorkloadScenario>& AllWorkloadScenarios();
+
+/// The full workload selector every entry point configures itself from
+/// (the --workload=<kind> flag): a dataset pair plus a scenario. Named
+/// "<dataset>" for baseline and "<dataset>_<scenario>" otherwise, e.g.
+/// "porto", "porto_surge", "gowalla_churn".
+struct WorkloadSpec {
+  WorkloadKind kind = WorkloadKind::kPortoDidi;
+  WorkloadScenario scenario = WorkloadScenario::kBaseline;
+
+  friend bool operator==(const WorkloadSpec&, const WorkloadSpec&) = default;
+};
+
+/// Canonical spec name ("porto", "gowalla_surge", ...); round-trips
+/// through ParseWorkloadSpec.
+std::string WorkloadSpecName(const WorkloadSpec& spec);
+
+/// Inverse of WorkloadSpecName (case-insensitive; bare dataset names mean
+/// the baseline scenario, and the long dataset forms parse too).
+/// InvalidArgument for anything else, listing the accepted names.
+StatusOr<WorkloadSpec> ParseWorkloadSpec(std::string_view name);
+
+/// Every (kind, scenario) combination, grouped by dataset with baseline
+/// first — the sweep order bench_stream reports in.
+const std::vector<WorkloadSpec>& AllWorkloadSpecs();
+
 /// Everything needed to generate one experiment's data.
 struct WorkloadConfig {
   WorkloadKind kind = WorkloadKind::kPortoDidi;
@@ -66,7 +124,40 @@ struct WorkloadConfig {
   /// (Section II: workers "come to the platform dynamically"). The online
   /// window's start is drawn uniformly; 1.0 means always online.
   double online_fraction = 0.4;
+  /// Which scenario post-pass to apply after the baseline generation.
+  /// Baseline consumes exactly the RNG stream it always did, so existing
+  /// seeds keep producing bit-identical workloads; surge/churn draw from a
+  /// separate scenario RNG derived from `seed`.
+  WorkloadScenario scenario = WorkloadScenario::kBaseline;
+  /// kChurn knobs: the single online window (online_fraction of the
+  /// horizon) is split into `sessions` equal-length login/logout sessions
+  /// spread across the day, and each accepted task is dropped mid-service
+  /// with probability dropout_prob (event-driven simulator only).
+  struct ChurnParams {
+    int sessions = 3;
+    double dropout_prob = 0.2;
+  };
+  ChurnParams churn;
+  /// kSurge knobs: extra_task_factor * num_tasks additional tasks released
+  /// inside [start_fraction, start_fraction + duration_fraction] of the
+  /// stream horizon, drawn around the densest hotspot with the given
+  /// spread (a festival crowd, tighter than normal demand).
+  struct SurgeParams {
+    double start_fraction = 0.5;
+    double duration_fraction = 0.15;
+    double extra_task_factor = 1.0;
+    double hotspot_spread_km = 0.6;
+  };
+  SurgeParams surge;
   uint64_t seed = 7;
+};
+
+/// One contiguous login..logout interval (absolute minutes, closed on both
+/// ends — a worker whose session ends exactly at a batch instant is still
+/// assignable at that instant, matching the batch-replay predicate).
+struct AvailabilitySession {
+  double start_min = 0.0;
+  double end_min = 0.0;
 };
 
 /// One synthetic worker: identity, ground-truth movement, and constraints.
@@ -77,17 +168,49 @@ struct WorkerRecord {
   geo::Trajectory test;   // The assignment-horizon day(s).
   double detour_budget_km = 4.0;
   double speed_kmpm = 0.5;
-  /// When the worker is online/assignable during the test horizon
-  /// (absolute minutes). The worker moves along the routine all day but
-  /// only takes tasks inside this window.
+  /// Envelope of the worker's availability (absolute minutes): the first
+  /// session's start and the last session's end. Kept for reporting; the
+  /// authoritative availability is `availability` below.
   double online_start_min = 0.0;
   double online_end_min = 0.0;
+  /// The worker's login/logout sessions over the test horizon, sorted and
+  /// disjoint. The worker moves along the routine all day but only takes
+  /// tasks inside a session (baseline: exactly one session; churn:
+  /// several). Never empty for generated workloads.
+  std::vector<AvailabilitySession> availability;
   bool is_newcomer = false;
+
+  /// Whether the worker is assignable at `time_min`: inside some
+  /// availability session (closed on both ends). Falls back to the
+  /// [online_start_min, online_end_min] envelope when `availability` is
+  /// empty (hand-built workloads).
+  bool AvailableAt(double time_min) const {
+    if (availability.empty()) {
+      return time_min >= online_start_min && time_min <= online_end_min;
+    }
+    for (const AvailabilitySession& s : availability) {
+      if (time_min >= s.start_min && time_min <= s.end_min) return true;
+    }
+    return false;
+  }
+};
+
+/// Mid-task dropout model (churn scenarios): after accepting a task, the
+/// worker aborts mid-service with probability `prob`. Draws are keyed by
+/// (seed, worker id, task id), so the outcome is a pure function of the
+/// pair — independent of event order, thread count, and engine.
+struct DropoutModel {
+  double prob = 0.0;
+  uint64_t seed = 0;
 };
 
 /// A fully generated workload.
 struct Workload {
   geo::GridSpec grid{20.0, 10.0, 50, 100};
+  /// The scenario the generator applied (reporting only).
+  WorkloadScenario scenario = WorkloadScenario::kBaseline;
+  /// Mid-task dropout (zero-probability unless the churn scenario set it).
+  DropoutModel dropout;
   std::vector<WorkerRecord> workers;
   /// One learning task per worker, index-aligned with `workers`.
   std::vector<meta::LearningTask> learning_tasks;

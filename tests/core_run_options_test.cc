@@ -92,7 +92,7 @@ TEST(ParseRunFlagsTest, ParsesEveryFlag) {
                      "--metrics=m.json"},
                     &options)
                   .ok());
-  EXPECT_EQ(options.dataset, data::WorkloadKind::kGowallaFoursquare);
+  EXPECT_EQ(options.workload.kind, data::WorkloadKind::kGowallaFoursquare);
   EXPECT_EQ(options.seed, 42u);
   EXPECT_EQ(options.threads, 3);
   EXPECT_EQ(options.sim.prediction_horizon_steps, 6);
@@ -107,9 +107,9 @@ TEST(ParseRunFlagsTest, ParsesEveryFlag) {
 TEST(ParseRunFlagsTest, ParsesForecastPath) {
   core::RunOptions options;
   ASSERT_TRUE(Parse({"--forecast=scalar"}, &options).ok());
-  EXPECT_FALSE(options.sim.use_batched_forecast);
+  EXPECT_EQ(options.sim.forecast_mode, core::ForecastMode::kScalar);
   ASSERT_TRUE(Parse({"--forecast=batched"}, &options).ok());
-  EXPECT_TRUE(options.sim.use_batched_forecast);
+  EXPECT_EQ(options.sim.forecast_mode, core::ForecastMode::kBatched);
   Status bad = Parse({"--forecast=vectorized"}, &options);
   EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
   EXPECT_NE(bad.message().find("--forecast"), std::string::npos);
@@ -176,6 +176,111 @@ TEST(WorkloadKindNameTest, RoundTripsAndAcceptsLongForms) {
   ASSERT_TRUE(long_form.ok());
   EXPECT_EQ(*long_form, data::WorkloadKind::kGowallaFoursquare);
   EXPECT_FALSE(data::ParseWorkloadKind("mars").ok());
+}
+
+TEST(ModeEnumTest, CandidateModeRoundTripsThroughFlag) {
+  // Name -> --candidates=<name> -> ParseRunFlags -> same enum, for every
+  // mode: the flag surface and the enum table can never drift apart.
+  for (core::CandidateMode mode : core::AllCandidateModes()) {
+    const std::string name(core::CandidateModeName(mode));
+    core::RunOptions options;
+    ASSERT_TRUE(Parse({"--candidates=" + name}, &options).ok()) << name;
+    EXPECT_EQ(options.sim.candidate_mode, mode) << name;
+    StatusOr<core::CandidateMode> parsed = core::ParseCandidateMode(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, mode) << name;
+  }
+  core::RunOptions options;
+  Status bad = Parse({"--candidates=psychic"}, &options);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("--candidates"), std::string::npos);
+}
+
+TEST(ModeEnumTest, ForecastModeRoundTripsThroughFlag) {
+  for (core::ForecastMode mode : core::AllForecastModes()) {
+    const std::string name(core::ForecastModeName(mode));
+    core::RunOptions options;
+    ASSERT_TRUE(Parse({"--forecast=" + name}, &options).ok()) << name;
+    EXPECT_EQ(options.sim.forecast_mode, mode) << name;
+    StatusOr<core::ForecastMode> parsed = core::ParseForecastMode(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, mode) << name;
+  }
+}
+
+TEST(ModeEnumTest, SimEngineRoundTripsThroughFlag) {
+  for (core::SimEngine engine : core::AllSimEngines()) {
+    const std::string name(core::SimEngineName(engine));
+    core::RunOptions options;
+    ASSERT_TRUE(Parse({"--engine=" + name}, &options).ok()) << name;
+    EXPECT_EQ(options.sim.engine, engine) << name;
+    StatusOr<core::SimEngine> parsed = core::ParseSimEngine(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, engine) << name;
+  }
+  core::RunOptions options;
+  Status bad = Parse({"--engine=quantum"}, &options);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("--engine"), std::string::npos);
+}
+
+TEST(ModeEnumTest, ParseIsCaseInsensitive) {
+  StatusOr<core::CandidateMode> candidates =
+      core::ParseCandidateMode("Incremental");
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_EQ(*candidates, core::CandidateMode::kIncremental);
+  StatusOr<core::SimEngine> engine = core::ParseSimEngine("EVENT");
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(*engine, core::SimEngine::kEvent);
+}
+
+TEST(WorkloadSpecTest, RoundTripsThroughFlag) {
+  for (const data::WorkloadSpec& spec : data::AllWorkloadSpecs()) {
+    const std::string name = data::WorkloadSpecName(spec);
+    core::RunOptions options;
+    ASSERT_TRUE(Parse({"--workload=" + name}, &options).ok()) << name;
+    EXPECT_EQ(options.workload, spec) << name;
+    StatusOr<data::WorkloadSpec> parsed = data::ParseWorkloadSpec(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, spec) << name;
+  }
+}
+
+TEST(WorkloadSpecTest, BareDatasetMeansBaselineAndDatasetOnlySetsKind) {
+  core::RunOptions options;
+  ASSERT_TRUE(Parse({"--workload=gowalla"}, &options).ok());
+  EXPECT_EQ(options.workload.kind, data::WorkloadKind::kGowallaFoursquare);
+  EXPECT_EQ(options.workload.scenario, data::WorkloadScenario::kBaseline);
+  // --dataset after --workload only swaps the kind, keeping the scenario.
+  core::RunOptions churned;
+  ASSERT_TRUE(
+      Parse({"--workload=porto_churn", "--dataset=gowalla"}, &churned).ok());
+  EXPECT_EQ(churned.workload.kind, data::WorkloadKind::kGowallaFoursquare);
+  EXPECT_EQ(churned.workload.scenario, data::WorkloadScenario::kChurn);
+  Status bad = Parse({"--workload=porto_monsoon"}, &options);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("--workload"), std::string::npos);
+}
+
+TEST(DeprecatedModeSettersTest, MapOntoTheEnums) {
+  // One release of compatibility: the old boolean switches must keep
+  // steering the typed enums until they are removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  core::SimulatorConfig config;
+  config.set_use_spatial_index(false);
+  EXPECT_EQ(config.candidate_mode, core::CandidateMode::kDense);
+  config.set_use_spatial_index(true);
+  EXPECT_EQ(config.candidate_mode, core::CandidateMode::kIndexed);
+  config.set_use_incremental(true);
+  EXPECT_EQ(config.candidate_mode, core::CandidateMode::kIncremental);
+  config.set_use_incremental(false);
+  EXPECT_EQ(config.candidate_mode, core::CandidateMode::kIndexed);
+  config.set_use_batched_forecast(false);
+  EXPECT_EQ(config.forecast_mode, core::ForecastMode::kScalar);
+  config.set_use_batched_forecast(true);
+  EXPECT_EQ(config.forecast_mode, core::ForecastMode::kBatched);
+#pragma GCC diagnostic pop
 }
 
 TEST(EffectiveMethodsTest, EmptyMeansAll) {

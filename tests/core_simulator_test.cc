@@ -114,7 +114,7 @@ TEST_F(SimulatorTest, IncrementalModeMatchesIndexedBitIdentical) {
   // for every predicting method, runs back-to-back through one pipeline
   // (so later runs replay earlier instants against a warm row cache).
   PipelineConfig incremental_config = SmallPipeline();
-  incremental_config.sim.use_incremental = true;
+  incremental_config.sim.candidate_mode = core::CandidateMode::kIncremental;
   TampPipeline incremental_pipeline(incremental_config);
   for (AssignMethod method :
        {AssignMethod::kKm, AssignMethod::kPpi, AssignMethod::kGgpso}) {

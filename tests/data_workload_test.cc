@@ -175,5 +175,119 @@ TEST(GenerateWorkloadTest, GowallaTasksAlignWithWorkerDistributions) {
   EXPECT_LT(gowalla_scaled, porto_scaled);
 }
 
+TEST(WorkloadScenarioTest, BaselineIsUnperturbedAndFullyAvailable) {
+  // The scenario axis must not disturb the paper's baseline: explicit
+  // kBaseline generates the bit-identical stream (the generator consumes
+  // exactly the RNG draws it always did), one availability session
+  // spanning the online envelope, and a zero dropout model.
+  WorkloadConfig config = SmallConfig();
+  Workload implicit = GenerateWorkload(config);
+  config.scenario = WorkloadScenario::kBaseline;
+  Workload w = GenerateWorkload(config);
+  EXPECT_EQ(w.scenario, WorkloadScenario::kBaseline);
+  EXPECT_EQ(w.dropout.prob, 0.0);
+  ASSERT_EQ(w.task_stream.size(), implicit.task_stream.size());
+  for (size_t i = 0; i < w.task_stream.size(); ++i) {
+    EXPECT_EQ(w.task_stream[i].release_time_min,
+              implicit.task_stream[i].release_time_min);
+    EXPECT_EQ(w.task_stream[i].location.x, implicit.task_stream[i].location.x);
+  }
+  for (const WorkerRecord& worker : w.workers) {
+    ASSERT_EQ(worker.availability.size(), 1u);
+    EXPECT_EQ(worker.availability[0].start_min, worker.online_start_min);
+    EXPECT_EQ(worker.availability[0].end_min, worker.online_end_min);
+  }
+}
+
+TEST(WorkloadScenarioTest, ChurnSplitsTheWindowIntoDisjointSessions) {
+  WorkloadConfig config = SmallConfig();
+  config.scenario = WorkloadScenario::kChurn;
+  config.churn.sessions = 4;
+  config.churn.dropout_prob = 0.25;
+  Workload w = GenerateWorkload(config);
+  EXPECT_EQ(w.scenario, WorkloadScenario::kChurn);
+  EXPECT_EQ(w.dropout.prob, 0.25);
+  for (const WorkerRecord& worker : w.workers) {
+    ASSERT_EQ(worker.availability.size(), 4u);
+    for (size_t s = 0; s < worker.availability.size(); ++s) {
+      const AvailabilitySession& session = worker.availability[s];
+      EXPECT_LT(session.start_min, session.end_min);
+      EXPECT_GE(session.start_min, worker.test.start_time());
+      EXPECT_LE(session.end_min, worker.test.end_time() + 1e-9);
+      if (s > 0) {
+        EXPECT_GE(session.start_min, worker.availability[s - 1].end_min);
+      }
+    }
+    // The envelope tracks the session extremes.
+    EXPECT_EQ(worker.online_start_min, worker.availability.front().start_min);
+    EXPECT_EQ(worker.online_end_min, worker.availability.back().end_min);
+  }
+  // The stream itself is the baseline's (churn only touches workers).
+  Workload baseline = GenerateWorkload(SmallConfig());
+  ASSERT_EQ(w.task_stream.size(), baseline.task_stream.size());
+  EXPECT_EQ(w.task_stream.back().release_time_min,
+            baseline.task_stream.back().release_time_min);
+}
+
+TEST(WorkloadScenarioTest, SurgeAddsABurstAroundOneHotspot) {
+  WorkloadConfig config = SmallConfig();
+  config.scenario = WorkloadScenario::kSurge;
+  config.surge.extra_task_factor = 0.5;
+  Workload w = GenerateWorkload(config);
+  Workload baseline = GenerateWorkload(SmallConfig());
+  // 100 baseline + 50 surge tasks, re-id'd 0..n-1, sorted by release.
+  ASSERT_EQ(w.task_stream.size(), 150u);
+  for (size_t i = 0; i < w.task_stream.size(); ++i) {
+    EXPECT_EQ(w.task_stream[i].id, static_cast<int>(i));
+    if (i > 0) {
+      EXPECT_GE(w.task_stream[i].release_time_min,
+                w.task_stream[i - 1].release_time_min);
+    }
+  }
+  // Workers are untouched by a demand surge.
+  ASSERT_EQ(w.workers.size(), baseline.workers.size());
+  for (size_t i = 0; i < w.workers.size(); ++i) {
+    EXPECT_EQ(w.workers[i].online_start_min,
+              baseline.workers[i].online_start_min);
+    EXPECT_EQ(w.workers[i].test.start_time(),
+              baseline.workers[i].test.start_time());
+  }
+  EXPECT_EQ(w.dropout.prob, 0.0);
+}
+
+TEST(WorkloadSpecTest, NamesRoundTripAndListAllCombinations) {
+  const std::vector<WorkloadSpec>& specs = AllWorkloadSpecs();
+  EXPECT_EQ(specs.size(),
+            AllWorkloadKinds().size() * AllWorkloadScenarios().size());
+  for (const WorkloadSpec& spec : specs) {
+    StatusOr<WorkloadSpec> parsed = ParseWorkloadSpec(WorkloadSpecName(spec));
+    ASSERT_TRUE(parsed.ok()) << WorkloadSpecName(spec);
+    EXPECT_EQ(*parsed, spec);
+  }
+  // Bare dataset names and long dataset forms mean the baseline scenario.
+  StatusOr<WorkloadSpec> bare = ParseWorkloadSpec("porto");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->scenario, WorkloadScenario::kBaseline);
+  StatusOr<WorkloadSpec> long_form = ParseWorkloadSpec("gowalla_foursquare");
+  ASSERT_TRUE(long_form.ok());
+  EXPECT_EQ(long_form->kind, WorkloadKind::kGowallaFoursquare);
+  EXPECT_FALSE(ParseWorkloadSpec("porto_monsoon").ok());
+  EXPECT_FALSE(ParseWorkloadSpec("").ok());
+}
+
+TEST(AvailabilityTest, AvailableAtHonorsSessionsWithEnvelopeFallback) {
+  WorkerRecord record;
+  record.online_start_min = 10.0;
+  record.online_end_min = 20.0;
+  // Empty sessions: the envelope decides (hand-built workloads).
+  EXPECT_TRUE(record.AvailableAt(10.0));
+  EXPECT_TRUE(record.AvailableAt(20.0));  // Closed on both ends.
+  EXPECT_FALSE(record.AvailableAt(20.5));
+  record.availability = {{10.0, 12.0}, {18.0, 20.0}};
+  EXPECT_TRUE(record.AvailableAt(12.0));
+  EXPECT_FALSE(record.AvailableAt(15.0));  // In the envelope, not a session.
+  EXPECT_TRUE(record.AvailableAt(18.0));
+}
+
 }  // namespace
 }  // namespace tamp::data

@@ -346,9 +346,9 @@ TEST(BatchedSeq2SeqTest, SimulatorPlanParityScalarVsBatched) {
   pipeline_config.sim.prediction_horizon_steps = 4;
 
   core::PipelineConfig batched_config = pipeline_config;
-  batched_config.sim.use_batched_forecast = true;
+  batched_config.sim.forecast_mode = core::ForecastMode::kBatched;
   core::PipelineConfig scalar_config = pipeline_config;
-  scalar_config.sim.use_batched_forecast = false;
+  scalar_config.sim.forecast_mode = core::ForecastMode::kScalar;
   core::TampPipeline batched_pipeline(batched_config);
   core::TampPipeline scalar_pipeline(scalar_config);
   core::OfflineResult offline = batched_pipeline.TrainOffline(workload);

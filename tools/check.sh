@@ -114,6 +114,15 @@ bench_gate_stage() {
               "$baselines/BENCH_$target.json" \
               "$dir/BENCH_$target.json" || return 1
   done
+  # The event-driven simulator's headline bench: every (dataset, scenario)
+  # workload spec through the event core. Its per-spec event counts are
+  # pure functions of the workload seeds, so they gate bitwise; the
+  # events/second figures (`*_s` / `events_per_s` keys) stay advisory.
+  run_stage "bench-run-stream" env TAMP_BENCH_JSON_DIR="$dir" \
+            "$dir/bench/bench_stream" || return 1
+  run_stage "bench-gate-stream" "$compare" \
+            "$baselines/BENCH_stream.json" \
+            "$dir/BENCH_stream.json" || return 1
   run_stage "bench-gate-threads-invariance" "$compare" \
             "$baselines/BENCH_table4_cluster_ablation.threads1.json" \
             "$baselines/BENCH_table4_cluster_ablation.threads4.json" \
