@@ -7,6 +7,7 @@
 #include "assign/candidate_index.h"
 #include "assign/candidates.h"
 #include "assign/incremental.h"
+#include "assign/sharding.h"
 #include "common/check.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
@@ -33,7 +34,8 @@ using FeasibilityTable = std::vector<std::vector<FeasibleEdge>>;
 FeasibilityTable BuildTable(const std::vector<SpatialTask>& tasks,
                             const std::vector<CandidateWorker>& workers,
                             double match_radius_km, double now_min,
-                            bool use_spatial_index, AssignReuse* reuse) {
+                            bool use_spatial_index, bool shard_components,
+                            AssignReuse* reuse) {
   static obs::Histogram& build_hist =
       obs::MetricsRegistry::Global().GetHistogram(
           "assign.index_build_s", obs::DurationEdgesSeconds());
@@ -52,6 +54,14 @@ FeasibilityTable BuildTable(const std::vector<SpatialTask>& tasks,
     }
     candidates = GenerateCandidates(tasks, workers, match_radius_km, now_min,
                                     index ? &*index : nullptr);
+  }
+  if (shard_components) {
+    // Record-only under --sharding: the GA draws from one sequential RNG
+    // stream across every task, so a per-shard evolution would diverge
+    // bitwise from the global one. The decomposition is still computed so
+    // shard observability (assign.shard_count / assign.shard_max_rows)
+    // covers GGPSO batches like KM's and PPI's (see GgpsoConfig).
+    (void)BuildShardPlan(candidates, tasks, workers);
   }
   FeasibilityTable table(tasks.size());
   for (size_t t = 0; t < candidates.size(); ++t) {
@@ -169,7 +179,7 @@ AssignmentPlan GgpsoAssign(const std::vector<SpatialTask>& tasks,
 
   FeasibilityTable table =
       BuildTable(tasks, workers, config.match_radius_km, now_min,
-                 config.use_spatial_index, reuse);
+                 config.use_spatial_index, config.shard_components, reuse);
   Rng rng(config.seed);
   const int num_workers = static_cast<int>(workers.size());
 

@@ -22,6 +22,14 @@ struct GgpsoConfig {
   /// (CandidateIndex); dense sweep when false. Plans are bit-identical
   /// either way.
   bool use_spatial_index = true;
+  /// --sharding=components. GGPSO's population evolves through ONE
+  /// sequential RNG stream spanning all tasks, so a per-shard evolution
+  /// could not be bitwise-identical to the global one; with this flag the
+  /// candidate-graph decomposition is computed and recorded (the
+  /// assign.shard_count / assign.shard_max_rows instruments, matching
+  /// KM/PPI observability) but the GA itself still runs globally — plans
+  /// are trivially bit-identical with the flag on or off (DESIGN.md §4k).
+  bool shard_components = false;
 };
 
 /// GGPSO [11]: the state-of-the-art mobility-prediction-aware assignment

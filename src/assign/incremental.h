@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "assign/candidates.h"
+#include "assign/sharding.h"
 #include "assign/types.h"
 #include "geo/spatial_index.h"
 #include "matching/hungarian.h"
@@ -132,6 +133,10 @@ struct AssignReuse {
   /// flush, stage 3). Grown on demand, capped so a pathological flush
   /// count cannot accumulate unbounded checkpoint state.
   std::vector<matching::KmWarmState> ppi;
+  /// Per-shard warm holders keyed by shard signature, consumed instead of
+  /// `km`/`ppi` when sharded solving is on (ShardMode::kComponents), so
+  /// warm resume survives resharding across batches.
+  ShardWarmPool shard_pool;
 };
 
 }  // namespace tamp::assign

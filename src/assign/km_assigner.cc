@@ -5,6 +5,7 @@
 #include "assign/candidate_index.h"
 #include "assign/candidates.h"
 #include "assign/incremental.h"
+#include "assign/sharding.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
 #include "common/stopwatch.h"
@@ -16,7 +17,7 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
                         double weight_floor_km, bool use_spatial_index,
-                        AssignReuse* reuse) {
+                        AssignReuse* reuse, bool shard_components) {
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
   static obs::Counter& solves_counter = registry.GetCounter("km.solves");
   static obs::Counter& edges_counter = registry.GetCounter("km.edges");
@@ -59,9 +60,22 @@ AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
   edges_counter.Increment(static_cast<int64_t>(edges.size()));
   Stopwatch solve_watch;
   obs::TraceSpan solve_span("km.solve");
-  matching::MatchResult result = matching::MaxWeightMatching(
-      static_cast<int>(tasks.size()), static_cast<int>(workers.size()), edges,
-      nullptr, reuse != nullptr ? &reuse->km : nullptr);
+  matching::MatchResult result;
+  if (shard_components) {
+    // Geo-sharded solve (DESIGN.md §4k): connected components of the
+    // candidate table share no feasible edge, so per-shard KM merged in
+    // task order is bit-identical to the global solve. Warm state lives in
+    // the signature-keyed shard pool (the global `km` holder's prefix
+    // would never match the shard-local matrices).
+    const ShardPlan shard_plan = BuildShardPlan(table, tasks, workers);
+    result = ShardedMaxWeightMatching(
+        static_cast<int>(tasks.size()), static_cast<int>(workers.size()),
+        edges, shard_plan, reuse != nullptr ? &reuse->shard_pool : nullptr);
+  } else {
+    result = matching::MaxWeightMatching(
+        static_cast<int>(tasks.size()), static_cast<int>(workers.size()),
+        edges, nullptr, reuse != nullptr ? &reuse->km : nullptr);
+  }
   solve_hist.Record(solve_watch.ElapsedSeconds());
   for (auto [t, w] : result.pairs) {
     // Recover dis^min of the matched pair from its table row (rows hold

@@ -17,11 +17,18 @@ struct AssignReuse;
 /// (delta-updated index + row cache) and warm-starts the KM solve from the
 /// previous batch through this holder — still bit-identical (see
 /// IncrementalCandidateEngine / KmWarmState).
+///
+/// `shard_components` (--sharding=components) decomposes the candidate
+/// graph into connected components and solves per-shard KM concurrently
+/// (DESIGN.md §4k); plans stay bit-identical to the global solve. With
+/// `reuse` the sharded solves warm-start from reuse->shard_pool (keyed by
+/// shard signature) instead of the global reuse->km holder.
 AssignmentPlan KmAssign(const std::vector<SpatialTask>& tasks,
                         const std::vector<CandidateWorker>& workers,
                         double now_min, double match_radius_km,
                         double weight_floor_km = 1e-3,
                         bool use_spatial_index = true,
-                        AssignReuse* reuse = nullptr);
+                        AssignReuse* reuse = nullptr,
+                        bool shard_components = false);
 
 }  // namespace tamp::assign

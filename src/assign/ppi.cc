@@ -9,6 +9,7 @@
 #include "assign/candidate_index.h"
 #include "assign/candidates.h"
 #include "assign/incremental.h"
+#include "assign/sharding.h"
 #include "common/check.h"
 #include "common/obs/metrics.h"
 #include "common/obs/trace.h"
@@ -48,23 +49,34 @@ struct CommitScratch {
 /// same-ordinal solve (stage 1, then each stage-2 flush, then stage 3 —
 /// the sequence is deterministic, so ordinals line up whenever the batch
 /// shapes do); `solve_ordinal` counts only calls that actually solve.
+/// A non-null `shard_plan` solves per connected component instead of
+/// globally (bit-identical; warm state moves to reuse->shard_pool keyed by
+/// shard signature with the ordinal as salt).
 void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
                     int num_workers, double weight_floor,
                     CommitScratch& scratch, std::vector<char>& task_done,
                     std::vector<char>& worker_done, AssignmentPlan& plan,
-                    AssignReuse* reuse, size_t& solve_ordinal) {
+                    AssignReuse* reuse, const ShardPlan* shard_plan,
+                    size_t& solve_ordinal) {
   if (edges.empty()) return;
+  // Cap the per-ordinal warm holders so a pathological flush count cannot
+  // accumulate unbounded checkpoint state across batches.
+  constexpr size_t kMaxWarmSolves = 32;
   matching::KmWarmState* warm = nullptr;
+  ShardWarmPool* shard_pool = nullptr;
+  uint64_t shard_salt = 0;
   if (reuse != nullptr) {
-    // Cap the per-ordinal holders so a pathological flush count cannot
-    // accumulate unbounded checkpoint state across batches.
-    constexpr size_t kMaxWarmSolves = 32;
     if (solve_ordinal < kMaxWarmSolves) {
-      if (reuse->ppi.size() <= solve_ordinal) {
-        reuse->ppi.resize(solve_ordinal + 1);
+      if (shard_plan != nullptr) {
+        shard_pool = &reuse->shard_pool;
+      } else {
+        if (reuse->ppi.size() <= solve_ordinal) {
+          reuse->ppi.resize(solve_ordinal + 1);
+        }
+        warm = &reuse->ppi[solve_ordinal];
       }
-      warm = &reuse->ppi[solve_ordinal];
     }
+    shard_salt = solve_ordinal;
     ++solve_ordinal;
   }
   obs::TraceSpan match_span("ppi.match");
@@ -85,8 +97,12 @@ void MatchAndCommit(const std::vector<PpiCandidate>& edges, int num_tasks,
     TAMP_DCHECK(inserted);
     (void)inserted;
   }
-  matching::MatchResult result = matching::MaxWeightMatching(
-      num_tasks, num_workers, km_edges, &scratch.matching, warm);
+  matching::MatchResult result =
+      shard_plan != nullptr
+          ? ShardedMaxWeightMatching(num_tasks, num_workers, km_edges,
+                                     *shard_plan, shard_pool, shard_salt)
+          : matching::MaxWeightMatching(num_tasks, num_workers, km_edges,
+                                        &scratch.matching, warm);
   for (auto [task, worker] : result.pairs) {
     const size_t ti = static_cast<size_t>(task);
     const size_t wi = static_cast<size_t>(worker);
@@ -147,6 +163,14 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   CommitScratch scratch;
   size_t solve_ordinal = 0;
 
+  // Geo-sharded mode: one decomposition serves every stage (each stage's
+  // edges are table rows, so no edge crosses a component boundary).
+  std::optional<ShardPlan> shard_plan;
+  if (config.shard_components) {
+    shard_plan.emplace(BuildShardPlan(table, tasks, workers));
+  }
+  const ShardPlan* shards = shard_plan ? &*shard_plan : nullptr;
+
   // ---- Stage 1 (Alg. 4 lines 1-12): certain pairs (|B| * MR >= 1). ----
   std::optional<obs::TraceSpan> stage1_span(std::in_place, "ppi.stage1");
   std::vector<PpiCandidate> certain;
@@ -170,7 +194,8 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   certain_counter.Increment(static_cast<int64_t>(certain.size()));
   pending_counter.Increment(static_cast<int64_t>(pending.size()));
   MatchAndCommit(certain, num_tasks, num_workers, config.weight_floor_km,
-                 scratch, task_done, worker_done, plan, reuse, solve_ordinal);
+                 scratch, task_done, worker_done, plan, reuse, shards,
+                 solve_ordinal);
   stage1_span.reset();
 
   // ---- Stage 2 (lines 13-27): drain pending pairs in descending |B|*MR,
@@ -193,7 +218,7 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
       }
     }
     MatchAndCommit(live, num_tasks, num_workers, config.weight_floor_km,
-                   scratch, task_done, worker_done, plan, reuse,
+                   scratch, task_done, worker_done, plan, reuse, shards,
                    solve_ordinal);
     batch.clear();
   };
@@ -221,7 +246,8 @@ AssignmentPlan PpiAssign(const std::vector<SpatialTask>& tasks,
   }
   fallback_counter.Increment(static_cast<int64_t>(fallback.size()));
   MatchAndCommit(fallback, num_tasks, num_workers, config.weight_floor_km,
-                 scratch, task_done, worker_done, plan, reuse, solve_ordinal);
+                 scratch, task_done, worker_done, plan, reuse, shards,
+                 solve_ordinal);
   return plan;
 }
 

@@ -22,6 +22,11 @@ struct PpiConfig {
   /// The prune is a conservative Theorem-2 superset, so plans are
   /// bit-identical either way; the flag exists so tests can assert that.
   bool use_spatial_index = true;
+  /// Geo-sharded per-stage solves (--sharding=components, DESIGN.md §4k):
+  /// every stage's KM runs per connected component of the batch candidate
+  /// table, concurrently. Stage edges never cross components (they are
+  /// table rows), so plans are bit-identical to the global solves.
+  bool shard_components = false;
 };
 
 /// Prediction Performance-Involved Task Assignment (Algorithm 4).

@@ -99,17 +99,28 @@ void EventSimulator::HandleAssignTrigger(
     const std::vector<WorkerPredictor>& predictors, SimMetrics* metrics) {
   static obs::Counter& dropouts_counter =
       obs::MetricsRegistry::Global().GetCounter("sim.dropouts");
+  static obs::Counter& skips_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.batch_skips");
 
   // The batch loop's skip conditions: no pending tasks, or nobody online
   // and free. (Busy/online flags were already settled by the same-instant
-  // completion/login events, which sort before the trigger.)
-  if (pool_.empty()) return;
+  // completion/login events, which sort before the trigger.) A skipped
+  // trigger still counts — the batch-replay loop increments the same
+  // counter at its matching `continue` sites, and the cross-engine
+  // accounting test pins the two totals equal.
+  if (pool_.empty()) {
+    skips_counter.Increment();
+    return;
+  }
   available_.clear();
   for (size_t w = 0; w < workload_.workers.size(); ++w) {
     if (!online_[w] || busy_[w]) continue;
     available_.push_back(static_cast<int>(w));
   }
-  if (available_.empty()) return;
+  if (available_.empty()) {
+    skips_counter.Increment();
+    return;
+  }
 
   BatchAssignStep::Outcome outcome =
       step_.Step(method, predictors, now, pool_, available_);

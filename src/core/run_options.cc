@@ -98,6 +98,9 @@ std::string RunFlagsHelp() {
       "  --engine=event|batch     simulation engine: the event-queue core\n"
       "                           (default) or the batch-synchronous\n"
       "                           replay loop (bit-identical reference)\n"
+      "  --sharding=off|components  solve each connected component of the\n"
+      "                           candidate graph as its own parallel KM\n"
+      "                           shard (plans bit-identical to off)\n"
       "  --methods=A,B,...        assignment methods (UB,LB,KM,PPI,GGPSO;\n"
       "                           default all)\n"
       "  --json-dir=DIR           directory for the BENCH_<target>.json\n"
@@ -164,6 +167,13 @@ Status ParseRunFlags(int argc, char** argv, RunOptions* options) {
             flag + ": " + std::string(engine.status().message()));
       }
       options->sim.engine = *engine;
+    } else if (flag == "--sharding") {
+      StatusOr<ShardMode> mode = ParseShardMode(value);
+      if (!mode.ok()) {
+        return Status::InvalidArgument(flag + ": " +
+                                       std::string(mode.status().message()));
+      }
+      options->sim.shard_mode = *mode;
     } else if (flag == "--methods") {
       options->methods.clear();
       std::size_t start = 0;

@@ -168,6 +168,36 @@ StatusOr<SimEngine> ParseSimEngine(std::string_view name) {
                                  "' (accepted: " + accepted + ")");
 }
 
+std::string_view ShardModeName(ShardMode mode) {
+  switch (mode) {
+    case ShardMode::kOff:
+      return "off";
+    case ShardMode::kComponents:
+      return "components";
+  }
+  return "?";
+}
+
+const std::vector<ShardMode>& AllShardModes() {
+  static const std::vector<ShardMode> kAll = {ShardMode::kOff,
+                                              ShardMode::kComponents};
+  return kAll;
+}
+
+StatusOr<ShardMode> ParseShardMode(std::string_view name) {
+  const std::string lower = LowerCopy(name);
+  for (ShardMode mode : AllShardModes()) {
+    if (lower == ShardModeName(mode)) return mode;
+  }
+  std::string accepted;
+  for (ShardMode mode : AllShardModes()) {
+    if (!accepted.empty()) accepted += ", ";
+    accepted += ShardModeName(mode);
+  }
+  return Status::InvalidArgument("unknown shard mode '" + std::string(name) +
+                                 "' (accepted: " + accepted + ")");
+}
+
 size_t PurgeExpiredTasks(std::deque<assign::SpatialTask>& pool,
                          double now_min) {
   // One linear pass; the old restart-from-begin scan-erase loop was
@@ -303,6 +333,7 @@ BatchAssignStep::Outcome BatchAssignStep::Step(
   std::optional<obs::TraceSpan> assign_span(std::in_place, "sim.assign");
   assign::AssignmentPlan plan;
   const bool use_index = config_.candidate_mode != CandidateMode::kDense;
+  const bool shard = config_.shard_mode == ShardMode::kComponents;
   assign::AssignReuse* reuse =
       config_.candidate_mode == CandidateMode::kIncremental ? reuse_ : nullptr;
   switch (method) {
@@ -316,12 +347,14 @@ BatchAssignStep::Outcome BatchAssignStep::Step(
     case AssignMethod::kKm:
       plan = assign::KmAssign(batch_tasks, batch_workers, now,
                               config_.match_radius_km,
-                              /*weight_floor_km=*/1e-3, use_index, reuse);
+                              /*weight_floor_km=*/1e-3, use_index, reuse,
+                              shard);
       break;
     case AssignMethod::kPpi: {
       assign::PpiConfig ppi = config_.ppi;
       ppi.match_radius_km = config_.match_radius_km;
       ppi.use_spatial_index = use_index;
+      ppi.shard_components = shard;
       plan = assign::PpiAssign(batch_tasks, batch_workers, now, ppi, reuse);
       break;
     }
@@ -329,6 +362,7 @@ BatchAssignStep::Outcome BatchAssignStep::Step(
       assign::GgpsoConfig ggpso = config_.ggpso;
       ggpso.match_radius_km = config_.match_radius_km;
       ggpso.use_spatial_index = use_index;
+      ggpso.shard_components = shard;
       plan = assign::GgpsoAssign(batch_tasks, batch_workers, now, ggpso,
                                  reuse);
       break;
@@ -426,6 +460,8 @@ SimMetrics BatchSimulator::Run(
 SimMetrics BatchSimulator::RunBatchReplay(
     AssignMethod method, const std::vector<WorkerPredictor>& predictors) {
   obs::TraceSpan run_span("sim.run");
+  static obs::Counter& skips_counter =
+      obs::MetricsRegistry::Global().GetCounter("sim.batch_skips");
   const auto& workers = workload_.workers;
   TAMP_CHECK(predictors.size() == workers.size());
   SimMetrics metrics;
@@ -452,7 +488,12 @@ SimMetrics BatchSimulator::RunBatchReplay(
       ++next_release;
     }
     PurgeExpiredTasks(pool, now);
-    if (pool.empty()) continue;
+    // Counted skips mirror EventSimulator::HandleAssignTrigger exactly:
+    // same predicate, same counter, so the engines' totals stay equal.
+    if (pool.empty()) {
+      skips_counter.Increment();
+      continue;
+    }
 
     // Available workers still on shift.
     std::vector<int> available;
@@ -467,7 +508,10 @@ SimMetrics BatchSimulator::RunBatchReplay(
       if (!workers[w].AvailableAt(now)) continue;
       available.push_back(static_cast<int>(w));
     }
-    if (available.empty()) continue;
+    if (available.empty()) {
+      skips_counter.Increment();
+      continue;
+    }
 
     BatchAssignStep::Outcome outcome =
         step_.Step(method, predictors, now, pool, available);

@@ -101,6 +101,26 @@ StatusOr<SimEngine> ParseSimEngine(std::string_view name);
 /// Every SimEngine, in flag-help order (event, batch).
 const std::vector<SimEngine>& AllSimEngines();
 
+/// How per-batch matchings are solved. The single source of truth behind
+/// the --sharding flag; plans are bit-identical either way (DESIGN.md
+/// §4k), with kOff kept as the parity reference the same way
+/// --candidates=dense and --forecast=scalar are.
+enum class ShardMode {
+  kOff,         // One global Hungarian solve per batch (default).
+  kComponents,  // Per-connected-component solves via ParallelFor.
+};
+
+/// Canonical flag value ("off", "components"); static storage, round-trips
+/// through ParseShardMode.
+std::string_view ShardModeName(ShardMode mode);
+
+/// Inverse of ShardModeName (case-insensitive); InvalidArgument for
+/// anything else, listing the accepted names.
+StatusOr<ShardMode> ParseShardMode(std::string_view name);
+
+/// Every ShardMode, in flag-help order (off, components).
+const std::vector<ShardMode>& AllShardModes();
+
 /// Batch-based online-stage settings (Table III: 2-minute windows, 10-min
 /// time units).
 struct SimulatorConfig {
@@ -136,6 +156,10 @@ struct SimulatorConfig {
   /// Simulation engine (--engine): the event-queue core (default) or the
   /// legacy batch-synchronous loop kept as the parity reference.
   SimEngine engine = SimEngine::kEvent;
+  /// Per-batch matching decomposition (--sharding): geo-sharded
+  /// per-component solves (kComponents) or the single global solve (kOff,
+  /// default — the parity reference). Plans are bit-identical either way.
+  ShardMode shard_mode = ShardMode::kOff;
   assign::PpiConfig ppi;
   assign::GgpsoConfig ggpso;
 

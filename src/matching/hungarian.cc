@@ -17,7 +17,12 @@ AssignmentResult MinCostAssignment(const std::vector<std::vector<double>>& cost,
                                    MatchingScratch* scratch,
                                    KmWarmState* warm) {
   const size_t n = cost.size();
-  TAMP_CHECK(n > 0);
+  if (n == 0) {
+    // Degenerate (empty-shard) solve: nothing to assign. Return without
+    // touching scratch or warm state, so resume data recorded by a
+    // previous larger solve through the same holders stays valid.
+    return AssignmentResult{};
+  }
   const size_t m = cost[0].size();
   TAMP_CHECK_MSG(n <= m, "MinCostAssignment requires rows() <= cols()");
   for (const auto& row : cost) {
@@ -145,6 +150,18 @@ MatchResult MaxWeightMatching(int num_left, int num_right,
   MatchResult result;
   if (num_left == 0 || num_right == 0) return result;
 
+  // Validate and scan for the heaviest edge before touching any scratch:
+  // an all-filtered (or empty) edge set must leave a reused scratch — and
+  // any warm state recorded by a previous larger solve — untouched, so a
+  // later real solve still resumes against consistent buffers.
+  double max_weight = 0.0;
+  for (const Edge& e : edges) {
+    TAMP_CHECK(e.left >= 0 && e.left < num_left);
+    TAMP_CHECK(e.right >= 0 && e.right < num_right);
+    max_weight = std::max(max_weight, e.weight);
+  }
+  if (max_weight <= 0.0) return result;  // No positive-weight edges.
+
   MatchingScratch local;
   MatchingScratch& s = scratch != nullptr ? *scratch : local;
 
@@ -154,17 +171,12 @@ MatchResult MaxWeightMatching(int num_left, int num_right,
   std::vector<std::vector<double>>& weight = s.weight;
   weight.resize(n);
   for (auto& row : weight) row.assign(n, 0.0);
-  double max_weight = 0.0;
   for (const Edge& e : edges) {
-    TAMP_CHECK(e.left >= 0 && e.left < num_left);
-    TAMP_CHECK(e.right >= 0 && e.right < num_right);
     if (e.weight <= 0.0) continue;
     auto& cell = weight[static_cast<size_t>(e.left)][static_cast<size_t>(
         e.right)];
     cell = std::max(cell, e.weight);
-    max_weight = std::max(max_weight, e.weight);
   }
-  if (max_weight <= 0.0) return result;  // No positive-weight edges.
 
   // Convert to a min-cost assignment: cost = max_weight - weight >= 0.
   // Every cell of the used n x n region is written exactly once; resize()

@@ -57,6 +57,15 @@ struct MatchingScratch {
 /// state the cold run would have computed, so warm results are
 /// bit-identical to cold ones (pinned by matching_hungarian_test).
 ///
+/// Shape and ordering safety: because resume is gated on a *bitwise* row-
+/// prefix match against the stored cost matrix (and each checkpoint is a
+/// pure function of those rows), a solve whose columns mean different
+/// things — a worker migrated between shards, a column permutation, a
+/// different width — simply matches a shorter (possibly empty) prefix and
+/// recomputes from there; it can never silently resume against a stale
+/// column ordering (pinned by matching_hungarian_test /
+/// assign_sharding_test's permutation regressions).
+///
 /// One holder per *recurring solve site* (e.g. the per-batch KM call of
 /// one assigner), not per thread: the holder mutates on every solve.
 struct KmWarmState {
@@ -77,6 +86,9 @@ struct KmWarmState {
 /// Minimum-cost perfect assignment of every row to a distinct column via
 /// the Kuhn-Munkres potentials/shortest-augmenting-path algorithm, O(r^2 c).
 /// Requires a rectangular matrix with rows() <= cols() and finite costs.
+/// A 0-row matrix is a degenerate no-op: the empty result is returned
+/// without touching `scratch` or `warm` (so state from a previous larger
+/// solve stays resumable).
 /// This is the computational core shared by MaxWeightMatching and the exact
 /// 2-D Wasserstein distance. `scratch` may be null (per-call buffers).
 ///

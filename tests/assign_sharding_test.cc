@@ -1,0 +1,465 @@
+#include "assign/sharding.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "assign/ggpso.h"
+#include "assign/incremental.h"
+#include "assign/km_assigner.h"
+#include "assign/ppi.h"
+#include "common/obs/metrics.h"
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "data/workload.h"
+#include "matching/hungarian.h"
+
+namespace tamp::assign {
+namespace {
+
+SpatialTask MakeTask(int id, geo::Point loc, double deadline) {
+  SpatialTask t;
+  t.id = id;
+  t.location = loc;
+  t.deadline_min = deadline;
+  return t;
+}
+
+CandidateWorker MakeWorker(int id, std::vector<geo::TimedPoint> predicted,
+                           geo::Point current, double detour_km, double speed,
+                           double mr) {
+  CandidateWorker w;
+  w.id = id;
+  w.predicted = std::move(predicted);
+  w.current_location = current;
+  w.detour_budget_km = detour_km;
+  w.speed_kmpm = speed;
+  w.matching_rate = mr;
+  return w;
+}
+
+/// Batch vectors whose ids equal their indices — enough for signature and
+/// plan-structure tests that never evaluate geometry.
+void IdentityBatch(int num_tasks, int num_workers,
+                   std::vector<SpatialTask>* tasks,
+                   std::vector<CandidateWorker>* workers) {
+  tasks->clear();
+  workers->clear();
+  for (int t = 0; t < num_tasks; ++t) {
+    tasks->push_back(MakeTask(t, {0.0, 0.0}, 100.0));
+  }
+  for (int w = 0; w < num_workers; ++w) {
+    workers->push_back(MakeWorker(w, {}, {0.0, 0.0}, 4.0, 0.5, 0.5));
+  }
+}
+
+/// A candidate table holding exactly the given (task, worker) rows.
+std::vector<std::vector<TaskCandidate>> TableFromRows(
+    int num_tasks, const std::vector<std::pair<int, int>>& rows) {
+  std::vector<std::vector<TaskCandidate>> table(
+      static_cast<size_t>(num_tasks));
+  for (auto [t, w] : rows) {
+    TaskCandidate tc;
+    tc.worker = w;
+    tc.stage3_feasible = true;
+    table[static_cast<size_t>(t)].push_back(tc);
+  }
+  for (auto& row : table) {
+    std::sort(row.begin(), row.end(),
+              [](const TaskCandidate& a, const TaskCandidate& b) {
+                return a.worker < b.worker;
+              });
+  }
+  return table;
+}
+
+TEST(ShardPlanTest, ComponentsMembershipAndCountersOnHandBuiltTable) {
+  // t0-w0, t0-w1, t1-w1 form one component; t2-w3 a second; t3 has no rows
+  // and w2/w4 are never referenced, so all three stay unsharded.
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> workers;
+  IdentityBatch(4, 5, &tasks, &workers);
+  auto table = TableFromRows(4, {{0, 0}, {0, 1}, {1, 1}, {2, 3}});
+
+  obs::Counter& count_counter =
+      obs::MetricsRegistry::Global().GetCounter("assign.shard_count");
+  const int64_t count_before = count_counter.value();
+  ShardPlan plan = BuildShardPlan(table, tasks, workers);
+  EXPECT_EQ(count_counter.value() - count_before, 2);
+
+  ASSERT_EQ(plan.shards.size(), 2u);
+  // LPT: the 3-row component costs 3*4=12, the 1-row one 1*2=2.
+  EXPECT_EQ(plan.shards[0].tasks, (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan.shards[0].workers, (std::vector<int>{0, 1}));
+  EXPECT_EQ(plan.shards[0].rows, 3);
+  EXPECT_EQ(plan.shards[0].cost, 12);
+  EXPECT_EQ(plan.shards[1].tasks, (std::vector<int>{2}));
+  EXPECT_EQ(plan.shards[1].workers, (std::vector<int>{3}));
+  EXPECT_EQ(plan.shards[1].rows, 1);
+  EXPECT_EQ(plan.shard_of_task, (std::vector<int>{0, 0, 1, -1}));
+  EXPECT_EQ(plan.shard_of_worker, (std::vector<int>{0, 0, -1, 1, -1}));
+  EXPECT_EQ(plan.total_rows, 4);
+  EXPECT_EQ(plan.max_rows, 3);
+  EXPECT_NE(plan.shards[0].signature, plan.shards[1].signature);
+}
+
+TEST(ShardPlanTest, LptOrdersShardsByCostDescending) {
+  // First-appearing component is the cheap one; LPT must still put the
+  // expensive one first.
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> workers;
+  IdentityBatch(4, 4, &tasks, &workers);
+  auto table =
+      TableFromRows(4, {{0, 0}, {1, 1}, {1, 2}, {2, 1}, {3, 2}});
+  ShardPlan plan = BuildShardPlan(table, tasks, workers);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  EXPECT_GT(plan.shards[0].cost, plan.shards[1].cost);
+  EXPECT_EQ(plan.shards[0].tasks, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(plan.shards[1].tasks, (std::vector<int>{0}));
+  EXPECT_EQ(plan.shard_of_task, (std::vector<int>{1, 0, 0, 0}));
+}
+
+TEST(ShardPlanTest, SignatureTracksStableIdsNotBatchPositions) {
+  // The same membership (by id) reshuffled to different batch positions
+  // keeps its signature; adding one worker to the membership changes it.
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> workers;
+  IdentityBatch(2, 3, &tasks, &workers);
+  auto table_a = TableFromRows(2, {{0, 0}, {0, 1}, {1, 1}});
+  ShardPlan plan_a = BuildShardPlan(table_a, tasks, workers);
+  ASSERT_EQ(plan_a.shards.size(), 1u);
+
+  // Same ids, permuted worker batch order: worker id 0 now at index 2,
+  // id 1 at index 0, and an unrelated id 2 at index 1.
+  std::vector<CandidateWorker> permuted = {workers[1], workers[2],
+                                           workers[0]};
+  auto table_b = TableFromRows(2, {{0, 0}, {0, 2}, {1, 0}});
+  ShardPlan plan_b = BuildShardPlan(table_b, tasks, permuted);
+  ASSERT_EQ(plan_b.shards.size(), 1u);
+  EXPECT_EQ(plan_a.shards[0].signature, plan_b.shards[0].signature);
+
+  // Grow the membership by worker id 2: different signature.
+  auto table_c = TableFromRows(2, {{0, 0}, {0, 1}, {1, 1}, {1, 2}});
+  ShardPlan plan_c = BuildShardPlan(table_c, tasks, workers);
+  ASSERT_EQ(plan_c.shards.size(), 1u);
+  EXPECT_NE(plan_a.shards[0].signature, plan_c.shards[0].signature);
+}
+
+TEST(ShardWarmPoolTest, EvictsOnlyWhenTheIncomingBatchWouldOverflow) {
+  ShardWarmPool pool;
+  pool.BeginBatch(2);
+  matching::KmWarmState* a = pool.Acquire(1);
+  matching::KmWarmState* b = pool.Acquire(2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(pool.size(), 2u);
+  pool.BeginBatch(10);  // Fits: nothing evicted, holders stable.
+  EXPECT_EQ(pool.size(), 2u);
+  EXPECT_EQ(pool.Acquire(1), a);
+  pool.BeginBatch(4095);  // 2 + 4095 > 4096: everything evicted.
+  EXPECT_EQ(pool.size(), 0u);
+}
+
+void ExpectSameMatch(const matching::MatchResult& a,
+                     const matching::MatchResult& b) {
+  ASSERT_EQ(a.pairs.size(), b.pairs.size());
+  for (size_t i = 0; i < a.pairs.size(); ++i) {
+    EXPECT_EQ(a.pairs[i], b.pairs[i]) << "pair " << i;
+  }
+  EXPECT_EQ(a.total_weight, b.total_weight);  // Bitwise, not approximate.
+}
+
+TEST(ShardedMatchingTest, BruteForceRandomGraphParityAtEveryThreadCount) {
+  // The acceptance property: on random candidate graphs the sharded solve
+  // is bitwise-equal (pairs and total) to the global KM, at 1/2/4/8
+  // threads. Duplicate edges (max wins) and non-positive edges (dropped)
+  // are sprinkled in because the global matcher handles both.
+  tamp::Rng rng(808);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int num_tasks = 1 + static_cast<int>(rng.UniformInt(0, 11));
+    const int num_workers = 1 + static_cast<int>(rng.UniformInt(0, 11));
+    const double density = rng.Uniform(0.05, 0.4);
+    std::vector<matching::Edge> edges;
+    std::vector<std::pair<int, int>> rows;
+    for (int t = 0; t < num_tasks; ++t) {
+      for (int w = 0; w < num_workers; ++w) {
+        if (!rng.Bernoulli(density)) continue;
+        edges.push_back({t, w, rng.Uniform(0.1, 5.0)});
+        rows.emplace_back(t, w);
+        if (rng.Bernoulli(0.1)) {  // Duplicate: the max must win.
+          edges.push_back({t, w, rng.Uniform(0.1, 5.0)});
+        }
+      }
+    }
+    if (rng.Bernoulli(0.5) && !rows.empty()) {
+      // A non-positive edge: both solvers drop it (no table row needed).
+      edges.push_back({rows[0].first, rows[0].second, 0.0});
+    }
+    std::vector<SpatialTask> tasks;
+    std::vector<CandidateWorker> workers;
+    IdentityBatch(num_tasks, num_workers, &tasks, &workers);
+    auto table = TableFromRows(num_tasks, rows);
+    ShardPlan plan = BuildShardPlan(table, tasks, workers);
+
+    matching::MatchResult global =
+        matching::MaxWeightMatching(num_tasks, num_workers, edges);
+    for (int threads : {1, 2, 4, 8}) {
+      SetParallelThreadCount(threads);
+      matching::MatchResult sharded = ShardedMaxWeightMatching(
+          num_tasks, num_workers, edges, plan);
+      ExpectSameMatch(global, sharded);
+    }
+    SetParallelThreadCount(0);
+  }
+}
+
+TEST(ShardedMatchingTest, WarmPoolUnderWorkerPermutationStaysBitIdentical) {
+  // Satellite-1 regression: the same memberships come back batch after
+  // batch but the worker *batch order* permutes — so the warm holder found
+  // by signature faces a different column ordering. The bitwise row-prefix
+  // gate must recompute rather than silently resume, keeping the plan
+  // identical to the cold and global solves on every batch.
+  tamp::Rng rng(4242);
+  const int num_tasks = 10, num_workers = 12;
+  // Id-level weights, fixed across batches.
+  std::vector<std::vector<double>> weight_of_ids(
+      num_tasks, std::vector<double>(num_workers, 0.0));
+  for (int t = 0; t < num_tasks; ++t) {
+    for (int w = 0; w < num_workers; ++w) {
+      if (rng.Bernoulli(0.3)) weight_of_ids[t][w] = rng.Uniform(0.1, 5.0);
+    }
+  }
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> id_workers;
+  IdentityBatch(num_tasks, num_workers, &tasks, &id_workers);
+
+  ShardWarmPool pool;
+  std::vector<int> perm(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w) perm[static_cast<size_t>(w)] = w;
+  for (int batch = 0; batch < 6; ++batch) {
+    // A fresh worker order each batch (batch 0 is the identity).
+    if (batch > 0) rng.Shuffle(perm);
+    std::vector<CandidateWorker> workers;
+    for (int idx : perm) {
+      workers.push_back(id_workers[static_cast<size_t>(idx)]);
+    }
+    std::vector<matching::Edge> edges;
+    std::vector<std::pair<int, int>> rows;
+    for (int t = 0; t < num_tasks; ++t) {
+      for (int w = 0; w < num_workers; ++w) {
+        const int id = workers[static_cast<size_t>(w)].id;
+        const double weight =
+            weight_of_ids[static_cast<size_t>(t)][static_cast<size_t>(id)];
+        if (weight <= 0.0) continue;
+        edges.push_back({t, w, weight});
+        rows.emplace_back(t, w);
+      }
+    }
+    auto table = TableFromRows(num_tasks, rows);
+    ShardPlan plan = BuildShardPlan(table, tasks, workers);
+    matching::MatchResult global =
+        matching::MaxWeightMatching(num_tasks, num_workers, edges);
+    matching::MatchResult cold =
+        ShardedMaxWeightMatching(num_tasks, num_workers, edges, plan);
+    matching::MatchResult warm = ShardedMaxWeightMatching(
+        num_tasks, num_workers, edges, plan, &pool);
+    ExpectSameMatch(global, cold);
+    ExpectSameMatch(global, warm);
+    EXPECT_GT(pool.size(), 0u);
+  }
+}
+
+TEST(ShardedMatchingTest, DegenerateInputsReturnEmptyWithoutSolving) {
+  std::vector<SpatialTask> tasks;
+  std::vector<CandidateWorker> workers;
+
+  // Empty everything.
+  IdentityBatch(0, 0, &tasks, &workers);
+  ShardPlan empty_plan = BuildShardPlan({}, tasks, workers);
+  EXPECT_TRUE(empty_plan.shards.empty());
+  matching::MatchResult r = ShardedMaxWeightMatching(0, 0, {}, empty_plan);
+  EXPECT_TRUE(r.pairs.empty());
+  EXPECT_EQ(r.total_weight, 0.0);
+
+  // Rows exist but every edge weight is non-positive: all shards end up
+  // edgeless and the result is empty, exactly like the global matcher.
+  IdentityBatch(2, 2, &tasks, &workers);
+  auto table = TableFromRows(2, {{0, 0}, {1, 1}});
+  ShardPlan plan = BuildShardPlan(table, tasks, workers);
+  ASSERT_EQ(plan.shards.size(), 2u);
+  std::vector<matching::Edge> filtered = {{0, 0, 0.0}, {1, 1, -1.0}};
+  r = ShardedMaxWeightMatching(2, 2, filtered, plan);
+  EXPECT_TRUE(r.pairs.empty());
+  EXPECT_EQ(r.total_weight, 0.0);
+
+  // 1xN: one task, several workers — a single-shard matching.
+  IdentityBatch(1, 3, &tasks, &workers);
+  auto one_row = TableFromRows(1, {{0, 0}, {0, 1}, {0, 2}});
+  ShardPlan one_plan = BuildShardPlan(one_row, tasks, workers);
+  std::vector<matching::Edge> one_edges = {
+      {0, 0, 1.0}, {0, 1, 3.0}, {0, 2, 2.0}};
+  matching::MatchResult one =
+      ShardedMaxWeightMatching(1, 3, one_edges, one_plan);
+  matching::MatchResult one_global = matching::MaxWeightMatching(1, 3,
+                                                                 one_edges);
+  ExpectSameMatch(one_global, one);
+  ASSERT_EQ(one.pairs.size(), 1u);
+  EXPECT_EQ(one.pairs[0], (std::pair<int, int>{0, 1}));
+}
+
+/// Workload-scale sharded-vs-global plan parity (the ISSUE acceptance
+/// gate): KM, PPI, and GGPSO on Porto and Gowalla batches at 1 and 4
+/// threads, with and without incremental reuse. Mirrors the churn schedule
+/// of assign_incremental_test's IncrementalPlanParityTest.
+class ShardingPlanParityTest
+    : public ::testing::TestWithParam<data::WorkloadKind> {
+ protected:
+  struct Batch {
+    std::vector<SpatialTask> tasks;
+    std::vector<CandidateWorker> workers;
+    double now = 0.0;
+  };
+
+  static std::vector<Batch> BuildBatches(data::WorkloadKind kind) {
+    data::WorkloadConfig config;
+    config.kind = kind;
+    config.num_workers = 50;
+    config.num_train_days = 1;
+    config.num_tasks = 300;
+    config.num_historical_tasks = 50;
+    config.seed = 4242;
+    data::Workload workload = data::GenerateWorkload(config);
+
+    const double start = workload.task_stream[workload.task_stream.size() / 2]
+                             .release_time_min;
+    std::vector<Batch> batches;
+    for (int b = 0; b < 5; ++b) {
+      Batch batch;
+      batch.now = start + 2.0 * b;
+      for (const SpatialTask& task : workload.task_stream) {
+        if (task.release_time_min <= batch.now &&
+            task.deadline_min > batch.now) {
+          batch.tasks.push_back(task);
+        }
+      }
+      for (size_t w = 0; w < workload.workers.size(); ++w) {
+        // Churn: each batch a different ~1/5 of the fleet is offline, so
+        // shard memberships change (and warm signatures with them).
+        if ((static_cast<int>(w) + b) % 5 == 0) continue;
+        const data::WorkerRecord& record = workload.workers[w];
+        std::vector<geo::TimedPoint> pred;
+        for (int s = 1; s <= 5; ++s) {
+          const double t = batch.now + 10.0 * s;
+          pred.push_back({record.test.PositionAt(t), t});
+        }
+        batch.workers.push_back(MakeWorker(
+            record.id, std::move(pred), record.test.PositionAt(batch.now),
+            record.detour_budget_km, record.speed_kmpm,
+            0.2 + 0.6 * static_cast<double>(w) /
+                      static_cast<double>(workload.workers.size())));
+      }
+      batches.push_back(std::move(batch));
+    }
+    return batches;
+  }
+
+  static void ExpectSamePlan(const AssignmentPlan& a,
+                             const AssignmentPlan& b) {
+    ASSERT_EQ(a.pairs.size(), b.pairs.size());
+    for (size_t i = 0; i < a.pairs.size(); ++i) {
+      EXPECT_EQ(a.pairs[i].task_index, b.pairs[i].task_index);
+      EXPECT_EQ(a.pairs[i].worker_index, b.pairs[i].worker_index);
+      EXPECT_EQ(a.pairs[i].expected_detour_km, b.pairs[i].expected_detour_km);
+    }
+  }
+};
+
+TEST_P(ShardingPlanParityTest, KmShardedAndGlobalBitIdentical) {
+  std::vector<Batch> batches = BuildBatches(GetParam());
+  for (int threads : {1, 4}) {
+    SetParallelThreadCount(threads);
+    AssignReuse reuse;
+    bool any = false;
+    for (const Batch& batch : batches) {
+      AssignmentPlan global = KmAssign(batch.tasks, batch.workers, batch.now,
+                                       /*match_radius_km=*/1.0,
+                                       /*weight_floor_km=*/1e-3,
+                                       /*use_spatial_index=*/true);
+      AssignmentPlan sharded =
+          KmAssign(batch.tasks, batch.workers, batch.now, 1.0, 1e-3, true,
+                   /*reuse=*/nullptr, /*shard_components=*/true);
+      AssignmentPlan sharded_warm =
+          KmAssign(batch.tasks, batch.workers, batch.now, 1.0, 1e-3, true,
+                   &reuse, /*shard_components=*/true);
+      ExpectSamePlan(global, sharded);
+      ExpectSamePlan(global, sharded_warm);
+      any = any || !global.pairs.empty();
+    }
+    EXPECT_TRUE(any);
+  }
+  SetParallelThreadCount(0);
+}
+
+TEST_P(ShardingPlanParityTest, PpiShardedAndGlobalBitIdentical) {
+  std::vector<Batch> batches = BuildBatches(GetParam());
+  PpiConfig global_config;
+  PpiConfig sharded_config;
+  sharded_config.shard_components = true;
+  for (int threads : {1, 4}) {
+    SetParallelThreadCount(threads);
+    AssignReuse reuse;
+    bool any = false;
+    for (const Batch& batch : batches) {
+      AssignmentPlan global =
+          PpiAssign(batch.tasks, batch.workers, batch.now, global_config);
+      AssignmentPlan sharded =
+          PpiAssign(batch.tasks, batch.workers, batch.now, sharded_config);
+      AssignmentPlan sharded_warm = PpiAssign(
+          batch.tasks, batch.workers, batch.now, sharded_config, &reuse);
+      ExpectSamePlan(global, sharded);
+      ExpectSamePlan(global, sharded_warm);
+      any = any || !global.pairs.empty();
+    }
+    EXPECT_TRUE(any);
+  }
+  SetParallelThreadCount(0);
+}
+
+TEST_P(ShardingPlanParityTest, GgpsoFlagOnAndOffBitIdentical) {
+  // GGPSO's sharding is record-only (GgpsoConfig doc): the flag must not
+  // perturb the plan in any way.
+  std::vector<Batch> batches = BuildBatches(GetParam());
+  GgpsoConfig off;
+  off.generations = 15;
+  off.population = 12;
+  GgpsoConfig on = off;
+  on.shard_components = true;
+  for (int threads : {1, 4}) {
+    SetParallelThreadCount(threads);
+    bool any = false;
+    for (const Batch& batch : batches) {
+      AssignmentPlan plan_off =
+          GgpsoAssign(batch.tasks, batch.workers, batch.now, off);
+      AssignmentPlan plan_on =
+          GgpsoAssign(batch.tasks, batch.workers, batch.now, on);
+      ExpectSamePlan(plan_off, plan_on);
+      any = any || !plan_off.pairs.empty();
+    }
+    EXPECT_TRUE(any);
+  }
+  SetParallelThreadCount(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ShardingPlanParityTest,
+                         ::testing::Values(
+                             data::WorkloadKind::kPortoDidi,
+                             data::WorkloadKind::kGowallaFoursquare),
+                         [](const auto& info) {
+                           return info.param == data::WorkloadKind::kPortoDidi
+                                      ? "Porto"
+                                      : "Gowalla";
+                         });
+
+}  // namespace
+}  // namespace tamp::assign

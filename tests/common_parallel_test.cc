@@ -147,6 +147,47 @@ TEST(ParallelMapTest, ResultsLandAtTheirIndex) {
   }
 }
 
+TEST(ParallelMapTest, ZeroOneAndFewerElementsThanThreads) {
+  ScopedThreads threads(8);
+  // n = 0: no fn call, empty result.
+  std::vector<int> none = ParallelMap<int>(0, [](size_t) -> int {
+    ADD_FAILURE() << "fn called for n = 0";
+    return -1;
+  });
+  EXPECT_TRUE(none.empty());
+  // n = 1 and n < thread count: every index lands at its slot exactly
+  // once even when most workers have nothing to claim.
+  std::vector<int> one = ParallelMap<int>(1, [](size_t i) {
+    return static_cast<int>(i) + 41;
+  });
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0], 41);
+  std::vector<int> few = ParallelMap<int>(3, [](size_t i) {
+    return static_cast<int>(i * 10);
+  });
+  EXPECT_EQ(few, (std::vector<int>{0, 10, 20}));
+}
+
+TEST(ParallelOrderedReduceTest, ZeroOneAndFewerElementsThanThreads) {
+  ScopedThreads threads(8);
+  auto add = [](double acc, double part) { return acc + part; };
+  // n = 0: the init value comes back untouched, no map call.
+  double none = ParallelOrderedReduce<double, double>(
+      0, 7.5,
+      [](size_t) -> double {
+        ADD_FAILURE() << "map_fn called for n = 0";
+        return 0.0;
+      },
+      add);
+  EXPECT_EQ(none, 7.5);
+  auto square = [](size_t i) { return static_cast<double>(i * i); };
+  double one = ParallelOrderedReduce<double, double>(1, 0.5, square, add);
+  EXPECT_EQ(one, 0.5);
+  // n = 5 < 8 threads: same serial fold as the index-order loop.
+  double few = ParallelOrderedReduce<double, double>(5, 0.0, square, add);
+  EXPECT_EQ(few, 0.0 + 1.0 + 4.0 + 9.0 + 16.0);
+}
+
 TEST(ParallelOrderedReduceTest, BitIdenticalToSerialAtAnyThreadCount) {
   // A reduction whose value depends on accumulation order: summing
   // magnitudes of very different scale. The ordered reduce must give the

@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/obs/metrics.h"
 #include "common/parallel.h"
 #include "core/pipeline.h"
 #include "core/simulator.h"
@@ -228,6 +229,47 @@ TEST(EventSimEdgeCaseTest, CertainDropoutUnderBusyUntilArrival) {
             static_cast<int64_t>(run.metrics.accepted));
   // Each abort re-arrives (the deadline cutoff eventually stops it).
   EXPECT_GE(run.stats.task_arrivals, run.stats.dropouts);
+}
+
+TEST(EventSimEdgeCaseTest, SkippedTriggersCountIdenticallyInBothEngines) {
+  // Satellite regression: a trigger that finds no pending task, or tasks
+  // but nobody available, must skip the solver yet still be accounted —
+  // and the batch-replay loop counts its matching `continue` sites on the
+  // same sim.batch_skips counter, so the engines' totals agree. The
+  // workload forces both skip kinds: after task 0 is served the pool sits
+  // empty for ~40 minutes of triggers, and task 1 (released at 50) finds
+  // every session already over.
+  data::Workload workload;
+  workload.workers.push_back(StationaryWorker(0, 5.0, 5.0, 200.0));
+  workload.workers[0].availability = {{10.0, 12.0}, {30.0, 32.0}};
+  workload.task_stream.push_back(MakeTask(0, 5.0, 5.0, 10.0, 40.0));
+  workload.task_stream.push_back(MakeTask(1, 5.0, 5.0, 50.0, 60.0));
+
+  SimulatorConfig config;
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  obs::Counter& skips = registry.GetCounter("sim.batch_skips");
+  obs::Counter& batches = registry.GetCounter("sim.batches");
+
+  int64_t skips_before = skips.value();
+  int64_t batches_before = batches.value();
+  EventRun event_run =
+      RunEventHorizon(workload, config, AssignMethod::kLowerBound);
+  const int64_t event_skips = skips.value() - skips_before;
+  const int64_t event_batches = batches.value() - batches_before;
+
+  skips_before = skips.value();
+  batches_before = batches.value();
+  SimMetrics replay = RunEngine(workload, config, SimEngine::kBatchReplay);
+  const int64_t replay_skips = skips.value() - skips_before;
+  const int64_t replay_batches = batches.value() - batches_before;
+
+  ExpectBitwiseEqual(event_run.metrics, replay, "skip accounting");
+  EXPECT_GT(event_skips, 0);
+  EXPECT_GT(event_batches, 0);
+  EXPECT_EQ(event_skips, replay_skips);
+  EXPECT_EQ(event_batches, replay_batches);
+  // Every trigger either reached the solver (sim.batches) or was skipped.
+  EXPECT_EQ(event_run.stats.assign_triggers, event_batches + event_skips);
 }
 
 TEST(EventSimEdgeCaseTest, StatsAccountForEveryEvent) {

@@ -224,6 +224,24 @@ TEST(ModeEnumTest, SimEngineRoundTripsThroughFlag) {
   EXPECT_NE(bad.message().find("--engine"), std::string::npos);
 }
 
+TEST(ModeEnumTest, ShardModeRoundTripsThroughFlag) {
+  for (core::ShardMode mode : core::AllShardModes()) {
+    const std::string name(core::ShardModeName(mode));
+    core::RunOptions options;
+    ASSERT_TRUE(Parse({"--sharding=" + name}, &options).ok()) << name;
+    EXPECT_EQ(options.sim.shard_mode, mode) << name;
+    StatusOr<core::ShardMode> parsed = core::ParseShardMode(name);
+    ASSERT_TRUE(parsed.ok()) << name;
+    EXPECT_EQ(*parsed, mode) << name;
+  }
+  core::RunOptions defaults;
+  EXPECT_EQ(defaults.sim.shard_mode, core::ShardMode::kOff);
+  Status bad = Parse({"--sharding=hexagons"}, &defaults);
+  EXPECT_EQ(bad.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.message().find("--sharding"), std::string::npos);
+  EXPECT_NE(bad.message().find("components"), std::string::npos);
+}
+
 TEST(ModeEnumTest, ParseIsCaseInsensitive) {
   StatusOr<core::CandidateMode> candidates =
       core::ParseCandidateMode("Incremental");
@@ -232,6 +250,9 @@ TEST(ModeEnumTest, ParseIsCaseInsensitive) {
   StatusOr<core::SimEngine> engine = core::ParseSimEngine("EVENT");
   ASSERT_TRUE(engine.ok());
   EXPECT_EQ(*engine, core::SimEngine::kEvent);
+  StatusOr<core::ShardMode> shard = core::ParseShardMode("Components");
+  ASSERT_TRUE(shard.ok());
+  EXPECT_EQ(*shard, core::ShardMode::kComponents);
 }
 
 TEST(WorkloadSpecTest, RoundTripsThroughFlag) {

@@ -77,6 +77,34 @@ TEST(MinCostAssignmentTest, ClassicExample) {
   EXPECT_DOUBLE_EQ(result.total_cost, 5.0);
 }
 
+TEST(MinCostAssignmentTest, ZeroRowMatrixIsADegenerateNoOp) {
+  // A 0-row matrix returns empty without touching scratch or warm state
+  // (the sharded path can hand a solver an edgeless shard after weight
+  // filtering; resumable state from a previous larger solve must survive).
+  auto result = MinCostAssignment({});
+  EXPECT_TRUE(result.col_of_row.empty());
+  EXPECT_EQ(result.total_cost, 0.0);
+
+  MatchingScratch scratch;
+  KmWarmState warm;
+  std::vector<std::vector<double>> small = {
+      {1.0, 4.0, 2.0}, {3.0, 1.0, 5.0}, {2.0, 2.0, 1.0}};
+  auto cold = MinCostAssignment(small);
+  (void)MinCostAssignment(small, &scratch, &warm);
+  const std::vector<std::vector<double>> prev_cost_before = warm.prev_cost;
+  const size_t checkpoints_before = warm.checkpoints.size();
+  ASSERT_GT(checkpoints_before, 0u);
+
+  (void)MinCostAssignment({}, &scratch, &warm);
+  // Stored warm state is untouched by the degenerate call...
+  EXPECT_EQ(warm.prev_cost, prev_cost_before);
+  EXPECT_EQ(warm.checkpoints.size(), checkpoints_before);
+  // ...and still resumes the original instance bitwise.
+  auto resumed = MinCostAssignment(small, &scratch, &warm);
+  EXPECT_EQ(resumed.col_of_row, cold.col_of_row);
+  EXPECT_EQ(resumed.total_cost, cold.total_cost);
+}
+
 TEST(MaxWeightMatchingTest, EmptyInputs) {
   EXPECT_TRUE(MaxWeightMatching(0, 5, {}).pairs.empty());
   EXPECT_TRUE(MaxWeightMatching(5, 0, {}).pairs.empty());
@@ -226,6 +254,36 @@ TEST(MatchingScratchTest, ShrinkThenGrowScratchReuseParity) {
   // must not resurrect the 6x6 weights.
   run_both(4, 4, {{0, 3, 1.0}, {1, 2, 2.0}, {2, 1, 3.0}, {3, 0, 4.0},
                   {2, 2, 0.5}});
+  // Shrink all the way to the degenerate cases — a 0-row instance and an
+  // all-filtered (non-positive weights) one. Neither may touch the scratch
+  // left by the 4x4 solve...
+  run_both(0, 3, {});
+  run_both(3, 3, {{0, 0, 0.0}, {1, 2, -1.0}});
+  // ...so regrowing afterwards still matches fresh solves.
+  run_both(5, 5, {{0, 0, 2.0}, {1, 1, 1.5}, {2, 3, 4.0}, {4, 2, 0.7}});
+}
+
+TEST(MatchingScratchTest, AllFilteredSolvePreservesScratchAndWarm) {
+  // An instance whose every edge is dropped by the positivity filter must
+  // return before touching scratch or warm state from a previous larger
+  // solve (the degenerate-shard path of the sharded assigner).
+  MatchingScratch scratch;
+  KmWarmState warm;
+  std::vector<Edge> real = {{0, 0, 2.0}, {0, 1, 5.0}, {1, 0, 4.0},
+                            {1, 1, 1.0}};
+  auto cold = MaxWeightMatching(2, 2, real);
+  (void)MaxWeightMatching(2, 2, real, &scratch, &warm);
+  const size_t checkpoints_before = warm.checkpoints.size();
+  ASSERT_GT(checkpoints_before, 0u);
+
+  auto filtered = MaxWeightMatching(9, 9, {{5, 5, 0.0}, {8, 2, -2.0}},
+                                    &scratch, &warm);
+  EXPECT_TRUE(filtered.pairs.empty());
+  EXPECT_EQ(warm.checkpoints.size(), checkpoints_before);
+
+  auto resumed = MaxWeightMatching(2, 2, real, &scratch, &warm);
+  EXPECT_EQ(resumed.pairs, cold.pairs);
+  EXPECT_EQ(resumed.total_weight, cold.total_weight);
 }
 
 TEST(KmWarmStateTest, WarmMinCostAssignmentMatchesColdExactly) {

@@ -29,4 +29,31 @@ double OrderedTotal(const std::map<long, double>& by_id) {
   return total;
 }
 
+// Mirrors the sharding union-find + signature-keyed warm pool: component
+// discovery walks vectors in index order, and the pool's unordered map is
+// only ever probed by key — neither traverses hash order.
+int Find(std::vector<int>& parent, int x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];  // path halving
+    x = parent[x];
+  }
+  return x;
+}
+
+int CountComponents(int n, const std::vector<std::pair<int, int>>& edges,
+                    std::unordered_map<unsigned long long, int>& warm_pool) {
+  std::vector<int> parent(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) parent[static_cast<std::size_t>(i)] = i;
+  for (const auto& [a, b] : edges) {  // edge list: index-ordered vector
+    parent[static_cast<std::size_t>(Find(parent, a))] = Find(parent, b);
+  }
+  int roots = 0;
+  for (int i = 0; i < n; ++i) {  // root scan in index order
+    if (Find(parent, i) == i) ++roots;
+  }
+  // Point lookup by signature — never iterated.
+  const auto it = warm_pool.find(static_cast<unsigned long long>(n));
+  return it != warm_pool.end() ? roots + it->second : roots;
+}
+
 }  // namespace tamp_testdata
